@@ -1,0 +1,95 @@
+// Command microbench regenerates the paper's validation results over
+// the 154-code microbenchmark suite: Table 2 (tool-by-tool verdicts on
+// four named codes) and Table 3 (FP/FN/TP/TN per tool).
+//
+// Usage:
+//
+//	microbench            # both tables
+//	microbench -table2    # Table 2 only
+//	microbench -table3    # Table 3 only
+//	microbench -mismatches must-rma   # list one tool's FP/FN cases
+//	microbench -list      # list all 154 cases with ground truth
+//	microbench -figure3   # regenerate the Fig. 3 race-situation matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rmarace/internal/detector"
+	"rmarace/internal/figure3"
+	"rmarace/internal/micro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("microbench: ")
+	table2 := flag.Bool("table2", false, "print Table 2 only")
+	table3 := flag.Bool("table3", false, "print Table 3 only")
+	list := flag.Bool("list", false, "list all suite cases with ground truth")
+	fig3 := flag.Bool("figure3", false, "print the Figure 3 race-situation matrix")
+	doc := flag.Bool("doc", false, "print the markdown catalogue of all 154 suite codes")
+	mismatches := flag.String("mismatches", "", "list FP/FN cases for a tool: rma-analyzer|must-rma|our-contribution")
+	flag.Parse()
+
+	if *fig3 {
+		figure3.Write(os.Stdout)
+		return
+	}
+	if *doc {
+		micro.WriteSuiteDoc(os.Stdout)
+		return
+	}
+
+	if *list {
+		for _, c := range micro.Suite() {
+			verdict := "safe"
+			if c.Racy {
+				verdict = "race"
+			}
+			fmt.Printf("%-70s %s\n", c.Name, verdict)
+		}
+		return
+	}
+	if *mismatches != "" {
+		method, err := methodByName(*mismatches)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := micro.WriteMismatches(os.Stdout, method); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	both := !*table2 && !*table3
+	if *table2 || both {
+		fmt.Println("Table 2: detection results on four microbenchmark codes (yes: error detected, x: none)")
+		if err := micro.WriteTable2(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *table3 || both {
+		fmt.Println("Table 3: confusion matrix over the microbenchmark suite")
+		if err := micro.WriteTable3(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func methodByName(name string) (detector.Method, error) {
+	switch name {
+	case "rma-analyzer":
+		return detector.RMAAnalyzer, nil
+	case "must-rma":
+		return detector.MustRMAMethod, nil
+	case "our-contribution":
+		return detector.OurContribution, nil
+	case "baseline":
+		return detector.Baseline, nil
+	}
+	return 0, fmt.Errorf("unknown tool %q", name)
+}

@@ -1,0 +1,49 @@
+// Command tracegen writes a synthetic memory-access trace for the
+// rmarace replay CLI and the detector benchmarks.
+//
+// Usage:
+//
+//	tracegen -o trace.jsonl -ranks 8 -events 100000 -epochs 4 -adjacency 0.8
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"rmarace/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	out := flag.String("o", "-", "output file (- for stdout)")
+	cfg := trace.GenConfig{}
+	flag.IntVar(&cfg.Ranks, "ranks", 4, "simulated rank count")
+	flag.IntVar(&cfg.Events, "events", 10000, "access events per epoch")
+	flag.IntVar(&cfg.Epochs, "epochs", 1, "number of epochs")
+	flag.Float64Var(&cfg.Adjacency, "adjacency", 0.5, "fraction of adjacent (mergeable) accesses")
+	flag.Float64Var(&cfg.WriteFraction, "writes", 0.5, "fraction of strided RMA accesses that write")
+	flag.BoolVar(&cfg.SafeOnly, "safe", true, "partition the address space so the trace is race-free")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "random seed")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	n, err := trace.Generate(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d events", n)
+}

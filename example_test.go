@@ -1,0 +1,84 @@
+package rmarace_test
+
+import (
+	"fmt"
+
+	"rmarace"
+)
+
+// ExampleRun reproduces the paper's Code 1: an MPI_Put's source buffer
+// is stored to while the put may still be reading it.
+func ExampleRun() {
+	report, _ := rmarace.Run(2, rmarace.OurContribution, func(p *rmarace.Proc) error {
+		win, err := p.WinCreate("X", 64)
+		if err != nil {
+			return err
+		}
+		if err := win.LockAll(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			buf := p.Alloc("buf", 32)
+			if err := win.Put(1, 0, buf, 2, 10, rmarace.Debug{File: "main.c", Line: 3}); err != nil {
+				return err
+			}
+			if err := buf.Store(7, []byte{0x12}, rmarace.Debug{File: "main.c", Line: 4}); err != nil {
+				return err
+			}
+		}
+		return win.UnlockAll()
+	})
+	fmt.Println(report.Race.Message())
+	// Output:
+	// Error when inserting memory access of type LOCAL_WRITE from file main.c:4 with already inserted interval of type RMA_READ from file main.c:3. The program will be exiting now with MPI_Abort.
+}
+
+// ExampleNewAnalyzer drives the contribution's analyzer directly with a
+// hand-built access stream — the embedding mode for custom tooling.
+func ExampleNewAnalyzer() {
+	z := rmarace.NewAnalyzer()
+	// An MPI_Get wrote addresses [0..7]; a later local read overlaps it.
+	get := rmarace.Event{}
+	get.Acc.Lo, get.Acc.Hi = 0, 7
+	get.Acc.Type = 3 // RMA_Write
+	get.Acc.Debug = rmarace.Debug{File: "app.c", Line: 10}
+	get.Time, get.CallTime = 1, 1
+
+	load := rmarace.Event{}
+	load.Acc.Lo, load.Acc.Hi = 4, 4
+	load.Acc.Type = 0 // Local_Read
+	load.Acc.Debug = rmarace.Debug{File: "app.c", Line: 11}
+	load.Time = 2
+
+	if race := z.Access(get); race != nil {
+		fmt.Println("unexpected:", race)
+	}
+	if race := z.Access(load); race != nil {
+		fmt.Println("race detected at", race.Cur.Debug)
+	}
+	// Output:
+	// race detected at app.c:11
+}
+
+// ExampleRun_clean shows a race-free ring exchange and the run report.
+func ExampleRun_clean() {
+	report, err := rmarace.Run(4, rmarace.OurContribution, func(p *rmarace.Proc) error {
+		win, err := p.WinCreate("ring", 256)
+		if err != nil {
+			return err
+		}
+		if err := win.LockAll(); err != nil {
+			return err
+		}
+		src := p.Alloc("src", 8)
+		// Each rank writes its own 8-byte slot at its right neighbour.
+		right := (p.Rank() + 1) % p.Size()
+		if err := win.Put(right, 8*p.Rank(), src, 0, 8, rmarace.Debug{File: "ring.c", Line: 9}); err != nil {
+			return err
+		}
+		return win.UnlockAll()
+	})
+	fmt.Println(err == nil, report.Race == nil)
+	// Output:
+	// true true
+}

@@ -1,0 +1,232 @@
+// Bfsfrontier: a Graph500-style level-synchronised distributed BFS over
+// MPI-RMA — the workload class the paper's background motivates
+// (Graph500's MPI-3 RMA port gained 2x, §2.1). Each level runs in one
+// fence epoch:
+//
+//   - vertex ownership is block-cyclic; a rank claims a neighbour by an
+//     atomic MPI_Fetch_and_op(SUM) on the owner's visited table —
+//     same-operation atomics never race, so concurrent claims of one
+//     vertex are safe and exactly one claimer sees old == 0;
+//   - the claimer MPI_Puts the vertex id into its own inbox segment at
+//     the owner, then MPI_Win_fence separates the level: reading the
+//     inboxes in the next epoch cannot race with the previous level's
+//     puts.
+//
+// The run is checked under the paper's detector; a -race-bug variant
+// drops the atomic claim (plain Get+Put read-modify-write), which the
+// detector reports immediately.
+//
+// Run with: go run ./examples/bfsfrontier
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+
+	"rmarace"
+)
+
+const (
+	ranks    = 4
+	vertices = 4096 // global vertex count
+	degree   = 4    // synthetic out-degree
+	inboxCap = 2048 // per-origin inbox slots at each owner
+)
+
+func owner(v int) int    { return v % ranks }
+func localIdx(v int) int { return v / ranks }
+func neighbor(v, k int) int {
+	// Deterministic pseudo-random expander-ish neighbours.
+	x := uint64(v)*2862933555777941757 + uint64(k)*3037000493 + 1
+	return int(x % uint64(vertices))
+}
+
+func bfs(atomicClaims bool, levelsOut *int, visitedOut *int) func(p *rmarace.Proc) error {
+	return func(p *rmarace.Proc) error {
+		me := p.Rank()
+		nLocal := (vertices + ranks - 1) / ranks
+
+		// visited window: one 8-byte claim slot per local vertex.
+		visited, err := p.WinCreate("visited", nLocal*8)
+		if err != nil {
+			return err
+		}
+		// inbox window: one segment of inboxCap vertex ids per origin
+		// plus one count slot per origin — double-buffered by level
+		// parity, so draining one half never shares locations with the
+		// next level's puts into the other half within one fence epoch.
+		segBytes := inboxCap * 8
+		halfBytes := ranks*segBytes + ranks*8
+		inbox, err := p.WinCreate("inbox", 2*halfBytes)
+		if err != nil {
+			return err
+		}
+		scratch := p.Alloc("scratch", 16)
+		// Staging slots for enqueued ids: one distinct slot per enqueue
+		// per level, so a slot is never stored to while an earlier
+		// put may still be reading it (that would be the paper's
+		// Code 1 pattern).
+		ids := p.Alloc("ids", ranks*inboxCap*8)
+
+		if err := visited.Fence(); err != nil {
+			return err
+		}
+		if err := inbox.Fence(); err != nil {
+			return err
+		}
+
+		// Level 0: the root's owner claims it with the same atomic the
+		// exploration uses — the visited table is only ever touched by
+		// same-operation accumulates.
+		var frontier []int
+		const root = 1
+		if me == owner(root) {
+			if _, err := visited.FetchAndOp(me, localIdx(root)*8, 1, rmarace.AccumSum, rmarace.Debug{File: "bfs.c", Line: 30}); err != nil {
+				return err
+			}
+			frontier = append(frontier, root)
+		}
+
+		levels := 0
+		for {
+			half := (levels % 2) * halfBytes
+			// Explore: claim unvisited neighbours at their owners and
+			// enqueue them in our inbox segment there.
+			counts := make([]int, ranks)
+			enq := 0
+			for _, u := range frontier {
+				for k := 0; k < degree; k++ {
+					v := neighbor(u, k)
+					o := owner(v)
+					slot := localIdx(v) * 8
+					var old uint64
+					if atomicClaims {
+						var err error
+						old, err = visited.FetchAndOp(o, slot, 1, rmarace.AccumSum, rmarace.Debug{File: "bfs.c", Line: 44})
+						if err != nil {
+							return err
+						}
+					} else {
+						// BUG: non-atomic read-modify-write claim.
+						if err := visited.Get(scratch, 0, o, slot, 8, rmarace.Debug{File: "bfs.c", Line: 48}); err != nil {
+							return err
+						}
+						old = binary.LittleEndian.Uint64(scratch.Raw())
+						binary.LittleEndian.PutUint64(scratch.Raw()[8:], old+1)
+						if err := visited.Put(o, slot, scratch, 8, 8, rmarace.Debug{File: "bfs.c", Line: 52}); err != nil {
+							return err
+						}
+					}
+					if old != 0 || counts[o] >= inboxCap {
+						continue
+					}
+					// First claimer: enqueue v at its owner.
+					if err := ids.StoreU64(enq*8, uint64(v), rmarace.Debug{File: "bfs.c", Line: 58}); err != nil {
+						return err
+					}
+					if err := inbox.Put(o, half+me*segBytes+counts[o]*8, ids, enq*8, 8, rmarace.Debug{File: "bfs.c", Line: 60}); err != nil {
+						return err
+					}
+					counts[o]++
+					enq++
+				}
+			}
+			// Publish per-owner counts, one slot per (origin, owner).
+			for o := 0; o < ranks; o++ {
+				binary.LittleEndian.PutUint64(scratch.Raw(), uint64(counts[o]))
+				if err := inbox.Put(o, half+ranks*segBytes+me*8, scratch, 0, 8, rmarace.Debug{File: "bfs.c", Line: 67}); err != nil {
+					return err
+				}
+			}
+
+			// Level boundary: fence completes all puts and atomics.
+			if err := visited.Fence(); err != nil {
+				return err
+			}
+			if err := inbox.Fence(); err != nil {
+				return err
+			}
+
+			// Drain the inboxes into the next frontier (a fresh epoch:
+			// these instrumented reads cannot race with last level's
+			// puts).
+			frontier = frontier[:0]
+			for o := 0; o < ranks; o++ {
+				cnt, err := inbox.Buffer().LoadU64(half+ranks*segBytes+o*8, rmarace.Debug{File: "bfs.c", Line: 80})
+				if err != nil {
+					return err
+				}
+				for i := 0; i < int(cnt); i++ {
+					raw, err := inbox.Buffer().Load(half+o*segBytes+i*8, 8, rmarace.Debug{File: "bfs.c", Line: 84})
+					if err != nil {
+						return err
+					}
+					frontier = append(frontier, int(binary.LittleEndian.Uint64(raw)))
+				}
+			}
+			levels++
+
+			// Global termination: any rank with a non-empty frontier?
+			sum, err := p.Allreduce([]int64{int64(len(frontier))}, rmarace.OpSum)
+			if err != nil {
+				return err
+			}
+			if sum[0] == 0 {
+				break
+			}
+			if levels > 64 {
+				return fmt.Errorf("bfs: no convergence")
+			}
+		}
+
+		if err := visited.FenceEnd(); err != nil {
+			return err
+		}
+		if err := inbox.FenceEnd(); err != nil {
+			return err
+		}
+
+		// Count visited vertices (uninstrumented verification read).
+		local := 0
+		for i := 0; i < nLocal; i++ {
+			if binary.LittleEndian.Uint64(visited.Buffer().Raw()[i*8:]) != 0 {
+				local++
+			}
+		}
+		total, err := p.Allreduce([]int64{int64(local)}, rmarace.OpSum)
+		if err != nil {
+			return err
+		}
+		if me == 0 {
+			*levelsOut = levels
+			*visitedOut = int(total[0])
+		}
+		return nil
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	raceBug := flag.Bool("race-bug", false, "replace the atomic claim with a racy Get/Put read-modify-write")
+	flag.Parse()
+
+	var levels, visited int
+	report, err := rmarace.Run(ranks, rmarace.OurContribution, bfs(!*raceBug, &levels, &visited))
+	if *raceBug {
+		if report.Race == nil {
+			log.Fatal("expected the read-modify-write race")
+		}
+		fmt.Printf("RACE: %s\n", report.Race.Message())
+		return
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if report.Race != nil {
+		log.Fatalf("unexpected race: %v", report.Race)
+	}
+	fmt.Printf("BFS over %d vertices on %d ranks: %d levels, %d vertices reached; no data races\n",
+		vertices, ranks, levels, visited)
+}

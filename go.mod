@@ -1,0 +1,3 @@
+module rmarace
+
+go 1.22

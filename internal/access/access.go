@@ -1,0 +1,213 @@
+// Package access models instrumented memory accesses of an MPI-RMA
+// program and the error-detection semantics of the paper: the data-race
+// predicate of §2.2 with the order-sensitivity fix of §5.2, and the
+// access-combination matrix of Table 1 used by the fragmentation
+// algorithm.
+//
+// An access records the exact inclusive interval of addresses touched
+// (all addresses within the interval are accessed), the kind of access,
+// the rank that issued it, the epoch it belongs to, and debug
+// information locating the access in "source" (file:line), exactly as
+// RMA-Analyzer stores them.
+package access
+
+import (
+	"fmt"
+
+	"rmarace/internal/interval"
+)
+
+// Type classifies a memory access along the two axes of the paper:
+// local to the process vs. remote (RMA), and read vs. write.
+//
+// An MPI_Put is an RMARead of the origin's buffer and an RMAWrite of the
+// target's window region; an MPI_Get is the reverse. A plain load is a
+// LocalRead and a store a LocalWrite.
+type Type uint8
+
+const (
+	LocalRead Type = iota
+	LocalWrite
+	RMARead
+	RMAWrite
+	// RMAAccum is the target side of an MPI_Accumulate-family
+	// operation: an atomic element-wise read-modify-write. Atomicity is
+	// guaranteed at the MPI_Datatype level (§2.1 property 3), so two
+	// accumulates using the same reduction operation never race with
+	// each other, while an accumulate still races with any overlapping
+	// put, get or local access. This is an extension beyond the paper,
+	// which evaluates MPI_Put and MPI_Get only.
+	RMAAccum
+	numTypes
+)
+
+// IsRMA reports whether the access is part of a one-sided communication.
+func (t Type) IsRMA() bool { return t == RMARead || t == RMAWrite || t == RMAAccum }
+
+// IsWrite reports whether the access modifies memory.
+func (t Type) IsWrite() bool { return t == LocalWrite || t == RMAWrite || t == RMAAccum }
+
+// Valid reports whether t is one of the defined access types.
+func (t Type) Valid() bool { return t < numTypes }
+
+// String renders the type in the paper's notation (e.g. "RMA_Read").
+func (t Type) String() string {
+	switch t {
+	case LocalRead:
+		return "Local_Read"
+	case LocalWrite:
+		return "Local_Write"
+	case RMARead:
+		return "RMA_Read"
+	case RMAWrite:
+		return "RMA_Write"
+	case RMAAccum:
+		return "RMA_Accum"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// priority orders access types for Table 1: RMA accesses prevail over
+// local accesses and WRITE accesses prevail over READ accesses.
+func (t Type) priority() int {
+	switch t {
+	case LocalRead:
+		return 0
+	case LocalWrite:
+		return 1
+	case RMARead:
+		return 2
+	case RMAWrite:
+		return 3
+	case RMAAccum:
+		// Accumulates dominate everything: the fragment must remember
+		// the atomic write so later conflicting accesses are caught.
+		return 4
+	}
+	return -1
+}
+
+// AccumOp is the reduction operation of an accumulate access. Two
+// concurrent accumulates race unless they use the same operation (the
+// MPI standard leaves mixed-operation outcomes undefined).
+type AccumOp uint8
+
+// Accumulate reduction operations (a subset of the MPI predefined ops).
+const (
+	AccumNone    AccumOp = iota // not an accumulate access
+	AccumSum                    // MPI_SUM
+	AccumReplace                // MPI_REPLACE
+	AccumMax                    // MPI_MAX
+	AccumMin                    // MPI_MIN
+	AccumBand                   // MPI_BAND
+)
+
+// String returns the MPI name of the operation.
+func (o AccumOp) String() string {
+	switch o {
+	case AccumNone:
+		return "MPI_NO_OP"
+	case AccumSum:
+		return "MPI_SUM"
+	case AccumReplace:
+		return "MPI_REPLACE"
+	case AccumMax:
+		return "MPI_MAX"
+	case AccumMin:
+		return "MPI_MIN"
+	case AccumBand:
+		return "MPI_BAND"
+	}
+	return fmt.Sprintf("AccumOp(%d)", uint8(o))
+}
+
+// Debug locates an access in the instrumented program, mirroring the
+// debug information RMA-Analyzer embeds in its error reports.
+type Debug struct {
+	File string
+	Line int
+}
+
+// String renders the location as "file:line".
+func (d Debug) String() string { return fmt.Sprintf("%s:%d", d.File, d.Line) }
+
+// Access is one instrumented memory access.
+type Access struct {
+	interval.Interval
+
+	Type Type
+	// Rank is the MPI rank that issued the operation this access
+	// belongs to. For the target side of a Put/Get this is still the
+	// origin rank: the target process did not issue any instruction.
+	Rank int
+	// Epoch numbers the passive-target epoch (LockAll..UnlockAll) the
+	// access was observed in. Accesses of different epochs never race.
+	Epoch uint64
+	// Stack marks accesses to stack-allocated buffers. The contribution
+	// and the legacy analyzer treat them like any other access; the
+	// MUST-RMA simulator ignores local accesses to stack buffers
+	// because ThreadSanitizer does not instrument stack arrays (§5.2).
+	Stack bool
+	// AccumOp is the reduction operation when Type is RMAAccum,
+	// AccumNone otherwise.
+	AccumOp AccumOp
+	Debug   Debug
+}
+
+// String renders the access in the paper's node notation, e.g.
+// "([2...12], RMA_Read)".
+func (a Access) String() string {
+	return fmt.Sprintf("(%s, %s)", a.Interval, a.Type)
+}
+
+// Conflicts reports whether two overlapping accesses form a data race
+// pattern regardless of ordering: at least one is an RMA access and at
+// least one is a write (§2.2). It does not check interval overlap.
+func Conflicts(a, b Type) bool {
+	return (a.IsRMA() || b.IsRMA()) && (a.IsWrite() || b.IsWrite())
+}
+
+// Races decides whether a stored access and a newly observed access of
+// the same window and epoch constitute a data race.
+//
+// The predicate is the paper's §2.2 condition — the intervals intersect,
+// at least one access is RMA, at least one is a write — restricted by
+// the §5.2 fix: when both accesses were issued by the same process and
+// the *earlier* one is local while the later one is RMA, program order
+// guarantees the local access completed before the one-sided operation
+// was initiated, so no race is possible (Load;MPI_Get is safe whereas
+// MPI_Get;Load is not).
+func Races(stored, incoming Access) bool {
+	if !stored.Intersects(incoming.Interval) {
+		return false
+	}
+	if stored.Epoch != incoming.Epoch {
+		return false
+	}
+	if !Conflicts(stored.Type, incoming.Type) {
+		return false
+	}
+	if stored.Rank == incoming.Rank && !stored.Type.IsRMA() && incoming.Type.IsRMA() {
+		return false // §5.2: local access ordered before the RMA call
+	}
+	if stored.Type == RMAAccum && incoming.Type == RMAAccum &&
+		stored.AccumOp == incoming.AccumOp {
+		// Element-wise atomicity: same-operation accumulates commute
+		// and never race, from any origins (§2.1 property 3).
+		return false
+	}
+	return true
+}
+
+// Combine implements Table 1 of the paper: given an access already in
+// the tree and a new access overlapping it (and already known not to
+// race), it yields the access type and identity the intersection
+// fragment keeps. RMA prevails over local, write over read; on equal
+// types the debug information of the most recent access is kept.
+func Combine(stored, incoming Access) Access {
+	out := incoming // the new access wins ties (most recent debug info)
+	if stored.Type.priority() > incoming.Type.priority() {
+		out = stored
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package access
+
+import (
+	"testing"
+
+	"rmarace/internal/interval"
+)
+
+func mk(lo, hi uint64, t Type, rank int) Access {
+	return Access{
+		Interval: interval.New(lo, hi),
+		Type:     t,
+		Rank:     rank,
+		Debug:    Debug{File: "test.c", Line: int(lo)},
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	cases := []struct {
+		t              Type
+		isRMA, isWrite bool
+		str            string
+	}{
+		{LocalRead, false, false, "Local_Read"},
+		{LocalWrite, false, true, "Local_Write"},
+		{RMARead, true, false, "RMA_Read"},
+		{RMAWrite, true, true, "RMA_Write"},
+	}
+	for _, c := range cases {
+		if c.t.IsRMA() != c.isRMA {
+			t.Errorf("%v.IsRMA() = %v", c.t, c.t.IsRMA())
+		}
+		if c.t.IsWrite() != c.isWrite {
+			t.Errorf("%v.IsWrite() = %v", c.t, c.t.IsWrite())
+		}
+		if c.t.String() != c.str {
+			t.Errorf("%v.String() = %q, want %q", c.t, c.t.String(), c.str)
+		}
+		if !c.t.Valid() {
+			t.Errorf("%v should be valid", c.t)
+		}
+	}
+	if Type(99).Valid() {
+		t.Error("Type(99) should be invalid")
+	}
+}
+
+func TestDebugString(t *testing.T) {
+	d := Debug{File: "./dspl.hpp", Line: 614}
+	if got := d.String(); got != "./dspl.hpp:614" {
+		t.Errorf("Debug.String() = %q", got)
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	a := mk(2, 12, RMARead, 0)
+	if got := a.String(); got != "([2...12], RMA_Read)" {
+		t.Errorf("Access.String() = %q", got)
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	// §2.2: at least one RMA and at least one write.
+	racy := [][2]Type{
+		{RMAWrite, RMAWrite}, {RMAWrite, RMARead}, {RMARead, RMAWrite},
+		{RMAWrite, LocalRead}, {LocalRead, RMAWrite},
+		{RMAWrite, LocalWrite}, {LocalWrite, RMAWrite},
+		{RMARead, LocalWrite}, {LocalWrite, RMARead},
+	}
+	safe := [][2]Type{
+		{RMARead, RMARead}, {RMARead, LocalRead}, {LocalRead, RMARead},
+		{LocalRead, LocalRead}, {LocalRead, LocalWrite},
+		{LocalWrite, LocalWrite}, {LocalWrite, LocalRead},
+	}
+	for _, p := range racy {
+		if !Conflicts(p[0], p[1]) {
+			t.Errorf("Conflicts(%v, %v) = false, want true", p[0], p[1])
+		}
+	}
+	for _, p := range safe {
+		if Conflicts(p[0], p[1]) {
+			t.Errorf("Conflicts(%v, %v) = true, want false", p[0], p[1])
+		}
+	}
+}
+
+func TestRacesRequiresOverlap(t *testing.T) {
+	a := mk(0, 3, RMAWrite, 0)
+	b := mk(4, 8, RMAWrite, 1)
+	if Races(a, b) {
+		t.Error("disjoint accesses cannot race")
+	}
+}
+
+func TestRacesRequiresSameEpoch(t *testing.T) {
+	a := mk(0, 8, RMAWrite, 0)
+	b := mk(4, 8, RMAWrite, 1)
+	b.Epoch = 1
+	if Races(a, b) {
+		t.Error("accesses in different epochs cannot race")
+	}
+}
+
+// TestRacesOrderSensitivity encodes the §5.2 fix validated by Table 2:
+// Load;MPI_Get on the same buffer by one process is safe, MPI_Get;Load
+// is a race.
+func TestRacesOrderSensitivity(t *testing.T) {
+	load := mk(0, 9, LocalRead, 0)
+	getWrite := mk(0, 9, RMAWrite, 0) // origin side of MPI_Get
+
+	if Races(load, getWrite) {
+		t.Error("ll_load_get (local before RMA, same rank) must be safe")
+	}
+	if !Races(getWrite, load) {
+		t.Error("ll_get_load (RMA before local, same rank) must race")
+	}
+}
+
+func TestRacesCrossRankIgnoresOrder(t *testing.T) {
+	// A local write by the target races with an incoming RMA write
+	// regardless of which was observed first: there is no program order
+	// between processes within an epoch.
+	store := mk(0, 9, LocalWrite, 1)
+	put := mk(0, 9, RMAWrite, 0)
+	if !Races(store, put) || !Races(put, store) {
+		t.Error("cross-rank conflicting accesses must race in both observation orders")
+	}
+}
+
+func TestRacesSameRankRMAThenRMA(t *testing.T) {
+	// Two one-sided operations of one origin writing the same buffer
+	// race: completion order within an epoch is undefined (§2.1).
+	g1 := mk(0, 9, RMAWrite, 0)
+	g2 := mk(0, 9, RMAWrite, 0)
+	if !Races(g1, g2) {
+		t.Error("two RMA writes from the same origin must race")
+	}
+}
+
+func TestRacesTwoReadsNever(t *testing.T) {
+	// ll_get_get_inwindow_origin_safe: the shared location is read by
+	// both operations.
+	r1 := mk(0, 9, RMARead, 0)
+	r2 := mk(0, 9, RMARead, 1)
+	if Races(r1, r2) {
+		t.Error("two reads never race")
+	}
+}
+
+// TestCombineTable1 checks every cell of Table 1 that is not a race.
+// Rows are the access already in the tree ("-1"), columns the new access
+// ("-2"); the expected value says whose type and debug info the
+// intersection fragment keeps.
+func TestCombineTable1(t *testing.T) {
+	old := func(tp Type) Access { return mk(0, 9, tp, 0) } // debug line 0
+	neu := func(tp Type) Access {
+		a := mk(0, 9, tp, 1)
+		a.Debug.Line = 99
+		return a
+	}
+	cases := []struct {
+		stored, incoming Type
+		wantType         Type
+		wantNew          bool // true: keeps the new access's debug info
+	}{
+		{LocalRead, LocalRead, LocalRead, true},    // Local_R-2
+		{LocalRead, LocalWrite, LocalWrite, true},  // Local_W-2
+		{LocalRead, RMARead, RMARead, true},        // RMA_R-2
+		{LocalRead, RMAWrite, RMAWrite, true},      // RMA_W-2
+		{LocalWrite, LocalRead, LocalWrite, false}, // Local_W-1
+		{LocalWrite, LocalWrite, LocalWrite, true}, // Local_W-2
+		{LocalWrite, RMARead, RMARead, true},       // RMA_R-2
+		{LocalWrite, RMAWrite, RMAWrite, true},     // RMA_W-2
+		{RMARead, LocalRead, RMARead, false},       // RMA_R-1
+		{RMARead, RMARead, RMARead, true},          // RMA_R-2
+	}
+	for _, c := range cases {
+		got := Combine(old(c.stored), neu(c.incoming))
+		if got.Type != c.wantType {
+			t.Errorf("Combine(%v, %v).Type = %v, want %v", c.stored, c.incoming, got.Type, c.wantType)
+		}
+		wantLine := 0
+		if c.wantNew {
+			wantLine = 99
+		}
+		if got.Debug.Line != wantLine {
+			t.Errorf("Combine(%v, %v) kept debug line %d, want %d", c.stored, c.incoming, got.Debug.Line, wantLine)
+		}
+	}
+}
+
+// TestCombineRaceCellsAreUnreachable documents that the x cells of
+// Table 1 are races between processes: Algorithm 1 reports them before
+// Combine ever runs. Same-rank instances of those cells that are NOT
+// races (the §5.2 safe orders) must still combine sensibly.
+func TestCombineRaceCellsSameRankSafeOrders(t *testing.T) {
+	// Local_W then RMA_W by the same rank (Store; MPI_Get into the same
+	// buffer) is safe and the fragment becomes the RMA write.
+	got := Combine(mk(0, 9, LocalWrite, 0), mk(0, 9, RMAWrite, 0))
+	if got.Type != RMAWrite {
+		t.Errorf("Combine(Local_W, RMA_W same rank) = %v, want RMA_Write", got.Type)
+	}
+}

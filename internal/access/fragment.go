@@ -1,0 +1,131 @@
+package access
+
+import "sort"
+
+// Fragment implements the fragmentation algorithm of §4.1 (Figure 6),
+// generalised from one stored access to the full set of stored accesses
+// intersecting the new access, as used by Algorithm 1 (step 3).
+//
+// stored must be the accesses currently in the tree whose intervals
+// intersect newAcc; they are required to be pairwise disjoint (which is
+// exactly the invariant fragmentation maintains). The result is a set of
+// pairwise disjoint fragments covering the union of all inputs:
+//
+//   - the parts of each stored access outside newAcc keep the stored
+//     access's type and debug information (l_frag and r_frag),
+//   - each intersection keeps the Table 1 combination
+//     (intersection_frag),
+//   - the parts of newAcc not covered by any stored access keep the new
+//     access's type and debug information.
+//
+// Fragment never reports races; Algorithm 1 checks for those before
+// fragmenting.
+func Fragment(stored []Access, newAcc Access) []Access {
+	if len(stored) == 0 {
+		return []Access{newAcc}
+	}
+
+	sorted := make([]Access, len(stored))
+	copy(sorted, stored)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Interval.Compare(sorted[j].Interval) < 0
+	})
+
+	frags := make([]Access, 0, 2*len(sorted)+1)
+	// cursor is the first address of newAcc not yet covered by an
+	// emitted fragment.
+	cursor := newAcc.Lo
+	exhausted := false // newAcc fully covered up to its Hi
+
+	for _, s := range sorted {
+		inter, ok := s.Intersection(newAcc.Interval)
+		if !ok {
+			// Callers pass only intersecting accesses; a disjoint one
+			// indicates a broken tree query, which we surface loudly.
+			panic("access: Fragment called with non-intersecting stored access " + s.String())
+		}
+
+		left, hasLeft, right, hasRight := s.Subtract(newAcc.Interval)
+		if hasLeft {
+			frag := s
+			frag.Interval = left
+			frags = append(frags, frag)
+		}
+
+		// Gap of newAcc before this stored access.
+		if inter.Lo > cursor {
+			frag := newAcc
+			frag.Interval.Lo = cursor
+			frag.Interval.Hi = inter.Lo - 1
+			frags = append(frags, frag)
+		}
+
+		// The intersection fragment, typed by Table 1.
+		frag := Combine(s, newAcc)
+		frag.Interval = inter
+		frags = append(frags, frag)
+
+		if hasRight {
+			frag := s
+			frag.Interval = right
+			frags = append(frags, frag)
+		}
+
+		if inter.Hi == newAcc.Hi {
+			exhausted = true
+		} else {
+			cursor = inter.Hi + 1
+		}
+	}
+
+	// Trailing part of newAcc not covered by any stored access.
+	if !exhausted && cursor <= newAcc.Hi {
+		frag := newAcc
+		frag.Interval.Lo = cursor
+		frags = append(frags, frag)
+	}
+
+	sort.Slice(frags, func(i, j int) bool {
+		return frags[i].Interval.Compare(frags[j].Interval) < 0
+	})
+	return frags
+}
+
+// Mergeable reports whether two accesses may be coalesced into one node:
+// they must be adjacent in memory and carry the same access type and
+// debug information (§4.2). Accesses with different debug information
+// refer to different instructions and "will not be fixed in the same
+// way", so they are kept apart even when otherwise identical. We
+// additionally require the same issuing rank and stack flag so a merged
+// node never blurs the §5.2 ordering decision or the MUST-RMA stack
+// modelling.
+func Mergeable(a, b Access) bool {
+	return a.Adjacent(b.Interval) &&
+		a.Type == b.Type &&
+		a.Debug == b.Debug &&
+		a.Rank == b.Rank &&
+		a.Epoch == b.Epoch &&
+		a.Stack == b.Stack &&
+		a.AccumOp == b.AccumOp
+}
+
+// Merge implements the merging algorithm of §4.2 (Figure 7): it walks
+// the fragments produced by Fragment and coalesces maximal runs of
+// mergeable accesses into single nodes. frags must be sorted by
+// interval (as Fragment returns them) and pairwise disjoint.
+func Merge(frags []Access) []Access {
+	if len(frags) <= 1 {
+		return frags
+	}
+	out := make([]Access, 0, len(frags))
+	cur := frags[0]
+	for _, f := range frags[1:] {
+		if Mergeable(cur, f) {
+			cur.Interval = cur.Union(f.Interval)
+			continue
+		}
+		out = append(out, cur)
+		cur = f
+	}
+	return append(out, cur)
+}

@@ -1,0 +1,358 @@
+package access
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rmarace/internal/interval"
+)
+
+func intervalsOf(as []Access) []interval.Interval {
+	out := make([]interval.Interval, len(as))
+	for i, a := range as {
+		out[i] = a.Interval
+	}
+	return out
+}
+
+func disjointSorted(as []Access) bool {
+	for i := 1; i < len(as); i++ {
+		if as[i-1].Interval.Compare(as[i].Interval) > 0 {
+			return false
+		}
+		if as[i-1].Intersects(as[i].Interval) {
+			return false
+		}
+	}
+	return true
+}
+
+// covered reports whether addr is covered by any access in as.
+func covered(as []Access, addr uint64) bool {
+	for _, a := range as {
+		if a.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFragmentPaperFigure5 reproduces the running example of §4.1:
+// after Load(4) the tree holds ([4], Local_Read); inserting the origin
+// side of MPI_Put(2,12) — an RMA_Read of [2...12] — must fragment into
+// [2...3], [4], [5...12], with [4] upgraded to RMA_Read (Table 1).
+func TestFragmentPaperFigure5(t *testing.T) {
+	loadAt4 := Access{Interval: interval.At(4), Type: LocalRead, Rank: 0, Debug: Debug{"code1.c", 1}}
+	put := Access{Interval: interval.New(2, 12), Type: RMARead, Rank: 0, Debug: Debug{"code1.c", 2}}
+
+	frags := Fragment([]Access{loadAt4}, put)
+	if len(frags) != 3 {
+		t.Fatalf("got %d fragments %v, want 3", len(frags), frags)
+	}
+	want := []struct {
+		iv interval.Interval
+		tp Type
+	}{
+		{interval.New(2, 3), RMARead},
+		{interval.At(4), RMARead}, // Local_Read upgraded by Table 1
+		{interval.New(5, 12), RMARead},
+	}
+	for i, w := range want {
+		if frags[i].Interval != w.iv || frags[i].Type != w.tp {
+			t.Errorf("fragment %d = %v, want (%v, %v)", i, frags[i], w.iv, w.tp)
+		}
+	}
+
+	// After merging, the three RMA_Read fragments have the same debug
+	// info only where Table 1 kept the new access's identity; [2...3]
+	// and [5...12] carry the Put's debug info, and so does [4], so all
+	// three coalesce into ([2...12], RMA_Read).
+	merged := Merge(frags)
+	if len(merged) != 1 || merged[0].Interval != interval.New(2, 12) || merged[0].Type != RMARead {
+		t.Fatalf("merged = %v, want single ([2...12], RMA_Read)", merged)
+	}
+}
+
+// TestFragmentKeepsDistinctDebugApart mirrors Figure 6: a new access of
+// a different type overlapping the middle of a stored one yields
+// l_frag and r_frag with the old identity and an intersection fragment
+// with the combined identity, and nothing merges.
+func TestFragmentKeepsDistinctDebugApart(t *testing.T) {
+	stored := Access{Interval: interval.New(0, 9), Type: LocalWrite, Rank: 0, Debug: Debug{"a.c", 1}}
+	neu := Access{Interval: interval.New(4, 6), Type: LocalRead, Rank: 0, Debug: Debug{"a.c", 2}}
+
+	frags := Fragment([]Access{stored}, neu)
+	if len(frags) != 3 {
+		t.Fatalf("got %v, want 3 fragments", frags)
+	}
+	if frags[0].Interval != interval.New(0, 3) || frags[0].Type != LocalWrite || frags[0].Debug.Line != 1 {
+		t.Errorf("l_frag = %+v", frags[0])
+	}
+	// Table 1: Local_W-1 + Local_R-2 keeps Local_W-1.
+	if frags[1].Interval != interval.New(4, 6) || frags[1].Type != LocalWrite || frags[1].Debug.Line != 1 {
+		t.Errorf("intersection_frag = %+v", frags[1])
+	}
+	if frags[2].Interval != interval.New(7, 9) || frags[2].Type != LocalWrite || frags[2].Debug.Line != 1 {
+		t.Errorf("r_frag = %+v", frags[2])
+	}
+
+	// All three fragments now share type and debug info, so the merge
+	// pass collapses them back into one node — fragmentation plus
+	// merging never bloats the tree when identities agree (§4.2).
+	merged := Merge(frags)
+	if len(merged) != 1 || merged[0].Interval != interval.New(0, 9) {
+		t.Fatalf("merged = %v", merged)
+	}
+}
+
+func TestFragmentGapsKeepNewIdentity(t *testing.T) {
+	// Stored: [0..2] and [8..9]; new access [0..9]. The gap [3..7] must
+	// carry the new access's identity.
+	s1 := Access{Interval: interval.New(0, 2), Type: RMARead, Rank: 0, Debug: Debug{"a.c", 1}}
+	s2 := Access{Interval: interval.New(8, 9), Type: RMARead, Rank: 0, Debug: Debug{"a.c", 1}}
+	neu := Access{Interval: interval.New(0, 9), Type: RMARead, Rank: 0, Debug: Debug{"a.c", 5}}
+
+	frags := Fragment([]Access{s2, s1}, neu) // deliberately unsorted input
+	if !disjointSorted(frags) {
+		t.Fatalf("fragments not disjoint/sorted: %v", frags)
+	}
+	for addr := uint64(0); addr <= 9; addr++ {
+		if !covered(frags, addr) {
+			t.Fatalf("address %d not covered by %v", addr, frags)
+		}
+	}
+	var gap *Access
+	for i := range frags {
+		if frags[i].Interval == interval.New(3, 7) {
+			gap = &frags[i]
+		}
+	}
+	if gap == nil || gap.Debug.Line != 5 {
+		t.Fatalf("gap fragment missing or wrong identity: %v", frags)
+	}
+}
+
+func TestFragmentNoStored(t *testing.T) {
+	neu := Access{Interval: interval.New(3, 5), Type: LocalWrite}
+	frags := Fragment(nil, neu)
+	if len(frags) != 1 || frags[0] != neu {
+		t.Fatalf("Fragment(nil, a) = %v", frags)
+	}
+}
+
+func TestFragmentPanicsOnDisjointStored(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fragment with a non-intersecting stored access must panic")
+		}
+	}()
+	stored := Access{Interval: interval.New(100, 200), Type: LocalRead}
+	neu := Access{Interval: interval.New(0, 9), Type: LocalRead}
+	Fragment([]Access{stored}, neu)
+}
+
+// TestMergePaperFigure7 reproduces Figure 7: three adjacent Type B
+// intervals merge into one while the Type A neighbour stays separate.
+func TestMergePaperFigure7(t *testing.T) {
+	typeA := Debug{"b.c", 1}
+	typeB := Debug{"b.c", 2}
+	frags := []Access{
+		{Interval: interval.New(0, 2), Type: LocalRead, Debug: typeA},
+		{Interval: interval.New(3, 4), Type: RMAWrite, Debug: typeB},
+		{Interval: interval.New(5, 6), Type: RMAWrite, Debug: typeB},
+		{Interval: interval.New(7, 9), Type: RMAWrite, Debug: typeB},
+	}
+	merged := Merge(frags)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %v, want 2 nodes", merged)
+	}
+	if merged[0].Interval != interval.New(0, 2) || merged[1].Interval != interval.New(3, 9) {
+		t.Fatalf("merged = %v", merged)
+	}
+}
+
+func TestMergeRespectsDebugInfo(t *testing.T) {
+	// Same type, adjacent, but different source lines: must NOT merge
+	// ("they will not be fixed in the same way", §4.2).
+	frags := []Access{
+		{Interval: interval.New(0, 4), Type: RMAWrite, Debug: Debug{"b.c", 1}},
+		{Interval: interval.New(5, 9), Type: RMAWrite, Debug: Debug{"b.c", 2}},
+	}
+	if merged := Merge(frags); len(merged) != 2 {
+		t.Fatalf("accesses with different debug info merged: %v", merged)
+	}
+}
+
+func TestMergeRespectsRank(t *testing.T) {
+	frags := []Access{
+		{Interval: interval.New(0, 4), Type: RMAWrite, Rank: 0, Debug: Debug{"b.c", 1}},
+		{Interval: interval.New(5, 9), Type: RMAWrite, Rank: 1, Debug: Debug{"b.c", 1}},
+	}
+	if merged := Merge(frags); len(merged) != 2 {
+		t.Fatalf("accesses of different ranks merged: %v", merged)
+	}
+}
+
+func TestMergeDoesNotBridgeGaps(t *testing.T) {
+	frags := []Access{
+		{Interval: interval.New(0, 4), Type: RMAWrite, Debug: Debug{"b.c", 1}},
+		{Interval: interval.New(6, 9), Type: RMAWrite, Debug: Debug{"b.c", 1}},
+	}
+	if merged := Merge(frags); len(merged) != 2 {
+		t.Fatalf("non-adjacent accesses merged: %v", merged)
+	}
+}
+
+func TestMergeEmptyAndSingle(t *testing.T) {
+	if got := Merge(nil); len(got) != 0 {
+		t.Errorf("Merge(nil) = %v", got)
+	}
+	one := []Access{{Interval: interval.At(3), Type: LocalRead}}
+	if got := Merge(one); len(got) != 1 || got[0] != one[0] {
+		t.Errorf("Merge(single) = %v", got)
+	}
+}
+
+// TestCode2LoopMerging reproduces Code 2 (Fig. 8b) at the fragment
+// level: 1,000 adjacent one-byte RMA writes from the same Get call site
+// collapse into a single node.
+func TestCode2LoopMerging(t *testing.T) {
+	var state []Access
+	dbg := Debug{"code2.c", 3}
+	for i := 0; i < 1000; i++ {
+		neu := Access{Interval: interval.At(uint64(i)), Type: RMAWrite, Rank: 0, Debug: dbg}
+		var inter []Access
+		var rest []Access
+		for _, s := range state {
+			if s.Intersects(neu.Interval) {
+				inter = append(inter, s)
+			} else {
+				rest = append(rest, s)
+			}
+		}
+		state = append(rest, Merge(Fragment(inter, neu))...)
+		sort.Slice(state, func(a, b int) bool { return state[a].Interval.Compare(state[b].Interval) < 0 })
+		// Re-merge across the boundary with the previous node, as the
+		// tree-level insertion does by querying an enlarged interval.
+		state = Merge(state)
+	}
+	if len(state) != 1 {
+		t.Fatalf("after 1000 adjacent writes state has %d nodes, want 1", len(state))
+	}
+	if state[0].Interval != interval.New(0, 999) {
+		t.Fatalf("merged interval = %v", state[0].Interval)
+	}
+}
+
+type fragInput struct {
+	stored []Access
+	neu    Access
+}
+
+// genFragInput builds a random valid Fragment input: a set of disjoint
+// stored accesses all intersecting a random new access.
+func genFragInput(r *rand.Rand) fragInput {
+	neuLo := uint64(r.Intn(50))
+	neuLen := uint64(r.Intn(40) + 1)
+	neu := Access{
+		Interval: interval.Span(neuLo, neuLen),
+		Type:     Type(r.Intn(4)),
+		Rank:     r.Intn(3),
+		Debug:    Debug{"q.c", r.Intn(4)},
+	}
+	var stored []Access
+	cursor := uint64(0)
+	for cursor < neuLo+neuLen+10 {
+		gap := uint64(r.Intn(3))
+		length := uint64(r.Intn(6) + 1)
+		iv := interval.Span(cursor+gap, length)
+		cursor = iv.Hi + 1
+		if !iv.Intersects(neu.Interval) {
+			continue
+		}
+		stored = append(stored, Access{
+			Interval: iv,
+			Type:     Type(r.Intn(4)),
+			Rank:     r.Intn(3),
+			Debug:    Debug{"q.c", r.Intn(4)},
+		})
+	}
+	return fragInput{stored: stored, neu: neu}
+}
+
+func TestQuickFragmentDisjointAndCovering(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := genFragInput(r)
+		frags := Fragment(in.stored, in.neu)
+		if !disjointSorted(frags) {
+			return false
+		}
+		// Every address of every input is covered by exactly one
+		// fragment, and no fragment covers an address outside the
+		// inputs.
+		inputs := append(append([]Access{}, in.stored...), in.neu)
+		lo, hi := in.neu.Lo, in.neu.Hi
+		for _, s := range in.stored {
+			if s.Lo < lo {
+				lo = s.Lo
+			}
+			if s.Hi > hi {
+				hi = s.Hi
+			}
+		}
+		for addr := lo; addr <= hi; addr++ {
+			if covered(inputs, addr) != covered(frags, addr) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 300; i++ {
+		if !f() {
+			t.Fatalf("fragment property violated at iteration %d", i)
+		}
+	}
+}
+
+func TestQuickMergePreservesCoverageAndTypes(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		in := genFragInput(r)
+		frags := Fragment(in.stored, in.neu)
+		merged := Merge(frags)
+		if !disjointSorted(merged) {
+			t.Fatalf("merge broke disjointness: %v", merged)
+		}
+		// Merging must not change which addresses are covered or the
+		// type observed at any address.
+		typeAt := func(as []Access, addr uint64) (Type, bool) {
+			for _, a := range as {
+				if a.Contains(addr) {
+					return a.Type, true
+				}
+			}
+			return 0, false
+		}
+		lo, hi := in.neu.Lo, in.neu.Hi+5
+		for addr := lo; addr <= hi; addr++ {
+			t1, ok1 := typeAt(frags, addr)
+			t2, ok2 := typeAt(merged, addr)
+			if ok1 != ok2 || (ok1 && t1 != t2) {
+				t.Fatalf("merge changed coverage/type at %d (iteration %d)", addr, i)
+			}
+		}
+		// Merge is idempotent.
+		again := Merge(merged)
+		if len(again) != len(merged) {
+			t.Fatalf("merge not idempotent: %d -> %d nodes", len(merged), len(again))
+		}
+		// No two neighbours of the result are mergeable.
+		for j := 1; j < len(merged); j++ {
+			if Mergeable(merged[j-1], merged[j]) {
+				t.Fatalf("result still contains mergeable neighbours: %v", merged)
+			}
+		}
+	}
+}

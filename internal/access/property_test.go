@@ -1,0 +1,112 @@
+package access
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rmarace/internal/interval"
+)
+
+func randomAccess(r *rand.Rand) Access {
+	lo := uint64(r.Intn(100))
+	tp := Type(r.Intn(5))
+	a := Access{
+		Interval: interval.Span(lo, uint64(r.Intn(10)+1)),
+		Type:     tp,
+		Rank:     r.Intn(3),
+		Epoch:    uint64(r.Intn(2)),
+		Stack:    r.Intn(2) == 0,
+		Debug:    Debug{File: "p.c", Line: r.Intn(4)},
+	}
+	if tp == RMAAccum {
+		a.AccumOp = AccumOp(r.Intn(5) + 1)
+	}
+	return a
+}
+
+// TestQuickRacesRequiresConflict: every reported race must satisfy the
+// §2.2 base condition (overlap, ≥1 RMA, ≥1 write, same epoch).
+func TestQuickRacesRequiresConflict(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 5000; i++ {
+		a, b := randomAccess(r), randomAccess(r)
+		if !Races(a, b) {
+			continue
+		}
+		if !a.Intersects(b.Interval) {
+			t.Fatalf("race without overlap: %v vs %v", a, b)
+		}
+		if a.Epoch != b.Epoch {
+			t.Fatalf("race across epochs: %v vs %v", a, b)
+		}
+		if !Conflicts(a.Type, b.Type) {
+			t.Fatalf("race without conflict: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestQuickRacesCrossRankSymmetric: between different ranks the
+// predicate ignores observation order, except for accumulate pairs
+// (handled identically in both directions).
+func TestQuickRacesCrossRankSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 5000; i++ {
+		a, b := randomAccess(r), randomAccess(r)
+		if a.Rank == b.Rank {
+			continue
+		}
+		// The §5.2 order exemption only applies within one rank, so for
+		// cross-rank pairs with no local access the verdict must be
+		// symmetric.
+		if a.Type.IsRMA() && b.Type.IsRMA() {
+			if Races(a, b) != Races(b, a) {
+				t.Fatalf("cross-rank RMA verdict asymmetric: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+// TestQuickCombineKeepsDominantType: the combined fragment's type never
+// has lower priority than either input.
+func TestQuickCombineKeepsDominantType(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for i := 0; i < 5000; i++ {
+		a, b := randomAccess(r), randomAccess(r)
+		got := Combine(a, b)
+		if got.Type.priority() < a.Type.priority() || got.Type.priority() < b.Type.priority() {
+			t.Fatalf("Combine(%v, %v) = %v lost dominance", a.Type, b.Type, got.Type)
+		}
+		if got.Type != a.Type && got.Type != b.Type {
+			t.Fatalf("Combine invented type %v from %v, %v", got.Type, a.Type, b.Type)
+		}
+	}
+}
+
+// TestQuickMergeableSymmetric: adjacency and identity equality are both
+// symmetric, so Mergeable must be too.
+func TestQuickMergeableSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for i := 0; i < 5000; i++ {
+		a, b := randomAccess(r), randomAccess(r)
+		if Mergeable(a, b) != Mergeable(b, a) {
+			t.Fatalf("Mergeable asymmetric for %v, %v", a, b)
+		}
+		if Mergeable(a, b) && a.Intersects(b.Interval) {
+			t.Fatalf("mergeable accesses overlap: %v, %v", a, b)
+		}
+	}
+}
+
+// TestQuickConflictsMatrixClosed: Conflicts agrees with the IsRMA/IsWrite
+// characterisation for every pair.
+func TestQuickConflictsMatrixClosed(t *testing.T) {
+	f := func(x, y uint8) bool {
+		a, b := Type(x%5), Type(y%5)
+		want := (a.IsRMA() || b.IsRMA()) && (a.IsWrite() || b.IsWrite())
+		return Conflicts(a, b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

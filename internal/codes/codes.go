@@ -1,0 +1,227 @@
+// Package codes contains the paper's example programs as reusable SPMD
+// bodies, each with its published per-tool verdicts: the data-race
+// illustrations of Fig. 2, the false-negative Code 1 and loop Code 2 of
+// Fig. 8, and the duplicated MPI_Put of Fig. 9 (Code 3). They are the
+// canonical demos of the reproduction — used by the CLI, the examples
+// and the regression tests.
+package codes
+
+import (
+	"rmarace/internal/access"
+	"rmarace/internal/detector"
+	"rmarace/internal/mpi"
+	"rmarace/internal/rma"
+)
+
+// Program is one of the paper's example codes.
+type Program struct {
+	// Name identifies the program ("code1", "fig2b", ...).
+	Name string
+	// Paper cites the figure or listing it reproduces.
+	Paper string
+	// Ranks is the world size it needs.
+	Ranks int
+	// Racy is the ground truth.
+	Racy bool
+	// Expected verdicts: whether each tool reports an error.
+	ExpectLegacy, ExpectMust, ExpectOurs bool
+	// Body is the per-rank program.
+	Body func(p *rma.Proc) error
+}
+
+func dbg(file string, line int) access.Debug { return access.Debug{File: file, Line: line} }
+
+// Fig2a is the origin-side race of Figure 2a: an MPI_Get writes buf
+// asynchronously while a Load reads it.
+func Fig2a() Program {
+	return Program{
+		Name: "fig2a", Paper: "Figure 2a", Ranks: 2, Racy: true,
+		ExpectLegacy: true, ExpectMust: true, ExpectOurs: true,
+		Body: func(p *rma.Proc) error {
+			w, err := p.WinCreate("X", 64)
+			if err != nil {
+				return err
+			}
+			if err := w.LockAll(); err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				buf := p.Alloc("buf", 16) // heap: MUST sees the Load
+				if err := w.Get(buf, 0, 1, 0, 8, dbg("fig2a.c", 5)); err != nil {
+					return err
+				}
+				if _, err := buf.Load(0, 8, dbg("fig2a.c", 6)); err != nil {
+					return err
+				}
+			}
+			return w.UnlockAll()
+		},
+	}
+}
+
+// Fig2b is the two-process race of Figure 2b: both processes Get each
+// other's window into their own window, on overlapping ranges.
+func Fig2b() Program {
+	return Program{
+		Name: "fig2b", Paper: "Figure 2b", Ranks: 2, Racy: true,
+		ExpectLegacy: true, ExpectMust: true, ExpectOurs: true,
+		Body: func(p *rma.Proc) error {
+			w, err := p.WinCreate("X", 64)
+			if err != nil {
+				return err
+			}
+			if err := w.LockAll(); err != nil {
+				return err
+			}
+			// Each rank reads the peer's window location into its own
+			// window at the same offset: RMA_Write (local window) vs
+			// the incoming RMA_Read of the peer's Get.
+			peer := 1 - p.Rank()
+			if err := w.Get(w.Buffer(), 0, peer, 0, 8, dbg("fig2b.c", 7+p.Rank())); err != nil {
+				return err
+			}
+			return w.UnlockAll()
+		},
+	}
+}
+
+// Code1 is Fig. 8a: Load(buf[4]); MPI_Put(buf[2],10); Store(buf[7]).
+// The legacy analyzer misses the race (Fig. 5a); the contribution
+// catches it.
+func Code1() Program {
+	return Program{
+		Name: "code1", Paper: "Figure 8a / Code 1", Ranks: 2, Racy: true,
+		ExpectLegacy: false, ExpectMust: true, ExpectOurs: true,
+		Body: func(p *rma.Proc) error {
+			w, err := p.WinCreate("X", 64)
+			if err != nil {
+				return err
+			}
+			if err := w.LockAll(); err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				buf := p.Alloc("buf", 32)
+				if _, err := buf.Load(4, 1, dbg("code1.c", 4)); err != nil {
+					return err
+				}
+				if err := w.Put(1, 0, buf, 2, 10, dbg("code1.c", 5)); err != nil {
+					return err
+				}
+				if err := buf.Store(7, []byte{0xd2}, dbg("code1.c", 6)); err != nil {
+					return err
+				}
+			}
+			return w.UnlockAll()
+		},
+	}
+}
+
+// Code2 is Fig. 8b: 1,000 one-byte MPI_Gets at adjacent addresses in a
+// loop, plus a final overlapping Get of buf[0] — the node-explosion
+// workload the merging algorithm collapses. The program is safe only
+// because every Get reads the same remote location; the final
+// Get(buf[0]) overlaps the first destination and is the race the paper
+// stops short of (we keep the loop safe by bounding it).
+func Code2() Program {
+	return Program{
+		Name: "code2", Paper: "Figure 8b / Code 2", Ranks: 2, Racy: true,
+		ExpectLegacy: true, ExpectMust: true, ExpectOurs: true,
+		Body: func(p *rma.Proc) error {
+			w, err := p.WinCreate("X", 64)
+			if err != nil {
+				return err
+			}
+			if err := w.LockAll(); err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				buf := p.Alloc("buf", 1024)
+				for i := 0; i < 1000; i++ {
+					if err := w.Get(buf, i, 1, 0, 1, dbg("code2.c", 4)); err != nil {
+						return err
+					}
+				}
+				// Get(buf[0], 1, X): overlaps the first destination —
+				// two RMA writes to buf[0].
+				if err := w.Get(buf, 0, 1, 0, 1, dbg("code2.c", 6)); err != nil {
+					return err
+				}
+			}
+			return w.UnlockAll()
+		},
+	}
+}
+
+// Code3 is Fig. 9: the duplicated MPI_Put of the MiniVite experiment,
+// reduced to its essence.
+func Code3() Program {
+	return Program{
+		Name: "code3", Paper: "Figure 9 / Code 3", Ranks: 2, Racy: true,
+		ExpectLegacy: true, ExpectMust: true, ExpectOurs: true,
+		Body: func(p *rma.Proc) error {
+			w, err := p.WinCreate("commwin", 64)
+			if err != nil {
+				return err
+			}
+			if err := w.LockAll(); err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				scdata := p.Alloc("scdata", 16)
+				if err := w.Put(1, 0, scdata, 0, 8, dbg("./dspl.hpp", 612)); err != nil {
+					return err
+				}
+				if err := w.Put(1, 0, scdata, 0, 8, dbg("./dspl.hpp", 614)); err != nil {
+					return err
+				}
+			}
+			return w.UnlockAll()
+		},
+	}
+}
+
+// LoadThenGet is the safe order the legacy analyzer misreports
+// (ll_load_get_inwindow_origin_safe, Table 2).
+func LoadThenGet() Program {
+	return Program{
+		Name: "load_then_get", Paper: "Table 2 (ll_load_get_inwindow_origin_safe)", Ranks: 2, Racy: false,
+		ExpectLegacy: true, ExpectMust: false, ExpectOurs: false,
+		Body: func(p *rma.Proc) error {
+			w, err := p.WinCreate("X", 64)
+			if err != nil {
+				return err
+			}
+			if err := w.LockAll(); err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				if _, err := w.Buffer().Load(0, 8, dbg("safe.c", 3)); err != nil {
+					return err
+				}
+				if err := w.Get(w.Buffer(), 0, 1, 0, 8, dbg("safe.c", 4)); err != nil {
+					return err
+				}
+			}
+			return w.UnlockAll()
+		},
+	}
+}
+
+// All returns every example program.
+func All() []Program {
+	return []Program{Fig2a(), Fig2b(), Code1(), Code2(), Code3(), LoadThenGet()}
+}
+
+// Run executes the program under the given method and reports whether a
+// race was detected.
+func (pr Program) Run(method detector.Method) (bool, *detector.Race, error) {
+	world := mpi.NewWorld(pr.Ranks)
+	session := rma.NewSession(world, rma.Config{Method: method})
+	err := world.Run(func(mp *mpi.Proc) error { return pr.Body(session.Proc(mp)) })
+	session.Close()
+	if r := session.Race(); r != nil {
+		return true, r, nil
+	}
+	return false, nil, err
+}

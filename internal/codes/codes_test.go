@@ -1,0 +1,83 @@
+package codes
+
+import (
+	"strings"
+	"testing"
+
+	"rmarace/internal/detector"
+)
+
+// TestPublishedVerdicts runs every example program under the three
+// tools and checks the published verdicts hold.
+func TestPublishedVerdicts(t *testing.T) {
+	for _, pr := range All() {
+		expects := []struct {
+			method detector.Method
+			want   bool
+		}{
+			{detector.RMAAnalyzer, pr.ExpectLegacy},
+			{detector.MustRMAMethod, pr.ExpectMust},
+			{detector.OurContribution, pr.ExpectOurs},
+		}
+		for _, e := range expects {
+			detected, _, err := pr.Run(e.method)
+			if err != nil {
+				t.Fatalf("%s under %v: %v", pr.Name, e.method, err)
+			}
+			if detected != e.want {
+				t.Errorf("%s (%s) under %v: detected=%v, want %v",
+					pr.Name, pr.Paper, e.method, detected, e.want)
+			}
+		}
+	}
+}
+
+// TestGroundTruthConsistency: the contribution's verdict must equal the
+// ground truth on every example (0 FP / 0 FN).
+func TestGroundTruthConsistency(t *testing.T) {
+	for _, pr := range All() {
+		if pr.ExpectOurs != pr.Racy {
+			t.Errorf("%s: contribution verdict %v differs from ground truth %v", pr.Name, pr.ExpectOurs, pr.Racy)
+		}
+	}
+}
+
+// TestCode3ReportMatchesFigure9 checks the exact error text.
+func TestCode3ReportMatchesFigure9(t *testing.T) {
+	detected, race, err := Code3().Run(detector.OurContribution)
+	if err != nil || !detected {
+		t.Fatalf("code3: detected=%v err=%v", detected, err)
+	}
+	msg := race.Message()
+	want := "Error when inserting memory access of type RMA_WRITE from file ./dspl.hpp:614 " +
+		"with already inserted interval of type RMA_WRITE from file ./dspl.hpp:612. " +
+		"The program will be exiting now with MPI_Abort."
+	if msg != want {
+		t.Errorf("message =\n%q\nwant\n%q", msg, want)
+	}
+}
+
+// TestBaselineSilent: the baseline never reports.
+func TestBaselineSilent(t *testing.T) {
+	for _, pr := range All() {
+		detected, _, err := pr.Run(detector.Baseline)
+		if err != nil {
+			t.Fatalf("%s: %v", pr.Name, err)
+		}
+		if detected {
+			t.Errorf("%s: baseline detected a race", pr.Name)
+		}
+	}
+}
+
+// TestNamesAndPapers: every program names its paper source.
+func TestNamesAndPapers(t *testing.T) {
+	for _, pr := range All() {
+		if pr.Name == "" || pr.Paper == "" || pr.Ranks < 2 {
+			t.Errorf("underspecified program: %+v", pr)
+		}
+		if !strings.Contains(pr.Paper, "Figure") && !strings.Contains(pr.Paper, "Table") {
+			t.Errorf("%s: paper reference %q", pr.Name, pr.Paper)
+		}
+	}
+}

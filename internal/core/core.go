@@ -1,0 +1,262 @@
+// Package core implements the paper's contribution: the new insertion
+// algorithm for RMA-Analyzer's memory-access BST (Algorithm 1), built
+// from the fragmentation algorithm of §4.1 and the merging algorithm of
+// §4.2 over the balanced interval tree of package itree.
+//
+// Given a new access, the analyzer
+//
+//  1. checks it against every stored intersecting access with the
+//     order-sensitive race predicate (data_race_detection),
+//  2. retrieves the intersecting accesses (get_intersecting_accesses),
+//  3. fragments them into disjoint pieces typed by Table 1
+//     (fragment_accesses),
+//  4. merges adjacent pieces with equal type and debug information
+//     (merge_accesses), and
+//  5. replaces the old accesses by the merged ones (finish_insertion).
+//
+// Because the stored intervals are kept pairwise disjoint, the stabbing
+// query finds every intersection — eliminating the legacy false
+// negatives — and merging keeps the tree small — eliminating the legacy
+// node blow-up. All operations are logarithmic in the tree size.
+package core
+
+import (
+	"rmarace/internal/access"
+	"rmarace/internal/detector"
+	"rmarace/internal/itree"
+	"rmarace/internal/strided"
+)
+
+// Analyzer is the contribution's per-(process, window) analysis state.
+// It implements detector.Analyzer. The zero value is ready to use.
+type Analyzer struct {
+	tree        itree.Tree
+	accesses    uint64
+	maxNodes    int
+	flushClears bool
+	noMerge     bool
+	// Strided-merging extension state (WithStridedMerging): finalised
+	// regular sections plus the per-stream open runs.
+	stridedOn bool
+	sections  []strided.Section
+	open      map[runKey]*runState
+	// scratch is the reusable intersection buffer of Access; the
+	// analyzer is single-owner so reuse is safe.
+	scratch []access.Access
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer)
+
+// WithUnsafeFlushClear makes MPI_Win_flush drop the calling rank's
+// stored accesses. The paper shows this is unsound (§6(2)): the target
+// cannot know in which order remote accesses from other processes
+// complete, so clearing on flush hides races. It exists as an ablation.
+func WithUnsafeFlushClear() Option {
+	return func(a *Analyzer) { a.flushClears = true }
+}
+
+// WithoutMerging disables the §4.2 merging pass, leaving fragmentation
+// only. This is the ablation of the paper's node-explosion warning:
+// "each new access possibly increases the nodes in the BST by two",
+// so the tree grows instead of shrinking.
+func WithoutMerging() Option {
+	return func(a *Analyzer) { a.noMerge = true }
+}
+
+// New returns a fresh analyzer for one window.
+func New(opts ...Option) *Analyzer {
+	a := &Analyzer{}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Name implements detector.Analyzer.
+func (*Analyzer) Name() string { return "our-contribution" }
+
+// Access implements detector.Analyzer with Algorithm 1. In strided
+// mode (WithStridedMerging) the access is first checked against the
+// compressed regular sections and, when it continues a strided run,
+// absorbed into one instead of the tree.
+func (z *Analyzer) Access(ev detector.Event) *detector.Race {
+	if ev.Filtered {
+		return nil // removed by the compile-time alias analysis
+	}
+	z.accesses++
+	if !z.stridedOn {
+		return z.insert(ev.Acc, true)
+	}
+	a := ev.Acc
+	if race := z.sectionRace(a); race != nil {
+		return race
+	}
+	if race := z.treeRace(a); race != nil {
+		return race
+	}
+	if z.tryStride(a) {
+		z.bumpMaxNodes()
+		return nil
+	}
+	race := z.insert(a, false) // already race-checked above
+	z.bumpMaxNodes()
+	return race
+}
+
+// insert runs steps (1)-(5) of Algorithm 1 for one access. raceCheck
+// false skips step (1) for accesses that were already validated (the
+// strided path and re-materialised section elements).
+func (z *Analyzer) insert(a access.Access, raceCheck bool) *detector.Race {
+	// One stabbing query, widened by one address on each side, yields
+	// both the intersecting accesses (for the race check and
+	// fragmentation) and the at most two boundary neighbours merging
+	// may coalesce with (e.g. the adjacent one-byte Gets of Code 2).
+	// Disjointness guarantees a neighbour touching a.Lo-1 ends exactly
+	// there.
+	inter := z.scratch[:0]
+	left, right, hasLeft, hasRight := z.tree.StabNeighbors(a.Interval, &inter)
+	z.scratch = inter[:0]
+	var leftNb, rightNb *access.Access
+	if hasLeft {
+		leftNb = &left
+	}
+	if hasRight {
+		rightNb = &right
+	}
+
+	// (1) data_race_detection: the disjointness invariant guarantees
+	// every stored access overlapping a was visited.
+	if raceCheck {
+		for _, s := range inter {
+			if access.Races(s, a) {
+				return &detector.Race{Prev: s, Cur: a}
+			}
+		}
+	}
+
+	// Fast path: nothing overlaps — insert the access, extending it in
+	// place over boundary neighbours it merges with. This is the hot
+	// loop of adjacent exchanges (CFD-Proxy, Code 2) and allocates
+	// nothing beyond the tree node.
+	if len(inter) == 0 {
+		mergeL := !z.noMerge && leftNb != nil && access.Mergeable(*leftNb, a)
+		mergeR := !z.noMerge && rightNb != nil && access.Mergeable(a, *rightNb)
+		switch {
+		case mergeL && mergeR:
+			z.tree.Delete(rightNb.Interval)
+			z.tree.ExtendHi(leftNb.Interval, rightNb.Hi)
+		case mergeL:
+			z.tree.ExtendHi(leftNb.Interval, a.Hi)
+		case mergeR:
+			z.tree.ExtendLo(rightNb.Interval, a.Lo)
+		default:
+			z.tree.Insert(a)
+		}
+		z.bumpMaxNodes()
+		return nil
+	}
+
+	// (2)-(4) fragment and merge, pulling in the boundary neighbours
+	// only when they can actually coalesce with the edge fragments.
+	frags := access.Fragment(inter, a)
+	deletions := make([]access.Access, len(inter), len(inter)+2)
+	copy(deletions, inter)
+	merged := frags
+	if !z.noMerge {
+		if leftNb != nil && access.Mergeable(*leftNb, frags[0]) {
+			frags = append([]access.Access{*leftNb}, frags...)
+			deletions = append(deletions, *leftNb)
+		}
+		if rightNb != nil && access.Mergeable(frags[len(frags)-1], *rightNb) {
+			frags = append(frags, *rightNb)
+			deletions = append(deletions, *rightNb)
+		}
+		merged = access.Merge(frags)
+	}
+
+	// (5) finish_insertion: replace the old accesses by the new ones.
+	for _, d := range deletions {
+		z.tree.Delete(d.Interval)
+	}
+	for _, m := range merged {
+		z.tree.Insert(m)
+	}
+	z.bumpMaxNodes()
+	return nil
+}
+
+// EpochEnd implements detector.Analyzer: accesses of a completed epoch
+// cannot race with later ones, so the tree (and, in strided mode, the
+// sections) are emptied.
+func (z *Analyzer) EpochEnd() {
+	z.tree.Clear()
+	if z.stridedOn {
+		z.sections = z.sections[:0]
+		z.open = make(map[runKey]*runState)
+	}
+}
+
+// Flush implements detector.Analyzer. By default it is a no-op,
+// following §6(2); with WithUnsafeFlushClear it drops the calling
+// rank's accesses, reproducing the false-negative hazard.
+func (z *Analyzer) Flush(rank int) {
+	if !z.flushClears {
+		return
+	}
+	z.Release(rank)
+}
+
+// Release implements detector.Analyzer: the rank's accesses are retired
+// because an exclusive unlock orders them before everything that
+// follows.
+func (z *Analyzer) Release(rank int) {
+	var doomed []access.Access
+	z.tree.InOrder(func(a access.Access) bool {
+		if a.Rank == rank {
+			doomed = append(doomed, a)
+		}
+		return true
+	})
+	for _, d := range doomed {
+		z.tree.Delete(d.Interval)
+	}
+	if z.stridedOn {
+		kept := z.sections[:0]
+		for _, s := range z.sections {
+			if s.Acc.Rank != rank {
+				kept = append(kept, s)
+			}
+		}
+		z.sections = kept
+		for k, rs := range z.open {
+			if k.rank == rank {
+				delete(z.open, k)
+			} else {
+				_ = rs
+			}
+		}
+	}
+}
+
+// Nodes implements detector.Analyzer (the Table 4 metric). In strided
+// mode each regular section counts as one node.
+func (z *Analyzer) Nodes() int { return z.tree.Len() + z.sectionCount() }
+
+func (z *Analyzer) bumpMaxNodes() {
+	if n := z.Nodes(); n > z.maxNodes {
+		z.maxNodes = n
+	}
+}
+
+// MaxNodes implements detector.Analyzer.
+func (z *Analyzer) MaxNodes() int { return z.maxNodes }
+
+// Accesses implements detector.Analyzer.
+func (z *Analyzer) Accesses() uint64 { return z.accesses }
+
+// Items returns the stored accesses in ascending interval order, for
+// inspection and testing (the BSTs drawn in Fig. 5).
+func (z *Analyzer) Items() []access.Access { return z.tree.Items() }
+
+var _ detector.Analyzer = (*Analyzer)(nil)

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/detector"
+	"rmarace/internal/interval"
+)
+
+func ev(lo, hi uint64, t access.Type, rank int, time uint64) detector.Event {
+	return detector.Event{
+		Acc: access.Access{
+			Interval: interval.New(lo, hi),
+			Type:     t,
+			Rank:     rank,
+			Debug:    access.Debug{File: "test.c", Line: int(time)},
+		},
+		Time:     time,
+		CallTime: time,
+	}
+}
+
+// TestCode1RaceDetected is the headline accuracy fix (Fig. 5b): the
+// contribution catches the Code 1 race the legacy tool misses.
+func TestCode1RaceDetected(t *testing.T) {
+	z := New()
+	if r := z.Access(ev(4, 4, access.LocalRead, 0, 1)); r != nil {
+		t.Fatal(r)
+	}
+	if r := z.Access(ev(2, 12, access.RMARead, 0, 2)); r != nil {
+		t.Fatal(r)
+	}
+	r := z.Access(ev(7, 7, access.LocalWrite, 0, 3))
+	if r == nil {
+		t.Fatal("Code 1 race missed")
+	}
+	if r.Prev.Type != access.RMARead || r.Cur.Type != access.LocalWrite {
+		t.Fatalf("race endpoints wrong: %v", r)
+	}
+}
+
+// TestCode1TreeShape checks the BST of Fig. 5b after the first two
+// instructions: [2...3], [4], [5...12], all RMA_Read. Because all three
+// fragments carry the Put's debug info they merge back to one node —
+// the tree-level effect of fragmentation plus merging.
+func TestCode1TreeShape(t *testing.T) {
+	z := New()
+	z.Access(ev(4, 4, access.LocalRead, 0, 1))
+	z.Access(ev(2, 12, access.RMARead, 0, 2))
+	items := z.Items()
+	if len(items) != 1 || items[0].Interval != interval.New(2, 12) || items[0].Type != access.RMARead {
+		t.Fatalf("tree after Put = %v, want single ([2...12], RMA_Read)", items)
+	}
+}
+
+// TestFragmentsStayApartWithDistinctDebug mirrors Fig. 5b exactly when
+// the overlapped fragment keeps a *different* identity: a Local_Write
+// stored under an RMA_Read window would stay split. Here we overlap a
+// Local_Read with a Local_Write to avoid a race and check the split.
+func TestFragmentsStayApartWithDistinctDebug(t *testing.T) {
+	z := New()
+	z.Access(ev(0, 9, access.LocalWrite, 0, 1))
+	z.Access(ev(4, 6, access.LocalRead, 0, 2)) // safe: no RMA involved
+	items := z.Items()
+	// Table 1 keeps Local_W-1 for the intersection, so everything
+	// re-merges into the original write.
+	if len(items) != 1 || items[0].Interval != interval.New(0, 9) || items[0].Type != access.LocalWrite {
+		t.Fatalf("items = %v", items)
+	}
+}
+
+func TestOrderSensitivity(t *testing.T) {
+	// ll_load_get_inwindow_origin_safe: no false positive.
+	z := New()
+	if r := z.Access(ev(0, 9, access.LocalRead, 0, 1)); r != nil {
+		t.Fatal(r)
+	}
+	if r := z.Access(ev(0, 9, access.RMAWrite, 0, 2)); r != nil {
+		t.Fatalf("safe Load;MPI_Get flagged: %v", r)
+	}
+	// ll_get_load_inwindow_origin_race: detected.
+	z2 := New()
+	z2.Access(ev(0, 9, access.RMAWrite, 0, 1))
+	if r := z2.Access(ev(0, 9, access.LocalRead, 0, 2)); r == nil {
+		t.Fatal("MPI_Get;Load race missed")
+	}
+}
+
+// TestCode2NodeCounts reproduces Fig. 8b at the analyzer level: the
+// 1,000-iteration Get loop ends with a two-node tree (one for the loop
+// variable, one for all merged Gets) versus ≈5,002 for legacy.
+func TestCode2NodeCounts(t *testing.T) {
+	z := New()
+	iAddr := uint64(100000)
+	time := uint64(0)
+	tick := func() uint64 { time++; return time }
+	for i := 0; i < 1000; i++ {
+		// Loop variable i: read or written 4 times per iteration, same
+		// source lines each iteration.
+		for k := 0; k < 4; k++ {
+			tp := access.LocalRead
+			if k == 3 {
+				tp = access.LocalWrite
+			}
+			e := ev(iAddr, iAddr+7, tp, 0, tick())
+			e.Acc.Debug = access.Debug{File: "code2.c", Line: 2 + k} // fixed lines
+			if r := z.Access(e); r != nil {
+				t.Fatal(r)
+			}
+		}
+		// Get(buf[i], 1, X): origin-side RMA_Write of one byte, always
+		// from source line 3.
+		e := ev(uint64(i), uint64(i), access.RMAWrite, 0, tick())
+		e.Acc.Debug = access.Debug{File: "code2.c", Line: 3}
+		if r := z.Access(e); r != nil {
+			t.Fatal(r)
+		}
+	}
+	if n := z.Nodes(); n != 2 {
+		t.Fatalf("tree has %d nodes after Code 2, want 2 (Fig. 8b)", n)
+	}
+}
+
+func TestCrossBoundaryMergeRightToLeft(t *testing.T) {
+	// Adjacent accesses arriving in descending address order must also
+	// merge (the right-neighbour pull).
+	z := New()
+	for i := 9; i >= 0; i-- {
+		e := ev(uint64(i), uint64(i), access.RMAWrite, 0, uint64(10-i))
+		e.Acc.Debug = access.Debug{File: "m.c", Line: 1}
+		if r := z.Access(e); r != nil {
+			t.Fatal(r)
+		}
+	}
+	if z.Nodes() != 1 {
+		t.Fatalf("descending adjacent writes left %d nodes: %v", z.Nodes(), z.Items())
+	}
+}
+
+func TestEpochEndClears(t *testing.T) {
+	z := New()
+	z.Access(ev(0, 9, access.RMAWrite, 0, 1))
+	z.EpochEnd()
+	if z.Nodes() != 0 {
+		t.Fatal("EpochEnd did not clear the tree")
+	}
+	if r := z.Access(ev(0, 9, access.LocalWrite, 1, 2)); r != nil {
+		t.Fatalf("stale cross-epoch race: %v", r)
+	}
+}
+
+func TestFlushDefaultNoop(t *testing.T) {
+	z := New()
+	z.Access(ev(0, 9, access.RMAWrite, 0, 1))
+	z.Flush(0)
+	if z.Nodes() != 1 {
+		t.Fatal("default Flush must not clear accesses (§6)")
+	}
+	// The race after the flush is still caught.
+	if r := z.Access(ev(0, 9, access.LocalWrite, 0, 2)); r == nil {
+		t.Fatal("race after flush missed")
+	}
+}
+
+func TestUnsafeFlushClearAblation(t *testing.T) {
+	z := New(WithUnsafeFlushClear())
+	z.Access(ev(0, 9, access.RMAWrite, 0, 1))
+	z.Flush(0)
+	if z.Nodes() != 0 {
+		t.Fatal("unsafe flush mode should drop the caller's accesses")
+	}
+	// ... and now the race is hidden: the false negative of §6(2).
+	if r := z.Access(ev(0, 9, access.LocalWrite, 0, 2)); r != nil {
+		t.Fatalf("unsafe flush mode unexpectedly still caught the race: %v", r)
+	}
+}
+
+func TestFilteredEventsSkipped(t *testing.T) {
+	z := New()
+	e := ev(0, 9, access.LocalWrite, 0, 1)
+	e.Filtered = true
+	z.Access(e)
+	if z.Nodes() != 0 || z.Accesses() != 0 {
+		t.Fatal("filtered event processed")
+	}
+}
+
+func TestMaxNodesHighWater(t *testing.T) {
+	z := New()
+	// Two distant accesses, then an epoch end.
+	z.Access(ev(0, 0, access.LocalRead, 0, 1))
+	z.Access(ev(100, 100, access.LocalRead, 0, 2))
+	z.EpochEnd()
+	if z.MaxNodes() != 2 {
+		t.Fatalf("MaxNodes = %d, want 2", z.MaxNodes())
+	}
+}
+
+// TestWithoutMergingNodeExplosion is the §4.1 warning reproduced: with
+// fragmentation alone, Code 2's adjacent Gets keep one node each.
+func TestWithoutMergingNodeExplosion(t *testing.T) {
+	z := New(WithoutMerging())
+	for i := 0; i < 1000; i++ {
+		e := ev(uint64(i), uint64(i), access.RMAWrite, 0, uint64(i+1))
+		e.Acc.Debug = access.Debug{File: "code2.c", Line: 3}
+		if r := z.Access(e); r != nil {
+			t.Fatal(r)
+		}
+	}
+	if z.Nodes() != 1000 {
+		t.Fatalf("fragmentation-only tree has %d nodes, want 1000", z.Nodes())
+	}
+	// Accuracy is unaffected: the Code 1 race is still found.
+	z2 := New(WithoutMerging())
+	z2.Access(ev(4, 4, access.LocalRead, 0, 1))
+	z2.Access(ev(2, 12, access.RMARead, 0, 2))
+	if r := z2.Access(ev(7, 7, access.LocalWrite, 0, 3)); r == nil {
+		t.Fatal("fragmentation-only analyzer missed the Code 1 race")
+	}
+}
+
+// TestInvariantDisjointUnmergeable drives the analyzer with random safe
+// workloads and checks the two structural invariants the paper's
+// algorithm maintains: stored intervals are pairwise disjoint, and no
+// two adjacent stored accesses are mergeable.
+func TestInvariantDisjointUnmergeable(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		z := New()
+		time := uint64(0)
+		for step := 0; step < 200; step++ {
+			time++
+			lo := uint64(r.Intn(200))
+			length := uint64(r.Intn(12) + 1)
+			// Only reads: reads never race, so insertion always
+			// proceeds to fragmentation and merging.
+			tp := access.LocalRead
+			if r.Intn(2) == 0 {
+				tp = access.RMARead
+			}
+			e := detector.Event{
+				Acc: access.Access{
+					Interval: interval.Span(lo, length),
+					Type:     tp,
+					Rank:     r.Intn(3),
+					Debug:    access.Debug{File: "inv.c", Line: r.Intn(5)},
+				},
+				Time: time,
+			}
+			if race := z.Access(e); race != nil {
+				t.Fatalf("read-only workload raced: %v", race)
+			}
+			items := z.Items()
+			for i := 1; i < len(items); i++ {
+				if items[i-1].Intersects(items[i].Interval) {
+					t.Fatalf("trial %d step %d: overlapping nodes %v and %v",
+						trial, step, items[i-1], items[i])
+				}
+				if access.Mergeable(items[i-1], items[i]) {
+					t.Fatalf("trial %d step %d: mergeable neighbours %v and %v",
+						trial, step, items[i-1], items[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDetectionSupersetOfLegacyTruth: on random workloads, every true
+// race (by the ground-truth predicate) hit by the contribution is
+// reported at first occurrence; conversely a read-only stream never
+// reports.
+func TestCoverageAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		z := New()
+		var seen []access.Access
+		var time uint64
+		for step := 0; step < 60; step++ {
+			time++
+			lo := uint64(r.Intn(60))
+			length := uint64(r.Intn(8) + 1)
+			// Realistic ownership: the analysed memory belongs to rank
+			// 0, so local accesses come only from rank 0 while RMA
+			// accesses may come from any rank — in a real program the
+			// address spaces of different processes never alias.
+			tp := access.Type(r.Intn(4))
+			rank := 0
+			if tp.IsRMA() {
+				rank = r.Intn(3)
+			}
+			a := access.Access{
+				Interval: interval.Span(lo, length),
+				Type:     tp,
+				Rank:     rank,
+				Debug:    access.Debug{File: "bf.c", Line: step},
+			}
+			want := false
+			for _, s := range seen {
+				if access.Races(s, a) {
+					want = true
+					break
+				}
+			}
+			got := z.Access(detector.Event{Acc: a, Time: time, CallTime: time}) != nil
+			if got != want {
+				t.Fatalf("trial %d step %d: access %v: detector=%v truth=%v (seen=%d)",
+					trial, step, a, got, want, len(seen))
+			}
+			if want {
+				break // program aborts at first race, like MPI_Abort
+			}
+			seen = append(seen, a)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"rmarace/internal/access"
+	"rmarace/internal/detector"
+	"rmarace/internal/strided"
+)
+
+// minSectionRun is the run length below which a broken strided run is
+// re-materialised into the tree instead of being kept as a section:
+// short runs compress nothing and would bloat the section scan.
+const minSectionRun = 4
+
+// runKey identifies a strided access stream: everything an element of a
+// regular section must share except its address.
+type runKey struct {
+	tp    access.Type
+	rank  int
+	stack bool
+	op    access.AccumOp
+	debug access.Debug
+	width uint64
+}
+
+func keyOf(a access.Access) runKey {
+	return runKey{tp: a.Type, rank: a.Rank, stack: a.Stack, op: a.AccumOp, debug: a.Debug, width: a.Interval.Len()}
+}
+
+// runState tracks one stream's pending compression.
+type runState struct {
+	sec     *strided.Section
+	last    access.Access
+	hasLast bool
+}
+
+// WithStridedMerging enables the §6(3) extension the paper leaves as
+// future work: compressing constant-stride access sequences — such as
+// MiniVite's attribute accesses on 24-byte-strided records — into
+// regular sections (one-dimensional polyhedra, after Ketterlin &
+// Clauss), which merging cannot coalesce because the accesses are not
+// adjacent. Race checks consult the sections exactly like tree nodes;
+// Table 1 type combination is not applied across a section (both
+// representations are kept, so detection remains complete).
+func WithStridedMerging() Option {
+	return func(a *Analyzer) {
+		a.stridedOn = true
+		a.open = make(map[runKey]*runState)
+	}
+}
+
+// sectionRace checks a against every compressed access, including the
+// still-open runs.
+func (z *Analyzer) sectionRace(a access.Access) *detector.Race {
+	check := func(s *strided.Section) *detector.Race {
+		from, to := s.Overlap(a.Interval)
+		for k := from; k < to; k++ {
+			rep := s.Representative(k)
+			if access.Races(rep, a) {
+				return &detector.Race{Prev: rep, Cur: a}
+			}
+		}
+		return nil
+	}
+	for i := range z.sections {
+		if race := check(&z.sections[i]); race != nil {
+			return race
+		}
+	}
+	for _, rs := range z.open {
+		if rs.sec != nil {
+			if race := check(rs.sec); race != nil {
+				return race
+			}
+		}
+	}
+	return nil
+}
+
+// treeRace runs only step (1) of Algorithm 1 against the tree.
+func (z *Analyzer) treeRace(a access.Access) *detector.Race {
+	var race *detector.Race
+	z.tree.VisitStab(a.Interval, func(s access.Access) bool {
+		if access.Races(s, a) {
+			race = &detector.Race{Prev: s, Cur: a}
+			return false
+		}
+		return true
+	})
+	return race
+}
+
+// tryStride absorbs a into its stream's section when it continues the
+// stream's constant stride, and reports whether a was consumed. When a
+// breaks an open run, the run is finalised first (kept as a section if
+// long enough, re-materialised otherwise).
+func (z *Analyzer) tryStride(a access.Access) bool {
+	key := keyOf(a)
+	rs := z.open[key]
+	if rs == nil {
+		rs = &runState{}
+		z.open[key] = rs
+	}
+	if rs.sec != nil {
+		if rs.sec.CanAppend(a) {
+			rs.sec.Append()
+			return true
+		}
+		z.closeRun(rs)
+	}
+	if rs.hasLast {
+		if sec, err := strided.New(rs.last, a); err == nil {
+			// Reclaim the run's first element from the tree; if it was
+			// meanwhile merged or fragmented away, fall back to plain
+			// storage.
+			if z.tree.Delete(rs.last.Interval) {
+				rs.sec = &sec
+				rs.hasLast = false
+				return true
+			}
+		}
+	}
+	rs.last = a
+	rs.hasLast = true
+	return false
+}
+
+// closeRun finalises a pending section.
+func (z *Analyzer) closeRun(rs *runState) {
+	sec := rs.sec
+	rs.sec = nil
+	if sec == nil {
+		return
+	}
+	if sec.Elements() >= minSectionRun {
+		z.sections = append(z.sections, *sec)
+		return
+	}
+	// Too short to be worth a section: put the elements back into the
+	// tree through the normal insertion path (they were already
+	// race-checked on arrival).
+	for k := uint64(0); k < sec.Elements(); k++ {
+		z.insert(sec.Representative(k), false)
+	}
+}
+
+func (z *Analyzer) sectionCount() int {
+	if !z.stridedOn {
+		return 0
+	}
+	n := len(z.sections)
+	for _, rs := range z.open {
+		if rs.sec != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Sections returns the finalised regular sections, for inspection and
+// testing.
+func (z *Analyzer) Sections() []strided.Section {
+	out := make([]strided.Section, len(z.sections))
+	copy(out, z.sections)
+	for _, rs := range z.open {
+		if rs.sec != nil {
+			out = append(out, *rs.sec)
+		}
+	}
+	return out
+}

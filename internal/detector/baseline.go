@@ -1,0 +1,33 @@
+package detector
+
+// BaselineAnalyzer performs no analysis. It is the "Baseline" series of
+// Figures 10-12: the cost of running the workload with instrumentation
+// compiled out.
+type BaselineAnalyzer struct{}
+
+// NewBaseline returns a no-op analyzer.
+func NewBaseline() *BaselineAnalyzer { return &BaselineAnalyzer{} }
+
+// Name implements Analyzer.
+func (*BaselineAnalyzer) Name() string { return "baseline" }
+
+// Access implements Analyzer as a no-op.
+func (*BaselineAnalyzer) Access(Event) *Race { return nil }
+
+// EpochEnd implements Analyzer as a no-op.
+func (*BaselineAnalyzer) EpochEnd() {}
+
+// Flush implements Analyzer as a no-op.
+func (*BaselineAnalyzer) Flush(int) {}
+
+// Release implements Analyzer as a no-op.
+func (*BaselineAnalyzer) Release(int) {}
+
+// Nodes implements Analyzer; the baseline stores nothing.
+func (*BaselineAnalyzer) Nodes() int { return 0 }
+
+// MaxNodes implements Analyzer.
+func (*BaselineAnalyzer) MaxNodes() int { return 0 }
+
+// Accesses implements Analyzer.
+func (*BaselineAnalyzer) Accesses() uint64 { return 0 }

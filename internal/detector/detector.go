@@ -1,0 +1,128 @@
+// Package detector defines the on-the-fly data-race analyzers compared
+// in the paper and the event stream they consume.
+//
+// Four analyzers implement the Analyzer interface:
+//
+//   - core.Analyzer (package internal/core) — the paper's contribution:
+//     the interval BST with the fragmentation/merging insertion
+//     algorithm (Algorithm 1).
+//   - Legacy — RMA-Analyzer as published at EuroMPI'21, with its
+//     lower-bound search, one-node-per-access storage and
+//     order-insensitive race check.
+//   - MustRMA — a MUST-RMA simulator: vector-clock happens-before plus
+//     ThreadSanitizer-style shadow memory, instrumenting every access
+//     (no alias filtering) but blind to stack arrays.
+//   - Baseline — no analysis; measures the uninstrumented run.
+//
+// Analyzers are created per (process, window) by the instrumentation
+// layer (package internal/rma); they are not safe for concurrent use and
+// are serialised by their owner.
+package detector
+
+import (
+	"fmt"
+	"strings"
+
+	"rmarace/internal/access"
+)
+
+// Event is one instrumented access as observed by the PMPI layer.
+type Event struct {
+	Acc access.Access
+	// Time is the issuing rank's program-order counter at the access.
+	Time uint64
+	// CallTime is, for the two halves of a one-sided operation, the
+	// issuing rank's counter at the MPI call site. Zero for local
+	// accesses.
+	CallTime uint64
+	// Filtered marks accesses the compile-time alias analysis proved
+	// irrelevant to any RMA region. RMA-Analyzer and the contribution
+	// skip them; MUST-RMA's ThreadSanitizer instruments them anyway
+	// (§5.3), which is part of its overhead.
+	Filtered bool
+}
+
+// Race is a detected data race. It reproduces the report of Fig. 9:
+// the access being inserted, the conflicting stored access, and their
+// debug information.
+type Race struct {
+	Prev, Cur access.Access
+}
+
+// Message formats the race exactly like the paper's Fig. 9 output.
+func (r *Race) Message() string {
+	return fmt.Sprintf(
+		"Error when inserting memory access of type %s from file %s with already inserted interval of type %s from file %s. The program will be exiting now with MPI_Abort.",
+		strings.ToUpper(r.Cur.Type.String()), r.Cur.Debug,
+		strings.ToUpper(r.Prev.Type.String()), r.Prev.Debug)
+}
+
+// Error implements the error interface so a Race can abort a simulated
+// program the way MPI_Abort does.
+func (r *Race) Error() string { return r.Message() }
+
+// Analyzer is the per-(process, window) analysis state of one method.
+type Analyzer interface {
+	// Name identifies the method ("our-contribution", "rma-analyzer",
+	// "must-rma", "baseline").
+	Name() string
+	// Access processes one instrumented access and returns a race if
+	// the access conflicts with a stored one. After a non-nil return
+	// the analyzer state is unspecified; the program is aborted.
+	Access(ev Event) *Race
+	// EpochEnd completes the window's passive-target epoch
+	// (MPI_Win_unlock_all): all accesses of the epoch become ordered
+	// with the future and the store is reset.
+	EpochEnd()
+	// Flush observes an MPI_Win_flush by the given rank. Following §6
+	// of the paper every analyzer treats it as a no-op by default
+	// (clearing on flush causes false negatives); the contribution
+	// exposes an opt-in unsafe mode as an ablation.
+	Flush(rank int)
+	// Release observes a synchronisation that completes and orders
+	// every outstanding operation of rank towards this window — an
+	// exclusive MPI_Win_unlock. The rank's stored accesses are retired:
+	// subsequent lock holders are ordered after them. Sound when every
+	// access to the window happens under the window lock discipline.
+	Release(rank int)
+	// Nodes reports the current number of stored entries — BST nodes
+	// for the tree-based analyzers (Table 4), shadow cells for
+	// MUST-RMA, zero for the baseline.
+	Nodes() int
+	// MaxNodes reports the high-water mark of Nodes over the run.
+	MaxNodes() int
+	// Accesses reports how many (unfiltered, for tree analyzers)
+	// accesses were processed.
+	Accesses() uint64
+}
+
+// Method enumerates the four compared approaches, in the order the
+// paper's figures present them.
+type Method int
+
+const (
+	Baseline Method = iota
+	RMAAnalyzer
+	MustRMAMethod
+	OurContribution
+)
+
+// String returns the method label used in the paper's figures.
+func (m Method) String() string {
+	switch m {
+	case Baseline:
+		return "Baseline"
+	case RMAAnalyzer:
+		return "RMA-Analyzer"
+	case MustRMAMethod:
+		return "MUST-RMA"
+	case OurContribution:
+		return "Our Contribution"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Methods lists all four methods in presentation order.
+func Methods() []Method {
+	return []Method{Baseline, RMAAnalyzer, MustRMAMethod, OurContribution}
+}

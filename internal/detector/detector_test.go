@@ -1,0 +1,250 @@
+package detector
+
+import (
+	"strings"
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/interval"
+)
+
+func ev(lo, hi uint64, t access.Type, rank int, time uint64) Event {
+	return Event{
+		Acc: access.Access{
+			Interval: interval.New(lo, hi),
+			Type:     t,
+			Rank:     rank,
+			Debug:    access.Debug{File: "./dspl.hpp", Line: int(time)},
+		},
+		Time:     time,
+		CallTime: time,
+	}
+}
+
+func TestRaceMessageMatchesFigure9(t *testing.T) {
+	r := &Race{
+		Prev: access.Access{Type: access.RMAWrite, Debug: access.Debug{File: "./dspl.hpp", Line: 612}},
+		Cur:  access.Access{Type: access.RMAWrite, Debug: access.Debug{File: "./dspl.hpp", Line: 614}},
+	}
+	want := "Error when inserting memory access of type RMA_WRITE from file ./dspl.hpp:614 " +
+		"with already inserted interval of type RMA_WRITE from file ./dspl.hpp:612. " +
+		"The program will be exiting now with MPI_Abort."
+	if got := r.Message(); got != want {
+		t.Errorf("Message() =\n%q\nwant\n%q", got, want)
+	}
+	if r.Error() != r.Message() {
+		t.Error("Error() must equal Message()")
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	want := []string{"Baseline", "RMA-Analyzer", "MUST-RMA", "Our Contribution"}
+	for i, m := range Methods() {
+		if m.String() != want[i] {
+			t.Errorf("method %d = %q, want %q", i, m.String(), want[i])
+		}
+	}
+}
+
+func TestBaselineDoesNothing(t *testing.T) {
+	b := NewBaseline()
+	if r := b.Access(ev(0, 9, access.RMAWrite, 0, 1)); r != nil {
+		t.Fatal("baseline reported a race")
+	}
+	if r := b.Access(ev(0, 9, access.RMAWrite, 1, 2)); r != nil {
+		t.Fatal("baseline reported a race")
+	}
+	b.EpochEnd()
+	b.Flush(0)
+	if b.Nodes() != 0 || b.MaxNodes() != 0 || b.Accesses() != 0 {
+		t.Fatal("baseline kept state")
+	}
+}
+
+func TestLegacyDetectsSimpleRace(t *testing.T) {
+	l := NewLegacy()
+	if r := l.Access(ev(2, 12, access.RMAWrite, 0, 1)); r != nil {
+		t.Fatalf("first access raced: %v", r)
+	}
+	r := l.Access(ev(7, 7, access.LocalWrite, 1, 1))
+	if r == nil {
+		t.Fatal("legacy must catch an on-path overlap")
+	}
+	if !strings.Contains(r.Message(), "LOCAL_WRITE") {
+		t.Errorf("message = %q", r.Message())
+	}
+}
+
+// TestLegacyCode1FalseNegative reproduces Fig. 5a end to end: Load(4);
+// MPI_Put(buf[2],10); Store(7) — the race between the Put's origin-side
+// read and the Store is missed.
+func TestLegacyCode1FalseNegative(t *testing.T) {
+	l := NewLegacy()
+	if r := l.Access(ev(4, 4, access.LocalRead, 0, 1)); r != nil {
+		t.Fatal(r)
+	}
+	if r := l.Access(ev(2, 12, access.RMARead, 0, 2)); r != nil {
+		t.Fatal(r)
+	}
+	if r := l.Access(ev(7, 7, access.LocalWrite, 0, 3)); r != nil {
+		t.Fatalf("legacy found the Code 1 race; its published false negative must be reproduced: %v", r)
+	}
+	if l.Nodes() != 3 {
+		t.Fatalf("legacy tree has %d nodes, want 3 (Fig. 5a)", l.Nodes())
+	}
+}
+
+// TestLegacyOrderInsensitiveFalsePositive reproduces the Table 2 row
+// ll_load_get_inwindow_origin_safe: legacy flags the safe Load;MPI_Get
+// order.
+func TestLegacyOrderInsensitiveFalsePositive(t *testing.T) {
+	l := NewLegacy()
+	if r := l.Access(ev(0, 9, access.LocalRead, 0, 1)); r != nil {
+		t.Fatal(r)
+	}
+	if r := l.Access(ev(0, 9, access.RMAWrite, 0, 2)); r == nil {
+		t.Fatal("legacy must flag Load;MPI_Get (its published false positive)")
+	}
+}
+
+func TestLegacyNodeGrowthCode2(t *testing.T) {
+	// Code 2: 1,000 adjacent Gets plus the loop-variable accesses give a
+	// tree linear in the iteration count.
+	l := NewLegacy()
+	iAddr := uint64(100000)
+	for i := 0; i < 1000; i++ {
+		for k := 0; k < 4; k++ { // i is read or written 4 times per iteration
+			tp := access.LocalRead
+			if k == 3 {
+				tp = access.LocalWrite
+			}
+			if r := l.Access(ev(iAddr, iAddr+7, tp, 0, uint64(i*10+k))); r != nil {
+				t.Fatal(r)
+			}
+		}
+		if r := l.Access(ev(uint64(i), uint64(i), access.RMAWrite, 0, uint64(i*10+5))); r != nil {
+			t.Fatal(r)
+		}
+	}
+	if l.Nodes() < 5000 {
+		t.Fatalf("legacy tree has %d nodes; Code 2 requires linear growth (≈5002)", l.Nodes())
+	}
+}
+
+func TestLegacySkipsFilteredAccesses(t *testing.T) {
+	l := NewLegacy()
+	e := ev(0, 9, access.LocalWrite, 0, 1)
+	e.Filtered = true
+	if r := l.Access(e); r != nil {
+		t.Fatal(r)
+	}
+	if l.Nodes() != 0 || l.Accesses() != 0 {
+		t.Fatal("filtered access was processed")
+	}
+}
+
+func TestLegacyEpochEndClears(t *testing.T) {
+	l := NewLegacy()
+	l.Access(ev(0, 9, access.RMAWrite, 0, 1))
+	l.EpochEnd()
+	if l.Nodes() != 0 {
+		t.Fatal("EpochEnd did not clear")
+	}
+	// The same location is free in the next epoch.
+	if r := l.Access(ev(0, 9, access.LocalWrite, 1, 2)); r != nil {
+		t.Fatal("stale cross-epoch race")
+	}
+}
+
+func mustPair(t *testing.T) (*MustShared, *MustAnalyzer) {
+	t.Helper()
+	s := NewMustShared(2)
+	return s, NewMustRMA(s, 0)
+}
+
+func TestMustDetectsGetThenLoad(t *testing.T) {
+	_, m := mustPair(t)
+	if r := m.Access(ev(0, 7, access.RMAWrite, 0, 1)); r != nil {
+		t.Fatal(r)
+	}
+	if r := m.Access(ev(0, 7, access.LocalRead, 0, 2)); r == nil {
+		t.Fatal("MUST must detect MPI_Get;Load")
+	}
+}
+
+func TestMustAcceptsLoadThenGet(t *testing.T) {
+	// No false positive on the safe order — Table 2 row 4.
+	_, m := mustPair(t)
+	if r := m.Access(ev(0, 7, access.LocalRead, 0, 1)); r != nil {
+		t.Fatal(r)
+	}
+	if r := m.Access(ev(0, 7, access.RMAWrite, 0, 2)); r != nil {
+		t.Fatalf("MUST flagged the safe Load;MPI_Get: %v", r)
+	}
+}
+
+// TestMustStackBlindSpot reproduces the Table 2 row
+// ll_get_load_inwindow_origin_race with a stack array: ThreadSanitizer
+// does not instrument the Load, so the race is missed.
+func TestMustStackBlindSpot(t *testing.T) {
+	_, m := mustPair(t)
+	e1 := ev(0, 7, access.RMAWrite, 0, 1)
+	e1.Acc.Stack = true
+	if r := m.Access(e1); r != nil {
+		t.Fatal(r)
+	}
+	e2 := ev(0, 7, access.LocalRead, 0, 2)
+	e2.Acc.Stack = true
+	if r := m.Access(e2); r != nil {
+		t.Fatalf("stack-array load was instrumented: %v", r)
+	}
+	// With heap arrays the same pattern is caught (the paper: "When
+	// using heap arrays, the error is detected by MUST-RMA").
+	_, m2 := mustPair(t)
+	m2.Access(ev(0, 7, access.RMAWrite, 0, 1))
+	if r := m2.Access(ev(0, 7, access.LocalRead, 0, 2)); r == nil {
+		t.Fatal("heap variant must be detected")
+	}
+}
+
+func TestMustProcessesFilteredAccesses(t *testing.T) {
+	// ThreadSanitizer has no alias filter: Filtered events still cost
+	// analysis work.
+	_, m := mustPair(t)
+	e := ev(0, 7, access.LocalWrite, 0, 1)
+	e.Filtered = true
+	m.Access(e)
+	if m.Accesses() != 1 {
+		t.Fatal("filtered access was skipped by MUST")
+	}
+}
+
+func TestMustEpochEndSynchronises(t *testing.T) {
+	s := NewMustShared(2)
+	m := NewMustRMA(s, 0)
+	m.Access(ev(0, 7, access.RMAWrite, 0, 1))
+	m.EpochEnd()
+	// After the epoch boundary the same location is free.
+	if r := m.Access(ev(0, 7, access.LocalWrite, 1, 1)); r != nil {
+		t.Fatalf("cross-epoch race reported: %v", r)
+	}
+}
+
+func TestMustCrossOriginPuts(t *testing.T) {
+	s := NewMustShared(3)
+	m := NewMustRMA(s, 2) // target's window shadow
+	if r := m.Access(ev(0, 7, access.RMAWrite, 0, 1)); r != nil {
+		t.Fatal(r)
+	}
+	if r := m.Access(ev(0, 7, access.RMAWrite, 1, 1)); r == nil {
+		t.Fatal("two Puts from different origins must race")
+	}
+}
+
+func TestMustNodesReportsShadowCells(t *testing.T) {
+	_, m := mustPair(t)
+	m.Access(ev(0, 63, access.RMAWrite, 0, 1))
+	if m.Nodes() != 8 || m.MaxNodes() != 8 {
+		t.Fatalf("Nodes=%d MaxNodes=%d, want 8", m.Nodes(), m.MaxNodes())
+	}
+}

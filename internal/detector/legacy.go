@@ -1,0 +1,74 @@
+package detector
+
+import (
+	"rmarace/internal/access"
+	"rmarace/internal/legacybst"
+)
+
+// LegacyAnalyzer reproduces the original RMA-Analyzer (Aitkaci et al.,
+// EuroMPI'21) as characterised in §3-§5 of the paper:
+//
+//   - every access becomes one BST node; nothing is fragmented or
+//     merged, so the tree is as large as the number of accesses;
+//   - the race check walks only the lower-bound descent path, missing
+//     intersections stored off-path (the Code 1 false negative);
+//   - the race predicate ignores program order within a process, so
+//     Load;MPI_Get is flagged like MPI_Get;Load (the published false
+//     positives, e.g. ll_load_get_inwindow_origin_safe).
+type LegacyAnalyzer struct {
+	tree     legacybst.Tree
+	accesses uint64
+	maxNodes int
+}
+
+// NewLegacy returns a fresh legacy RMA-Analyzer state for one window.
+func NewLegacy() *LegacyAnalyzer { return &LegacyAnalyzer{} }
+
+// Name implements Analyzer.
+func (*LegacyAnalyzer) Name() string { return "rma-analyzer" }
+
+// Access implements Analyzer with the legacy two-traversal scheme: one
+// descent to check for races, one descent to insert.
+func (l *LegacyAnalyzer) Access(ev Event) *Race {
+	if ev.Filtered {
+		return nil // alias analysis removed this access at compile time
+	}
+	l.accesses++
+	a := ev.Acc
+	for _, s := range l.tree.SearchIntersecting(a.Interval) {
+		// Order-insensitive check: any overlapping pair with at least
+		// one RMA access and one write is reported, even the safe
+		// local-before-RMA program orders fixed in §5.2.
+		if access.Conflicts(s.Type, a.Type) {
+			return &Race{Prev: s, Cur: a}
+		}
+	}
+	l.tree.Insert(a)
+	if n := l.tree.Len(); n > l.maxNodes {
+		l.maxNodes = n
+	}
+	return nil
+}
+
+// EpochEnd implements Analyzer.
+func (l *LegacyAnalyzer) EpochEnd() { l.tree.Clear() }
+
+// Flush implements Analyzer as a no-op: the paper reports that
+// instrumenting MPI_Win_flush in RMA-Analyzer is unsound (§6) and the
+// tool does not support it.
+func (l *LegacyAnalyzer) Flush(int) {}
+
+// Release implements Analyzer as a no-op: the original RMA-Analyzer
+// instruments only the MPI_Win_lock_all/MPI_Win_unlock_all epoch
+// functions (§5.1), so per-target unlock ordering is invisible to it —
+// lock-serialised programs can produce legacy false positives.
+func (l *LegacyAnalyzer) Release(int) {}
+
+// Nodes implements Analyzer.
+func (l *LegacyAnalyzer) Nodes() int { return l.tree.Len() }
+
+// MaxNodes implements Analyzer.
+func (l *LegacyAnalyzer) MaxNodes() int { return l.maxNodes }
+
+// Accesses implements Analyzer.
+func (l *LegacyAnalyzer) Accesses() uint64 { return l.accesses }

@@ -1,0 +1,105 @@
+package detector
+
+import (
+	"sync"
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/interval"
+)
+
+func TestMustSharedSnapshotIsolated(t *testing.T) {
+	s := NewMustShared(3)
+	s.advance(1, 7)
+	snap := s.snapshot(1, 9)
+	if snap.At(1) != 9 {
+		t.Fatalf("snapshot own component = %d, want the call time 9", snap.At(1))
+	}
+	// The snapshot is a copy: mutating it must not touch shared state.
+	snap[0] = 99
+	snap2 := s.snapshot(1, 10)
+	if snap2.At(0) != 0 {
+		t.Fatalf("snapshot aliased shared clocks: %v", snap2)
+	}
+}
+
+func TestMustSharedJoinAll(t *testing.T) {
+	s := NewMustShared(3)
+	s.advance(0, 5)
+	s.advance(2, 9)
+	s.joinAll()
+	// After the epoch join every rank has observed every component.
+	for r := 0; r < 3; r++ {
+		snap := s.snapshot(r, 100)
+		if snap.At(0) < 5 || snap.At(2) < 9 {
+			t.Fatalf("rank %d clock %v did not absorb the join", r, snap)
+		}
+	}
+}
+
+func TestMustSharedConcurrentUse(t *testing.T) {
+	s := NewMustShared(8)
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.advance(rank, uint64(i))
+				_ = s.snapshot(rank, uint64(i))
+				if i%50 == 0 {
+					s.joinAll()
+				}
+			}
+		}(r)
+	}
+	wg.Wait() // the race detector (go test -race) guards this path
+}
+
+func TestMustAnalyzerAccumulateAtomicity(t *testing.T) {
+	s := NewMustShared(3)
+	m := NewMustRMA(s, 0)
+	mk := func(rank int, op access.AccumOp, time uint64) Event {
+		return Event{
+			Acc: access.Access{
+				Interval: interval.New(0, 7),
+				Type:     access.RMAAccum,
+				Rank:     rank,
+				AccumOp:  op,
+				Debug:    access.Debug{File: "acc.c", Line: int(time)},
+			},
+			Time: time, CallTime: time,
+		}
+	}
+	if r := m.Access(mk(1, access.AccumSum, 1)); r != nil {
+		t.Fatal(r)
+	}
+	if r := m.Access(mk(2, access.AccumSum, 1)); r != nil {
+		t.Fatalf("same-op accumulates flagged by MUST: %v", r)
+	}
+	if r := m.Access(mk(1, access.AccumMax, 2)); r == nil {
+		t.Fatal("mixed-op accumulate overlap missed by MUST")
+	}
+}
+
+func TestMustAnalyzerReleaseRetiresRank(t *testing.T) {
+	s := NewMustShared(3)
+	m := NewMustRMA(s, 0)
+	put := Event{
+		Acc: access.Access{
+			Interval: interval.New(0, 7), Type: access.RMAWrite, Rank: 1,
+			Debug: access.Debug{File: "l.c", Line: 1},
+		},
+		Time: 1, CallTime: 1,
+	}
+	if r := m.Access(put); r != nil {
+		t.Fatal(r)
+	}
+	m.Release(1)
+	// A second writer no longer conflicts with the retired session.
+	put2 := put
+	put2.Acc.Rank = 2
+	if r := m.Access(put2); r != nil {
+		t.Fatalf("retired session still conflicts: %v", r)
+	}
+}

@@ -1,0 +1,284 @@
+// Package figure3 regenerates Figure 3 of the paper: the table of data
+// race situations with three processes. The first operation is a
+// one-sided communication issued by ORIGIN 1 towards TARGET; the second
+// operation is issued by ORIGIN 1 itself, by TARGET, or by a third
+// process ORIGIN 2. Each cell holds two bits — the left bit marks a
+// possible consistency error at TARGET side, the right bit at ORIGIN 1
+// side — evaluated for two placements ("In window": the operations'
+// local buffers lie inside their process's window, so remote operations
+// can reach them; "Out window": they lie outside).
+//
+// The derivation uses the same access model as the detectors: an
+// MPI_Get is an RMA_Read of the target region and an RMA_Write of the
+// origin buffer, an MPI_Put the reverse, and two overlapping accesses
+// conflict when at least one is RMA and at least one writes (§2.2).
+// Because the first operation is always a one-sided call, the §5.2
+// program-order exemption (local access *before* an RMA call) never
+// applies inside this table.
+package figure3
+
+import (
+	"fmt"
+	"io"
+
+	"rmarace/internal/access"
+)
+
+// Op is an operation kind appearing in the table.
+type Op int
+
+// The operation kinds of Figure 3.
+const (
+	Get Op = iota
+	Put
+	Load
+	Store
+)
+
+// String returns the column label.
+func (o Op) String() string {
+	switch o {
+	case Get:
+		return "GET"
+	case Put:
+		return "PUT"
+	case Load:
+		return "LOAD"
+	case Store:
+		return "STORE"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Issuer identifies who issues the second operation.
+type Issuer int
+
+// The three issuers of Figure 3's column groups.
+const (
+	Origin1 Issuer = iota
+	Target
+	Origin2
+)
+
+// String returns the column-group label.
+func (i Issuer) String() string {
+	switch i {
+	case Origin1:
+		return "ORIGIN 1"
+	case Target:
+		return "TARGET"
+	case Origin2:
+		return "ORIGIN 2"
+	}
+	return fmt.Sprintf("Issuer(%d)", int(i))
+}
+
+// Column is one column of the table.
+type Column struct {
+	Issuer Issuer
+	Op     Op
+}
+
+// Columns returns Figure 3's ten columns in order.
+func Columns() []Column {
+	return []Column{
+		{Origin1, Get}, {Origin1, Put}, {Origin1, Load}, {Origin1, Store},
+		{Target, Get}, {Target, Put}, {Target, Load}, {Target, Store},
+		{Origin2, Get}, {Origin2, Put},
+	}
+}
+
+// Rows returns the two first-operation rows (O1-GET, O1-PUT).
+func Rows() []Op { return []Op{Get, Put} }
+
+// Cell is one table entry: the two error bits for both placements.
+type Cell struct {
+	// InTarget/InOrigin: error possible at target/origin side when
+	// local buffers are inside windows.
+	InTarget, InOrigin bool
+	// OutTarget/OutOrigin: the same with local buffers outside windows.
+	OutTarget, OutOrigin bool
+}
+
+// String renders the cell as the figure does: "tb" per placement, left
+// bit = target side, right bit = origin side, in-window first.
+func (c Cell) String() string {
+	f := func(t, o bool) string {
+		s := []byte{'0', '0'}
+		if t {
+			s[0] = '1'
+		}
+		if o {
+			s[1] = '1'
+		}
+		return string(s)
+	}
+	return f(c.InTarget, c.InOrigin) + " " + f(c.OutTarget, c.OutOrigin)
+}
+
+// firstOpType returns the access type the first operation (by ORIGIN 1)
+// performs at the given side: its local buffer b1 at ORIGIN 1, or the
+// window region X at TARGET.
+func firstOpType(first Op, atOrigin bool) access.Type {
+	switch first {
+	case Get: // reads X, writes b1
+		if atOrigin {
+			return access.RMAWrite
+		}
+		return access.RMARead
+	case Put: // reads b1, writes X
+		if atOrigin {
+			return access.RMARead
+		}
+		return access.RMAWrite
+	}
+	panic("figure3: first operation must be GET or PUT")
+}
+
+// secondOpType returns the access type the second operation would
+// perform at the given side, and whether it can reach that location at
+// all under the given placement. The origin side is ORIGIN 1's buffer
+// b1; the target side is the region X of TARGET's window.
+func secondOpType(col Column, atOrigin, inWindow bool) (access.Type, bool) {
+	switch col.Issuer {
+	case Origin1:
+		if atOrigin {
+			// b1 belongs to ORIGIN 1: every operation kind can use it
+			// (as plain memory or as the one-sided call's local
+			// buffer), whether or not it lies in the window.
+			switch col.Op {
+			case Get:
+				return access.RMAWrite, true
+			case Put:
+				return access.RMARead, true
+			case Load:
+				return access.LocalRead, true
+			case Store:
+				return access.LocalWrite, true
+			}
+		}
+		// X lives at TARGET: ORIGIN 1 reaches it only with another
+		// one-sided operation.
+		switch col.Op {
+		case Get:
+			return access.RMARead, true
+		case Put:
+			return access.RMAWrite, true
+		}
+		return 0, false
+	case Target:
+		if atOrigin {
+			// TARGET reaches b1 only remotely, which requires b1 to be
+			// inside ORIGIN 1's window.
+			if !inWindow {
+				return 0, false
+			}
+			switch col.Op {
+			case Get:
+				return access.RMARead, true
+			case Put:
+				return access.RMAWrite, true
+			}
+			return 0, false
+		}
+		// X is TARGET's own window memory: local accesses always reach
+		// it; TARGET's one-sided calls reach it through their local
+		// buffer, which overlaps X only in the in-window placement
+		// (Fig. 2b's mutual Get).
+		switch col.Op {
+		case Load:
+			return access.LocalRead, true
+		case Store:
+			return access.LocalWrite, true
+		case Get:
+			if inWindow {
+				return access.RMAWrite, true
+			}
+		case Put:
+			if inWindow {
+				return access.RMARead, true
+			}
+		}
+		return 0, false
+	case Origin2:
+		if atOrigin {
+			// ORIGIN 2 reaches b1 only remotely (b1 in ORIGIN 1's
+			// window).
+			if !inWindow {
+				return 0, false
+			}
+		}
+		// Remote access to either side.
+		switch col.Op {
+		case Get:
+			return access.RMARead, true
+		case Put:
+			return access.RMAWrite, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// Compute derives one cell.
+func Compute(first Op, col Column) Cell {
+	var c Cell
+	eval := func(atOrigin, inWindow bool) bool {
+		t2, ok := secondOpType(col, atOrigin, inWindow)
+		if !ok {
+			return false
+		}
+		return access.Conflicts(firstOpType(first, atOrigin), t2)
+	}
+	c.InOrigin = eval(true, true)
+	c.InTarget = eval(false, true)
+	c.OutOrigin = eval(true, false)
+	c.OutTarget = eval(false, false)
+	return c
+}
+
+// Table computes the full figure: Table()[rowIdx][colIdx].
+func Table() [][]Cell {
+	rows := Rows()
+	cols := Columns()
+	out := make([][]Cell, len(rows))
+	for i, r := range rows {
+		out[i] = make([]Cell, len(cols))
+		for j, c := range cols {
+			out[i][j] = Compute(r, c)
+		}
+	}
+	return out
+}
+
+// Write renders the figure as text.
+func Write(w io.Writer) {
+	cols := Columns()
+	fmt.Fprintln(w, "Figure 3: data race situations with 3 processes")
+	fmt.Fprintln(w, "(cell: left bit = error at TARGET side, right bit = error at ORIGIN 1 side;")
+	fmt.Fprintln(w, " first value: buffers in windows, second: out of windows)")
+	fmt.Fprintf(w, "%-8s", "")
+	last := Issuer(-1)
+	for _, c := range cols {
+		label := ""
+		if c.Issuer != last {
+			label = c.Issuer.String()
+			last = c.Issuer
+		}
+		fmt.Fprintf(w, " %-9s", label)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s", "")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %-9s", c.Op)
+	}
+	fmt.Fprintln(w)
+	table := Table()
+	for i, r := range Rows() {
+		fmt.Fprintf(w, "O1-%-5s", r)
+		for j := range cols {
+			fmt.Fprintf(w, " %-9s", table[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,124 @@
+package figure3
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func cell(t *testing.T, first Op, issuer Issuer, second Op) Cell {
+	t.Helper()
+	return Compute(first, Column{Issuer: issuer, Op: second})
+}
+
+// TestPaperNamedCells checks the cells the paper describes explicitly.
+func TestPaperNamedCells(t *testing.T) {
+	// "The example Figure 2a is represented by the cell (O1-GET,
+	// ORIGIN1-LOAD). '01' means that an error can occur only at origin
+	// side."
+	c := cell(t, Get, Origin1, Load)
+	if got := c.String(); got != "01 01" {
+		t.Errorf("(O1-GET, ORIGIN1-LOAD) = %q, want \"01 01\"", got)
+	}
+
+	// "Figure 2b is represented by the cell (O1-GET, TARGET-GET).
+	// Depending on if the value is read and written in or out of the
+	// window, an error can or cannot occur."
+	c = cell(t, Get, Target, Get)
+	if got := c.String(); got != "11 00" {
+		t.Errorf("(O1-GET, TARGET-GET) = %q, want \"11 00\"", got)
+	}
+}
+
+func TestDerivedCells(t *testing.T) {
+	cases := []struct {
+		first  Op
+		issuer Issuer
+		second Op
+		want   string
+	}{
+		// Put reads b1; a later load of b1 is read-read: no error.
+		{Put, Origin1, Load, "00 00"},
+		// Put then store of the source buffer races at origin.
+		{Put, Origin1, Store, "01 01"},
+		// Get writes b1; a second get into b1 races at origin.
+		{Get, Origin1, Get, "01 01"},
+		// Target stores into the region a put writes: target-side error.
+		{Put, Target, Store, "10 10"},
+		// Target loads a region a get reads: no error anywhere.
+		{Get, Target, Load, "00 00"},
+		// Second origin putting into the same region as the first put:
+		// target-side error always; origin side only reachable in
+		// window.
+		{Put, Origin2, Put, "11 10"},
+		// Two gets of the same region from different origins: reads at
+		// target; at origin, O2 can read b1 (written by the first get)
+		// only when b1 is in the window.
+		{Get, Origin2, Get, "01 00"},
+	}
+	for _, tc := range cases {
+		got := cell(t, tc.first, tc.issuer, tc.second).String()
+		if got != tc.want {
+			t.Errorf("(O1-%v, %v-%v) = %q, want %q", tc.first, tc.issuer, tc.second, got, tc.want)
+		}
+	}
+}
+
+// TestReadOnlyColumnsNeverError: a pair of reads can never produce an
+// error bit.
+func TestReadOnlyColumnsNeverError(t *testing.T) {
+	// First op GET reads X; TARGET-LOAD and ORIGIN2-GET read X too.
+	for _, col := range []Column{{Target, Load}, {Origin2, Get}} {
+		c := Compute(Get, col)
+		if c.InTarget || c.OutTarget {
+			t.Errorf("(O1-GET, %v-%v) target bit set for read-read", col.Issuer, col.Op)
+		}
+	}
+}
+
+// TestOutWindowNeverExceedsInWindow: leaving the window can only remove
+// reachability, never add errors.
+func TestOutWindowNeverExceedsInWindow(t *testing.T) {
+	for _, first := range Rows() {
+		for _, col := range Columns() {
+			c := Compute(first, col)
+			if c.OutTarget && !c.InTarget {
+				t.Errorf("(O1-%v, %v-%v): out-window target error without in-window", first, col.Issuer, col.Op)
+			}
+			if c.OutOrigin && !c.InOrigin {
+				t.Errorf("(O1-%v, %v-%v): out-window origin error without in-window", first, col.Issuer, col.Op)
+			}
+		}
+	}
+}
+
+// TestPutRowDominatesGetRowAtTarget: the first operation PUT writes the
+// target region, so every column that reaches the target region errs at
+// least as often as under GET (which only reads it).
+func TestPutRowDominatesGetRowAtTarget(t *testing.T) {
+	for _, col := range Columns() {
+		g := Compute(Get, col)
+		p := Compute(Put, col)
+		if g.InTarget && !p.InTarget {
+			t.Errorf("column %v-%v: GET errs at target but PUT does not", col.Issuer, col.Op)
+		}
+	}
+}
+
+func TestTableShape(t *testing.T) {
+	table := Table()
+	if len(table) != 2 || len(table[0]) != 10 {
+		t.Fatalf("table shape %dx%d, want 2x10", len(table), len(table[0]))
+	}
+}
+
+func TestWrite(t *testing.T) {
+	var buf bytes.Buffer
+	Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"O1-GET", "O1-PUT", "ORIGIN 1", "TARGET", "ORIGIN 2", "11 00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

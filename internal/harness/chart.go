@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// barWidth is the maximum bar length in characters.
+const barWidth = 46
+
+// BarRow is one labelled value of a bar chart.
+type BarRow struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders labelled horizontal bars, scaled to the largest
+// value — the terminal rendition of the paper's bar figures.
+type BarChart struct {
+	Title string
+	Unit  string
+	Rows  []BarRow
+}
+
+// Write renders the chart.
+func (c BarChart) Write(w io.Writer) {
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	var max float64
+	labelW := 0
+	for _, r := range c.Rows {
+		if r.Value > max {
+			max = r.Value
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	for _, r := range c.Rows {
+		n := int(r.Value / max * barWidth)
+		if n < 1 && r.Value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(w, "  %-*s |%s %.3g %s\n", labelW, r.Label, strings.Repeat("#", n), r.Value, c.Unit)
+	}
+}
+
+// GroupedBarChart renders one bar group per x value (e.g. rank count),
+// the rendition of the paper's grouped scaling figures.
+type GroupedBarChart struct {
+	Title  string
+	Unit   string
+	Series []string
+	// Groups maps a group label (e.g. "32 ranks") to one value per
+	// series.
+	Groups []BarGroup
+}
+
+// BarGroup is one x position of a grouped chart.
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// Write renders the chart.
+func (c GroupedBarChart) Write(w io.Writer) {
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	var max float64
+	seriesW := 0
+	for _, s := range c.Series {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+	for _, g := range c.Groups {
+		for _, v := range g.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	for _, g := range c.Groups {
+		fmt.Fprintf(w, "  %s\n", g.Label)
+		for i, v := range g.Values {
+			if i >= len(c.Series) {
+				break
+			}
+			n := int(v / max * barWidth)
+			if n < 1 && v > 0 {
+				n = 1
+			}
+			fmt.Fprintf(w, "    %-*s |%s %.3g %s\n", seriesW, c.Series[i], strings.Repeat("#", n), v, c.Unit)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarChartScalesToWidest(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart{
+		Title: "demo",
+		Unit:  "s",
+		Rows: []BarRow{
+			{Label: "a", Value: 1},
+			{Label: "bb", Value: 2},
+		},
+	}.Write(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("output = %q", out)
+	}
+	countHash := func(s string) int { return strings.Count(s, "#") }
+	if countHash(lines[2]) != barWidth {
+		t.Errorf("largest bar = %d chars, want %d", countHash(lines[2]), barWidth)
+	}
+	if countHash(lines[1]) != barWidth/2 {
+		t.Errorf("half bar = %d chars, want %d", countHash(lines[1]), barWidth/2)
+	}
+}
+
+func TestBarChartTinyValuesVisible(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart{Rows: []BarRow{{Label: "x", Value: 0.0001}, {Label: "y", Value: 100}}}.Write(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[0], "#") {
+		t.Error("non-zero value rendered with no bar")
+	}
+}
+
+func TestBarChartZeroSafe(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart{Rows: []BarRow{{Label: "z", Value: 0}}}.Write(&buf)
+	if !strings.Contains(buf.String(), "z") {
+		t.Error("row missing")
+	}
+}
+
+func TestGroupedBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	GroupedBarChart{
+		Title:  "scaling",
+		Unit:   "ms",
+		Series: []string{"Baseline", "MUST-RMA"},
+		Groups: []BarGroup{
+			{Label: "32 ranks", Values: []float64{10, 40}},
+			{Label: "64 ranks", Values: []float64{5, 30}},
+		},
+	}.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"scaling", "32 ranks", "64 ranks", "Baseline", "MUST-RMA", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

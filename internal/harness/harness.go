@@ -1,0 +1,191 @@
+// Package harness drives the paper's experiments end to end and prints
+// the same rows and series the paper reports: Fig. 10 (CFD-Proxy epoch
+// time), Figs. 11/12 (MiniVite strong scaling), Table 4 (MiniVite BST
+// node counts) and the §5.3 CFD-Proxy node-reduction claim. Tables 2
+// and 3 live in package micro.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+	"time"
+
+	"rmarace/internal/apps/cfdproxy"
+	"rmarace/internal/apps/minivite"
+	"rmarace/internal/detector"
+)
+
+// Fig10Row is one bar of Figure 10.
+type Fig10Row struct {
+	Method detector.Method
+	// EpochTime is the cumulative time spent in epochs over all ranks.
+	EpochTime time.Duration
+	// NodesPerProcess is the per-process BST high-water mark (the §5.3
+	// claim: 90,004 legacy vs 54 merged).
+	NodesPerProcess int
+}
+
+// Figure10 runs CFD-Proxy under all four methods.
+func Figure10(cfg cfdproxy.Config) ([]Fig10Row, error) {
+	rows := make([]Fig10Row, 0, 4)
+	for _, m := range detector.Methods() {
+		debug.FreeOSMemory()
+		res, err := cfdproxy.Run(cfg, m)
+		if err != nil {
+			return nil, fmt.Errorf("cfdproxy under %v: %w", m, err)
+		}
+		if res.Race != nil {
+			return nil, fmt.Errorf("cfdproxy under %v reported a race: %v", m, res.Race)
+		}
+		rows = append(rows, Fig10Row{Method: m, EpochTime: res.EpochTime, NodesPerProcess: res.MaxNodesPerProcess})
+	}
+	return rows, nil
+}
+
+// WriteFigure10 prints the Fig. 10 series plus the node-count claim.
+func WriteFigure10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintln(w, "Figure 10: cumulative time spent in epochs, CFD-Proxy (per method)")
+	var legacyNodes, oursNodes int
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-16s %12.4fs   nodes/process %d\n", r.Method, r.EpochTime.Seconds(), r.NodesPerProcess)
+		switch r.Method {
+		case detector.RMAAnalyzer:
+			legacyNodes = r.NodesPerProcess
+		case detector.OurContribution:
+			oursNodes = r.NodesPerProcess
+		}
+	}
+	if legacyNodes > 0 {
+		fmt.Fprintf(w, "  node reduction: %d -> %d (%.2f%%)\n",
+			legacyNodes, oursNodes, 100*float64(legacyNodes-oursNodes)/float64(legacyNodes))
+	}
+	chart := BarChart{Unit: "s"}
+	for _, r := range rows {
+		chart.Rows = append(chart.Rows, BarRow{Label: r.Method.String(), Value: r.EpochTime.Seconds()})
+	}
+	chart.Write(w)
+}
+
+// SweepPoint is one rank count of a MiniVite strong-scaling sweep.
+type SweepPoint struct {
+	Ranks int
+	// PerProcessTime is the Fig. 11/12 metric per method.
+	PerProcessTime map[detector.Method]time.Duration
+	// LegacyNodes and OurNodes are the Table 4 per-process node counts.
+	LegacyNodes, OurNodes int
+}
+
+// MiniViteSweep runs MiniVite at every rank count under all four
+// methods.
+func MiniViteSweep(vertices int, ranks []int) ([]SweepPoint, error) {
+	return miniViteSweep(vertices, ranks, detector.Methods())
+}
+
+// MiniViteNodesSweep runs only the two tree-based methods — all
+// Table 4 needs — at half the cost of the full sweep.
+func MiniViteNodesSweep(vertices int, ranks []int) ([]SweepPoint, error) {
+	return miniViteSweep(vertices, ranks, []detector.Method{detector.RMAAnalyzer, detector.OurContribution})
+}
+
+func miniViteSweep(vertices int, ranks []int, methods []detector.Method) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(ranks))
+	for _, p := range ranks {
+		pt := SweepPoint{Ranks: p, PerProcessTime: make(map[detector.Method]time.Duration)}
+		for _, m := range methods {
+			// Large sweep points allocate heavily (one BST or shadow
+			// memory per rank); reclaim between runs — and return the
+			// pages to the OS — so one method's high-water mark does
+			// not leave the next method running against the memory
+			// limit.
+			debug.FreeOSMemory()
+			res, err := minivite.Run(minivite.Default(p, vertices), m)
+			if err != nil {
+				return nil, fmt.Errorf("minivite %d ranks under %v: %w", p, m, err)
+			}
+			if res.Race != nil {
+				return nil, fmt.Errorf("minivite %d ranks under %v reported a race: %v", p, m, res.Race)
+			}
+			pt.PerProcessTime[m] = res.PerProcessTime
+			switch m {
+			case detector.RMAAnalyzer:
+				pt.LegacyNodes = res.MaxNodesPerProcess
+			case detector.OurContribution:
+				pt.OurNodes = res.MaxNodesPerProcess
+			}
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// WriteFigure11 prints a MiniVite strong-scaling series (Fig. 11 for
+// 640,000 vertices, Fig. 12 for 1,280,000).
+func WriteFigure11(w io.Writer, vertices int, points []SweepPoint) {
+	fmt.Fprintf(w, "MiniVite execution time (ms per process), %d vertices\n", vertices)
+	fmt.Fprintf(w, "  %-8s", "ranks")
+	for _, m := range detector.Methods() {
+		fmt.Fprintf(w, " %16s", m)
+	}
+	fmt.Fprintln(w)
+	for _, pt := range points {
+		fmt.Fprintf(w, "  %-8d", pt.Ranks)
+		for _, m := range detector.Methods() {
+			fmt.Fprintf(w, " %16.1f", float64(pt.PerProcessTime[m].Microseconds())/1000.0)
+		}
+		fmt.Fprintln(w)
+	}
+	chart := GroupedBarChart{Unit: "ms"}
+	for _, m := range detector.Methods() {
+		chart.Series = append(chart.Series, m.String())
+	}
+	for _, pt := range points {
+		g := BarGroup{Label: fmt.Sprintf("%d ranks", pt.Ranks)}
+		for _, m := range detector.Methods() {
+			g.Values = append(g.Values, float64(pt.PerProcessTime[m].Microseconds())/1000.0)
+		}
+		chart.Groups = append(chart.Groups, g)
+	}
+	chart.Write(w)
+}
+
+// WriteTable4 prints the Table 4 node counts for both input sizes.
+func WriteTable4(w io.Writer, points640, points1280 []SweepPoint) {
+	fmt.Fprintln(w, "Table 4: number of nodes in the BST per process, MiniVite")
+	fmt.Fprintf(w, "  %-6s %-28s %-28s %s\n", "ranks", "RMA-Analyzer (640k/1,280k)", "Our Contribution (640k/1,280k)", "reduction")
+	for i := range points640 {
+		p6 := points640[i]
+		var p12 SweepPoint
+		if i < len(points1280) {
+			p12 = points1280[i]
+		}
+		red6 := reduction(p6.LegacyNodes, p6.OurNodes)
+		red12 := reduction(p12.LegacyNodes, p12.OurNodes)
+		fmt.Fprintf(w, "  %-6d %-28s %-28s %.2f%%/%.2f%%\n", p6.Ranks,
+			fmt.Sprintf("%d/%d", p6.LegacyNodes, p12.LegacyNodes),
+			fmt.Sprintf("%d/%d", p6.OurNodes, p12.OurNodes),
+			red6, red12)
+	}
+}
+
+func reduction(legacy, ours int) float64 {
+	if legacy == 0 {
+		return 0
+	}
+	return 100 * float64(legacy-ours) / float64(legacy)
+}
+
+// Figure9 runs MiniVite with the injected duplicate Put and returns the
+// race report (the Fig. 9 output).
+func Figure9(ranks, vertices int, method detector.Method) (*detector.Race, error) {
+	cfg := minivite.Default(ranks, vertices)
+	cfg.InjectRace = true
+	res, err := minivite.Run(cfg, method)
+	if err != nil {
+		return nil, err
+	}
+	if res.Race == nil {
+		return nil, fmt.Errorf("harness: injected race not detected by %v", method)
+	}
+	return res.Race, nil
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rmarace/internal/apps/cfdproxy"
+	"rmarace/internal/detector"
+)
+
+func TestFigure10SmallShape(t *testing.T) {
+	rows, err := Figure10(cfdproxy.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byMethod := map[detector.Method]Fig10Row{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+	}
+	if byMethod[detector.RMAAnalyzer].NodesPerProcess <= byMethod[detector.OurContribution].NodesPerProcess {
+		t.Errorf("merging did not shrink the tree: legacy %d vs ours %d",
+			byMethod[detector.RMAAnalyzer].NodesPerProcess, byMethod[detector.OurContribution].NodesPerProcess)
+	}
+	var buf bytes.Buffer
+	WriteFigure10(&buf, rows)
+	if !strings.Contains(buf.String(), "node reduction") {
+		t.Errorf("output missing reduction line:\n%s", buf.String())
+	}
+}
+
+func TestMiniViteSweepSmall(t *testing.T) {
+	points, err := MiniViteSweep(4000, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, pt := range points {
+		if pt.LegacyNodes <= 0 || pt.OurNodes <= 0 {
+			t.Fatalf("missing node counts at %d ranks: %+v", pt.Ranks, pt)
+		}
+		if pt.OurNodes > pt.LegacyNodes {
+			t.Fatalf("ours (%d) exceeds legacy (%d)", pt.OurNodes, pt.LegacyNodes)
+		}
+		for _, m := range detector.Methods() {
+			if pt.PerProcessTime[m] <= 0 {
+				t.Fatalf("no time for %v at %d ranks", m, pt.Ranks)
+			}
+		}
+	}
+	// Per-process trees shrink with more ranks (Table 4 trend).
+	if points[1].LegacyNodes >= points[0].LegacyNodes {
+		t.Errorf("legacy nodes did not shrink with ranks: %d -> %d", points[0].LegacyNodes, points[1].LegacyNodes)
+	}
+
+	var buf bytes.Buffer
+	WriteFigure11(&buf, 4000, points)
+	if !strings.Contains(buf.String(), "ranks") {
+		t.Error("figure output malformed")
+	}
+	buf.Reset()
+	WriteTable4(&buf, points, points)
+	if !strings.Contains(buf.String(), "reduction") {
+		t.Error("table 4 output malformed")
+	}
+}
+
+func TestFigure9ReportShape(t *testing.T) {
+	race, err := Figure9(2, 1000, detector.OurContribution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := race.Message()
+	for _, want := range []string{"RMA_WRITE", "./dspl.hpp:614", "./dspl.hpp:612", "MPI_Abort"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Fig. 9 report missing %q: %s", want, msg)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package interval provides closed byte-address intervals and the
+// arithmetic the fragmentation and merging algorithms of the paper
+// (§4.1, §4.2) are built on.
+//
+// An Interval is a non-empty, inclusive range [Lo, Hi] of byte
+// addresses, mirroring the paper's notation ([2...12] covers the eleven
+// addresses 2..12). The zero value is the single address 0.
+package interval
+
+import "fmt"
+
+// Interval is an inclusive range of byte addresses [Lo, Hi].
+// Lo must be <= Hi; constructors and helpers preserve this.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// New returns the interval [lo, hi]. It panics if hi < lo, which always
+// indicates a programming error in the caller (an access of negative
+// length cannot occur in an instrumented program).
+func New(lo, hi uint64) Interval {
+	if hi < lo {
+		panic(fmt.Sprintf("interval: inverted bounds [%d, %d]", lo, hi))
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// At returns the single-address interval [addr, addr].
+func At(addr uint64) Interval { return Interval{Lo: addr, Hi: addr} }
+
+// Span returns the interval starting at lo covering n bytes, i.e.
+// [lo, lo+n-1]. It panics if n == 0.
+func Span(lo, n uint64) Interval {
+	if n == 0 {
+		panic("interval: zero-length span")
+	}
+	return Interval{Lo: lo, Hi: lo + n - 1}
+}
+
+// Len returns the number of addresses covered by i.
+func (i Interval) Len() uint64 { return i.Hi - i.Lo + 1 }
+
+// Contains reports whether addr lies within i.
+func (i Interval) Contains(addr uint64) bool { return i.Lo <= addr && addr <= i.Hi }
+
+// ContainsInterval reports whether o lies entirely within i.
+func (i Interval) ContainsInterval(o Interval) bool { return i.Lo <= o.Lo && o.Hi <= i.Hi }
+
+// Intersects reports whether i and o share at least one address.
+func (i Interval) Intersects(o Interval) bool { return i.Lo <= o.Hi && o.Lo <= i.Hi }
+
+// Intersection returns the common sub-interval of i and o. The boolean
+// is false when the intervals are disjoint.
+func (i Interval) Intersection(o Interval) (Interval, bool) {
+	if !i.Intersects(o) {
+		return Interval{}, false
+	}
+	return Interval{Lo: max64(i.Lo, o.Lo), Hi: min64(i.Hi, o.Hi)}, true
+}
+
+// Adjacent reports whether i and o touch without overlapping, i.e. one
+// ends exactly where the other begins. Adjacent intervals are the
+// candidates of the merging algorithm (§4.2: "the two accesses to be
+// merged must be adjacent").
+func (i Interval) Adjacent(o Interval) bool {
+	if i.Hi != ^uint64(0) && i.Hi+1 == o.Lo {
+		return true
+	}
+	if o.Hi != ^uint64(0) && o.Hi+1 == i.Lo {
+		return true
+	}
+	return false
+}
+
+// Union returns the smallest interval covering both i and o. It is only
+// meaningful when the intervals intersect or are adjacent; callers are
+// expected to check that first.
+func (i Interval) Union(o Interval) Interval {
+	return Interval{Lo: min64(i.Lo, o.Lo), Hi: max64(i.Hi, o.Hi)}
+}
+
+// Subtract returns the (up to two) sub-intervals of i not covered by o:
+// the part of i left of o and the part right of o. This is the
+// geometric core of fragmentation (§4.1): the stored access is split
+// into l_frag, intersection_frag and r_frag.
+func (i Interval) Subtract(o Interval) (left Interval, hasLeft bool, right Interval, hasRight bool) {
+	if !i.Intersects(o) {
+		return i, true, Interval{}, false
+	}
+	if i.Lo < o.Lo {
+		left, hasLeft = Interval{Lo: i.Lo, Hi: o.Lo - 1}, true
+	}
+	if i.Hi > o.Hi {
+		right, hasRight = Interval{Lo: o.Hi + 1, Hi: i.Hi}, true
+	}
+	return left, hasLeft, right, hasRight
+}
+
+// Before reports whether i lies entirely left of o with no overlap.
+func (i Interval) Before(o Interval) bool { return i.Hi < o.Lo }
+
+// Compare orders intervals by lower bound, then upper bound. It returns
+// -1, 0 or +1, suitable for sort and tree comparisons.
+func (i Interval) Compare(o Interval) int {
+	switch {
+	case i.Lo < o.Lo:
+		return -1
+	case i.Lo > o.Lo:
+		return 1
+	case i.Hi < o.Hi:
+		return -1
+	case i.Hi > o.Hi:
+		return 1
+	}
+	return 0
+}
+
+// String renders the interval in the paper's notation: "[4]" for a
+// single address, "[2...12]" for a range.
+func (i Interval) String() string {
+	if i.Lo == i.Hi {
+		return fmt.Sprintf("[%d]", i.Lo)
+	}
+	return fmt.Sprintf("[%d...%d]", i.Lo, i.Hi)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

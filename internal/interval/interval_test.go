@@ -1,0 +1,300 @@
+package interval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructors(t *testing.T) {
+	if got := New(2, 12); got.Lo != 2 || got.Hi != 12 {
+		t.Fatalf("New(2,12) = %v", got)
+	}
+	if got := At(7); got.Lo != 7 || got.Hi != 7 {
+		t.Fatalf("At(7) = %v", got)
+	}
+	if got := Span(10, 4); got.Lo != 10 || got.Hi != 13 {
+		t.Fatalf("Span(10,4) = %v", got)
+	}
+}
+
+func TestNewPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(5,4) did not panic")
+		}
+	}()
+	New(5, 4)
+}
+
+func TestSpanPanicsOnZeroLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Span(0,0) did not panic")
+		}
+	}()
+	Span(0, 0)
+}
+
+func TestLen(t *testing.T) {
+	cases := []struct {
+		in   Interval
+		want uint64
+	}{
+		{At(4), 1},
+		{New(2, 12), 11},
+		{New(0, 0), 1},
+	}
+	for _, c := range cases {
+		if got := c.in.Len(); got != c.want {
+			t.Errorf("%v.Len() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	i := New(2, 12)
+	for _, addr := range []uint64{2, 7, 12} {
+		if !i.Contains(addr) {
+			t.Errorf("%v should contain %d", i, addr)
+		}
+	}
+	for _, addr := range []uint64{0, 1, 13, 100} {
+		if i.Contains(addr) {
+			t.Errorf("%v should not contain %d", i, addr)
+		}
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	i := New(2, 12)
+	if !i.ContainsInterval(New(4, 8)) || !i.ContainsInterval(i) {
+		t.Error("containment of inner/equal interval failed")
+	}
+	if i.ContainsInterval(New(1, 5)) || i.ContainsInterval(New(10, 13)) {
+		t.Error("overlap wrongly reported as containment")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{New(2, 12), At(7), true},
+		{New(2, 12), At(4), true},
+		{New(2, 12), At(12), true},  // inclusive upper bound
+		{New(2, 12), At(13), false}, // adjacent is not intersecting
+		{New(2, 12), New(12, 20), true},
+		{New(0, 1), New(2, 3), false},
+		{At(5), At(5), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("%v.Intersects(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(c.a); got != c.want {
+			t.Errorf("%v.Intersects(%v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	got, ok := New(2, 12).Intersection(New(7, 20))
+	if !ok || got != New(7, 12) {
+		t.Fatalf("Intersection = %v, %v", got, ok)
+	}
+	if _, ok := New(0, 1).Intersection(New(3, 4)); ok {
+		t.Fatal("disjoint intervals reported an intersection")
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{New(2, 6), New(7, 9), true},
+		{New(7, 9), New(2, 6), true},
+		{New(2, 6), New(8, 9), false}, // gap of one
+		{New(2, 6), New(6, 9), false}, // overlapping, not adjacent
+		{At(0), At(1), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Adjacent(c.b); got != c.want {
+			t.Errorf("%v.Adjacent(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAdjacentAtAddressSpaceEnd(t *testing.T) {
+	top := ^uint64(0)
+	a := New(top-1, top)
+	b := New(0, 1)
+	if a.Adjacent(b) || b.Adjacent(a) {
+		t.Fatal("intervals at opposite ends of the address space reported adjacent (overflow)")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	if got := New(2, 6).Union(New(5, 9)); got != New(2, 9) {
+		t.Fatalf("Union = %v", got)
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	// Paper Fig. 5b: [2...12] minus [4] leaves [2...3] and [5...12].
+	left, hasL, right, hasR := New(2, 12).Subtract(At(4))
+	if !hasL || left != New(2, 3) {
+		t.Errorf("left = %v, %v", left, hasL)
+	}
+	if !hasR || right != New(5, 12) {
+		t.Errorf("right = %v, %v", right, hasR)
+	}
+
+	// Subtracting a covering interval leaves nothing.
+	_, hasL, _, hasR = At(4).Subtract(New(2, 12))
+	if hasL || hasR {
+		t.Error("covered interval should vanish")
+	}
+
+	// Disjoint subtraction returns the original as the left part.
+	left, hasL, _, hasR = New(2, 4).Subtract(New(10, 12))
+	if !hasL || left != New(2, 4) || hasR {
+		t.Errorf("disjoint subtract = %v,%v hasR=%v", left, hasL, hasR)
+	}
+
+	// Left-aligned overlap only leaves a right part.
+	left, hasL, right, hasR = New(2, 12).Subtract(New(2, 5))
+	if hasL {
+		t.Errorf("unexpected left part %v", left)
+	}
+	if !hasR || right != New(6, 12) {
+		t.Errorf("right = %v, %v", right, hasR)
+	}
+}
+
+func TestBefore(t *testing.T) {
+	if !New(0, 3).Before(New(4, 8)) {
+		t.Error("[0..3] should be before [4..8]")
+	}
+	if New(0, 4).Before(New(4, 8)) {
+		t.Error("touching intervals are not before one another")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want int
+	}{
+		{New(1, 5), New(2, 3), -1},
+		{New(2, 3), New(1, 5), 1},
+		{New(2, 3), New(2, 9), -1},
+		{New(2, 9), New(2, 3), 1},
+		{New(2, 3), New(2, 3), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := At(4).String(); got != "[4]" {
+		t.Errorf("At(4).String() = %q", got)
+	}
+	if got := New(2, 12).String(); got != "[2...12]" {
+		t.Errorf("New(2,12).String() = %q", got)
+	}
+}
+
+// clamp builds a valid interval from two arbitrary uint64s, bounded away
+// from the very top of the address space so property tests can use +1
+// arithmetic safely.
+func clamp(a, b uint64) Interval {
+	const top = math.MaxUint64 - 2
+	if a > top {
+		a = top
+	}
+	if b > top {
+		b = top
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{Lo: a, Hi: b}
+}
+
+func TestQuickIntersectionSymmetricAndContained(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint64) bool {
+		a, b := clamp(a1, a2), clamp(b1, b2)
+		i1, ok1 := a.Intersection(b)
+		i2, ok2 := b.Intersection(a)
+		if ok1 != ok2 || (ok1 && i1 != i2) {
+			return false
+		}
+		if ok1 && (!a.ContainsInterval(i1) || !b.ContainsInterval(i1)) {
+			return false
+		}
+		return ok1 == a.Intersects(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubtractPartition(t *testing.T) {
+	// Subtract + Intersection partition the original interval: their
+	// lengths sum to the original length and the parts are disjoint
+	// from the subtrahend.
+	f := func(a1, a2, b1, b2 uint64) bool {
+		a, b := clamp(a1, a2), clamp(b1, b2)
+		left, hasL, right, hasR := a.Subtract(b)
+		var n uint64
+		if hasL {
+			if left.Intersects(b) {
+				return false
+			}
+			n += left.Len()
+		}
+		if hasR {
+			if right.Intersects(b) {
+				return false
+			}
+			n += right.Len()
+		}
+		if inter, ok := a.Intersection(b); ok {
+			n += inter.Len()
+		}
+		return n == a.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAdjacentNeverIntersects(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint64) bool {
+		a, b := clamp(a1, a2), clamp(b1, b2)
+		if a.Adjacent(b) {
+			return !a.Intersects(b)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionCovers(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint64) bool {
+		a, b := clamp(a1, a2), clamp(b1, b2)
+		u := a.Union(b)
+		return u.ContainsInterval(a) && u.ContainsInterval(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package itree implements the balanced Binary Search Tree the paper's
+// new insertion algorithm stores memory accesses in (§4.2: "searches,
+// insertions and deletions ... are logarithmic in time as we use a
+// (balanced) BST").
+//
+// The tree is an AVL tree keyed by interval lower bound, augmented with
+// the maximum upper bound of each subtree so that stabbing queries
+// ("all stored accesses intersecting a given interval") visit only
+// O(log n + k) nodes. Under Algorithm 1 the stored intervals are always
+// pairwise disjoint, which makes lower bounds unique keys; the tree
+// nevertheless tolerates equal lower bounds (ordering by upper bound)
+// so it can be exercised and property-tested independently of the
+// detector's invariants.
+package itree
+
+import (
+	"rmarace/internal/access"
+	"rmarace/internal/interval"
+)
+
+type node struct {
+	acc         access.Access
+	left, right *node
+	height      int
+	maxHi       uint64 // max interval.Hi in this subtree
+}
+
+// Tree is an AVL interval tree of memory accesses. The zero value is an
+// empty tree ready to use. Tree is not safe for concurrent use; in the
+// detector each window's tree is owned by a single receiver goroutine,
+// matching the paper's per-window analysis thread.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Len returns the number of stored accesses — the "number of nodes in
+// the BST" reported in Table 4 and §5.3.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the height of the tree (0 for an empty tree).
+func (t *Tree) Height() int { return height(t.root) }
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func maxHi(n *node) uint64 {
+	if n == nil {
+		return 0
+	}
+	return n.maxHi
+}
+
+func (n *node) update() {
+	n.height = 1 + max(height(n.left), height(n.right))
+	n.maxHi = n.acc.Hi
+	if l := n.left; l != nil && l.maxHi > n.maxHi {
+		n.maxHi = l.maxHi
+	}
+	if r := n.right; r != nil && r.maxHi > n.maxHi {
+		n.maxHi = r.maxHi
+	}
+}
+
+func rotateRight(y *node) *node {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	y.update()
+	x.update()
+	return x
+}
+
+func rotateLeft(x *node) *node {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	x.update()
+	y.update()
+	return y
+}
+
+func balance(n *node) *node {
+	n.update()
+	switch bf := height(n.left) - height(n.right); {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Insert adds acc to the tree. Accesses with identical intervals are
+// both kept (the tree is a multiset, like the std::multiset RMA-Analyzer
+// uses); the detector's disjointness invariant makes this case
+// unreachable in normal operation.
+func (t *Tree) Insert(acc access.Access) {
+	t.root = insert(t.root, acc)
+	t.size++
+}
+
+func insert(n *node, acc access.Access) *node {
+	if n == nil {
+		nn := &node{acc: acc}
+		nn.update()
+		return nn
+	}
+	if acc.Interval.Compare(n.acc.Interval) < 0 {
+		n.left = insert(n.left, acc)
+	} else {
+		n.right = insert(n.right, acc)
+	}
+	return balance(n)
+}
+
+// Delete removes the stored access whose interval equals iv and reports
+// whether such an access existed. When several accesses share the
+// interval an arbitrary one is removed.
+func (t *Tree) Delete(iv interval.Interval) bool {
+	var deleted bool
+	t.root, deleted = remove(t.root, iv)
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func remove(n *node, iv interval.Interval) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch cmp := iv.Compare(n.acc.Interval); {
+	case cmp < 0:
+		n.left, deleted = remove(n.left, iv)
+	case cmp > 0:
+		n.right, deleted = remove(n.right, iv)
+	default:
+		deleted = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		// Replace with the in-order successor.
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.acc = succ.acc
+		n.right, _ = remove(n.right, succ.acc.Interval)
+	}
+	return balance(n), deleted
+}
+
+// ExtendHi grows the upper bound of the stored access whose interval
+// equals iv to newHi, in place, and reports whether the access was
+// found. Under the disjointness invariant the extension cannot cross
+// the successor's interval, so the node's position stays valid; only
+// the max-upper-bound augmentation is refreshed along the search path.
+func (t *Tree) ExtendHi(iv interval.Interval, newHi uint64) bool {
+	if newHi < iv.Hi {
+		return false
+	}
+	return adjust(t.root, iv, func(a *access.Access) { a.Hi = newHi })
+}
+
+// ExtendLo lowers the lower bound of the stored access whose interval
+// equals iv to newLo, in place. Under the disjointness invariant the
+// extension cannot cross the predecessor's interval, so the ordering by
+// lower bound is preserved.
+func (t *Tree) ExtendLo(iv interval.Interval, newLo uint64) bool {
+	if newLo > iv.Lo {
+		return false
+	}
+	return adjust(t.root, iv, func(a *access.Access) { a.Lo = newLo })
+}
+
+func adjust(n *node, iv interval.Interval, f func(*access.Access)) bool {
+	if n == nil {
+		return false
+	}
+	var ok bool
+	switch cmp := iv.Compare(n.acc.Interval); {
+	case cmp < 0:
+		ok = adjust(n.left, iv, f)
+	case cmp > 0:
+		ok = adjust(n.right, iv, f)
+	default:
+		f(&n.acc)
+		ok = true
+	}
+	if ok {
+		n.update()
+	}
+	return ok
+}
+
+// Stab returns all stored accesses whose intervals intersect iv, in
+// ascending interval order. This is get_intersecting_accesses of
+// Algorithm 1.
+func (t *Tree) Stab(iv interval.Interval) []access.Access {
+	var out []access.Access
+	t.VisitStab(iv, func(a access.Access) bool {
+		out = append(out, a)
+		return true
+	})
+	return out
+}
+
+// VisitStab calls fn for each stored access intersecting iv in ascending
+// interval order, stopping early if fn returns false. It reports whether
+// the visit ran to completion.
+func (t *Tree) VisitStab(iv interval.Interval, fn func(access.Access) bool) bool {
+	return visitStab(t.root, iv, fn)
+}
+
+func visitStab(n *node, iv interval.Interval, fn func(access.Access) bool) bool {
+	if n == nil || maxHi(n) < iv.Lo {
+		// No interval in this subtree reaches iv.
+		return true
+	}
+	if !visitStab(n.left, iv, fn) {
+		return false
+	}
+	if n.acc.Intersects(iv) {
+		if !fn(n.acc) {
+			return false
+		}
+	}
+	if n.acc.Lo > iv.Hi {
+		// Keys right of here start after iv ends; their subtrees can
+		// still only contain larger lower bounds.
+		return true
+	}
+	return visitStab(n.right, iv, fn)
+}
+
+// StabNeighbors appends to *dst every stored access intersecting iv
+// and returns the immediate boundary neighbours — the stored accesses
+// ending exactly at iv.Lo-1 and starting exactly at iv.Hi+1 — when they
+// exist. It is the allocation-free workhorse of the contribution's
+// insertion hot path: one traversal yields everything Algorithm 1 needs
+// (the race check, the fragmentation input and the merge candidates).
+// dst's contents are only valid under the disjointness invariant.
+func (t *Tree) StabNeighbors(iv interval.Interval, dst *[]access.Access) (left, right access.Access, hasLeft, hasRight bool) {
+	wide := iv
+	if wide.Lo > 0 {
+		wide.Lo--
+	}
+	if wide.Hi+1 != 0 {
+		wide.Hi++
+	}
+	t.stabNeighbors(t.root, iv, wide, dst, &left, &right, &hasLeft, &hasRight)
+	return left, right, hasLeft, hasRight
+}
+
+func (t *Tree) stabNeighbors(n *node, iv, wide interval.Interval, dst *[]access.Access, left, right *access.Access, hasLeft, hasRight *bool) {
+	if n == nil || n.maxHi < wide.Lo {
+		return
+	}
+	t.stabNeighbors(n.left, iv, wide, dst, left, right, hasLeft, hasRight)
+	if n.acc.Intersects(wide) {
+		switch {
+		case n.acc.Hi < iv.Lo:
+			*left = n.acc
+			*hasLeft = true
+		case n.acc.Lo > iv.Hi:
+			*right = n.acc
+			*hasRight = true
+		default:
+			*dst = append(*dst, n.acc)
+		}
+	}
+	if n.acc.Lo > wide.Hi {
+		return
+	}
+	t.stabNeighbors(n.right, iv, wide, dst, left, right, hasLeft, hasRight)
+}
+
+// FindAt returns the stored access covering addr, if any. Under the
+// disjointness invariant there is at most one.
+func (t *Tree) FindAt(addr uint64) (access.Access, bool) {
+	var found access.Access
+	ok := !t.VisitStab(interval.At(addr), func(a access.Access) bool {
+		found = a
+		return false
+	})
+	return found, ok
+}
+
+// InOrder calls fn for every stored access in ascending interval order,
+// stopping early if fn returns false.
+func (t *Tree) InOrder(fn func(access.Access) bool) {
+	inOrder(t.root, fn)
+}
+
+func inOrder(n *node, fn func(access.Access) bool) bool {
+	if n == nil {
+		return true
+	}
+	return inOrder(n.left, fn) && fn(n.acc) && inOrder(n.right, fn)
+}
+
+// Items returns all stored accesses in ascending interval order.
+func (t *Tree) Items() []access.Access {
+	out := make([]access.Access, 0, t.size)
+	t.InOrder(func(a access.Access) bool {
+		out = append(out, a)
+		return true
+	})
+	return out
+}
+
+// Clear empties the tree, as RMA-Analyzer does at the end of an epoch.
+func (t *Tree) Clear() {
+	t.root = nil
+	t.size = 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

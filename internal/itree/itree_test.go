@@ -1,0 +1,415 @@
+package itree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/interval"
+)
+
+func acc(lo, hi uint64) access.Access {
+	return access.Access{Interval: interval.New(lo, hi), Type: access.RMARead}
+}
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("zero tree: Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.Stab(interval.New(0, 100)); len(got) != 0 {
+		t.Fatalf("stab on empty tree returned %v", got)
+	}
+	if tr.Delete(interval.At(3)) {
+		t.Fatal("delete on empty tree reported success")
+	}
+	if _, ok := tr.FindAt(0); ok {
+		t.Fatal("FindAt on empty tree reported a hit")
+	}
+}
+
+func TestInsertAndStab(t *testing.T) {
+	var tr Tree
+	tr.Insert(acc(2, 12))
+	tr.Insert(acc(20, 25))
+	tr.Insert(acc(14, 15))
+
+	got := tr.Stab(interval.At(7))
+	if len(got) != 1 || got[0].Interval != interval.New(2, 12) {
+		t.Fatalf("Stab([7]) = %v", got)
+	}
+	if got := tr.Stab(interval.New(13, 13)); len(got) != 0 {
+		t.Fatalf("Stab([13]) = %v, want empty", got)
+	}
+	if got := tr.Stab(interval.New(0, 100)); len(got) != 3 {
+		t.Fatalf("Stab(all) = %v", got)
+	}
+}
+
+// TestStabFindsIntervalOffSearchPath is the structural fix the paper's
+// Figure 5 motivates: a wide interval stored left of a narrower key must
+// still be found when stabbing to its right. The legacy BST misses it.
+func TestStabFindsIntervalOffSearchPath(t *testing.T) {
+	var tr Tree
+	tr.Insert(acc(4, 4))  // ([4], Local_Read) in the paper's example
+	tr.Insert(acc(2, 12)) // MPI_Put, keyed left of [4]
+
+	got := tr.Stab(interval.At(7)) // the Store(7)
+	if len(got) != 1 || got[0].Interval != interval.New(2, 12) {
+		t.Fatalf("Stab([7]) = %v, want exactly [2...12]", got)
+	}
+}
+
+func TestStabOrderedOutput(t *testing.T) {
+	var tr Tree
+	for _, lo := range []uint64{40, 10, 30, 0, 20} {
+		tr.Insert(acc(lo, lo+5))
+	}
+	got := tr.Stab(interval.New(0, 100))
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Interval.Compare(got[i].Interval) >= 0 {
+			t.Fatalf("stab output not sorted: %v", got)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var tr Tree
+	ivs := []interval.Interval{
+		interval.New(0, 5), interval.New(10, 15), interval.New(20, 25),
+		interval.New(30, 35), interval.New(40, 45),
+	}
+	for _, iv := range ivs {
+		tr.Insert(access.Access{Interval: iv})
+	}
+	if !tr.Delete(interval.New(20, 25)) {
+		t.Fatal("delete of present interval failed")
+	}
+	if tr.Delete(interval.New(20, 25)) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d after delete", tr.Len())
+	}
+	if got := tr.Stab(interval.New(20, 25)); len(got) != 0 {
+		t.Fatalf("deleted interval still stabbed: %v", got)
+	}
+	for _, iv := range []interval.Interval{ivs[0], ivs[1], ivs[3], ivs[4]} {
+		if got := tr.Stab(iv); len(got) != 1 {
+			t.Fatalf("surviving interval %v not found", iv)
+		}
+	}
+}
+
+func TestFindAt(t *testing.T) {
+	var tr Tree
+	tr.Insert(acc(10, 20))
+	if a, ok := tr.FindAt(15); !ok || a.Interval != interval.New(10, 20) {
+		t.Fatalf("FindAt(15) = %v, %v", a, ok)
+	}
+	if _, ok := tr.FindAt(21); ok {
+		t.Fatal("FindAt(21) hit")
+	}
+}
+
+func TestClear(t *testing.T) {
+	var tr Tree
+	tr.Insert(acc(0, 1))
+	tr.Insert(acc(2, 3))
+	tr.Clear()
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatal("Clear did not empty the tree")
+	}
+}
+
+func TestItems(t *testing.T) {
+	var tr Tree
+	tr.Insert(acc(10, 12))
+	tr.Insert(acc(0, 2))
+	items := tr.Items()
+	if len(items) != 2 || items[0].Lo != 0 || items[1].Lo != 10 {
+		t.Fatalf("Items() = %v", items)
+	}
+}
+
+func TestVisitStabEarlyStop(t *testing.T) {
+	var tr Tree
+	for lo := uint64(0); lo < 100; lo += 10 {
+		tr.Insert(acc(lo, lo+5))
+	}
+	count := 0
+	done := tr.VisitStab(interval.New(0, 99), func(access.Access) bool {
+		count++
+		return count < 3
+	})
+	if done || count != 3 {
+		t.Fatalf("early stop: done=%v count=%d", done, count)
+	}
+}
+
+func TestBalancedHeight(t *testing.T) {
+	var tr Tree
+	const n = 1 << 12
+	// Worst case for an unbalanced BST: sorted insertion.
+	for i := 0; i < n; i++ {
+		tr.Insert(acc(uint64(i*10), uint64(i*10+5)))
+	}
+	if h := tr.Height(); h > 2*log2(n) {
+		t.Fatalf("height %d after %d sorted inserts exceeds AVL bound %d", h, n, 2*log2(n))
+	}
+}
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// checkAVL verifies the AVL balance factor, the cached height, the
+// cached max upper bound, and the BST ordering of every node.
+func checkAVL(t *testing.T, tr *Tree) {
+	t.Helper()
+	var walk func(n *node) (h int, maxUpper uint64)
+	walk = func(n *node) (int, uint64) {
+		if n == nil {
+			return 0, 0
+		}
+		lh, lmax := walk(n.left)
+		rh, rmax := walk(n.right)
+		if diff := lh - rh; diff < -1 || diff > 1 {
+			t.Fatalf("AVL balance violated at %v: %d vs %d", n.acc, lh, rh)
+		}
+		if n.height != 1+max(lh, rh) {
+			t.Fatalf("cached height wrong at %v", n.acc)
+		}
+		maxUpper := n.acc.Hi
+		if n.left != nil && lmax > maxUpper {
+			maxUpper = lmax
+		}
+		if n.right != nil && rmax > maxUpper {
+			maxUpper = rmax
+		}
+		if n.maxHi != maxUpper {
+			t.Fatalf("cached maxHi wrong at %v: %d vs %d", n.acc, n.maxHi, maxUpper)
+		}
+		return 1 + max(lh, rh), maxUpper
+	}
+	walk(tr.root)
+	items := tr.Items()
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Interval.Compare(items[i].Interval) > 0 {
+			t.Fatalf("BST ordering violated: %v before %v", items[i-1], items[i])
+		}
+	}
+}
+
+// TestRandomizedAgainstReference drives the tree with random inserts,
+// deletes and stabs and compares every answer against a brute-force
+// slice reference, while checking the AVL and augmentation invariants.
+func TestRandomizedAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var tr Tree
+	var ref []access.Access
+
+	refStab := func(iv interval.Interval) []access.Access {
+		var out []access.Access
+		for _, a := range ref {
+			if a.Intersects(iv) {
+				out = append(out, a)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Interval.Compare(out[j].Interval) < 0 })
+		return out
+	}
+
+	for step := 0; step < 5000; step++ {
+		switch op := r.Intn(10); {
+		case op < 5: // insert
+			lo := uint64(r.Intn(1000))
+			a := acc(lo, lo+uint64(r.Intn(20)))
+			// Keep reference a set of unique intervals so Delete is
+			// unambiguous.
+			dup := false
+			for _, x := range ref {
+				if x.Interval == a.Interval {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			tr.Insert(a)
+			ref = append(ref, a)
+		case op < 8 && len(ref) > 0: // delete
+			i := r.Intn(len(ref))
+			iv := ref[i].Interval
+			if !tr.Delete(iv) {
+				t.Fatalf("step %d: delete %v failed", step, iv)
+			}
+			ref = append(ref[:i], ref[i+1:]...)
+		default: // stab
+			lo := uint64(r.Intn(1000))
+			iv := interval.New(lo, lo+uint64(r.Intn(30)))
+			got := tr.Stab(iv)
+			want := refStab(iv)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: stab %v: got %d hits, want %d", step, iv, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Interval != want[i].Interval {
+					t.Fatalf("step %d: stab %v: item %d = %v, want %v", step, iv, i, got[i], want[i])
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("step %d: Len=%d ref=%d", step, tr.Len(), len(ref))
+		}
+		if step%500 == 0 {
+			checkAVL(t, &tr)
+		}
+	}
+	checkAVL(t, &tr)
+}
+
+func TestStabNeighbors(t *testing.T) {
+	var tr Tree
+	tr.Insert(acc(0, 9))   // left neighbour of [10..19]
+	tr.Insert(acc(12, 14)) // intersects
+	tr.Insert(acc(20, 25)) // right neighbour
+	tr.Insert(acc(40, 50)) // unrelated
+
+	var dst []access.Access
+	left, right, hasL, hasR := tr.StabNeighbors(interval.New(10, 19), &dst)
+	if len(dst) != 1 || dst[0].Interval != interval.New(12, 14) {
+		t.Fatalf("intersecting = %v", dst)
+	}
+	if !hasL || left.Interval != interval.New(0, 9) {
+		t.Fatalf("left = %v, %v", left, hasL)
+	}
+	if !hasR || right.Interval != interval.New(20, 25) {
+		t.Fatalf("right = %v, %v", right, hasR)
+	}
+
+	// No neighbours when nothing touches the bounds.
+	dst = dst[:0]
+	_, _, hasL, hasR = tr.StabNeighbors(interval.New(30, 35), &dst)
+	if hasL || hasR || len(dst) != 0 {
+		t.Fatalf("expected empty result, got dst=%v hasL=%v hasR=%v", dst, hasL, hasR)
+	}
+}
+
+func TestStabNeighborsRandomizedAgainstStab(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var tr Tree
+	// Disjoint intervals, as the detector maintains.
+	lo := uint64(0)
+	var all []access.Access
+	for i := 0; i < 300; i++ {
+		lo += uint64(r.Intn(5) + 1)
+		a := acc(lo, lo+uint64(r.Intn(6)))
+		lo = a.Hi + 1
+		tr.Insert(a)
+		all = append(all, a)
+	}
+	for trial := 0; trial < 1000; trial++ {
+		qlo := uint64(r.Intn(int(lo)))
+		q := interval.New(qlo, qlo+uint64(r.Intn(20)))
+		var dst []access.Access
+		left, right, hasL, hasR := tr.StabNeighbors(q, &dst)
+		want := tr.Stab(q)
+		if len(dst) != len(want) {
+			t.Fatalf("trial %d: %d hits, want %d", trial, len(dst), len(want))
+		}
+		for i := range dst {
+			if dst[i].Interval != want[i].Interval {
+				t.Fatalf("trial %d: item %d = %v, want %v", trial, i, dst[i], want[i])
+			}
+		}
+		for _, a := range all {
+			if q.Lo > 0 && a.Hi == q.Lo-1 {
+				if !hasL || left.Interval != a.Interval {
+					t.Fatalf("trial %d: left neighbour %v missed (got %v/%v)", trial, a, left, hasL)
+				}
+			}
+			if a.Lo == q.Hi+1 {
+				if !hasR || right.Interval != a.Interval {
+					t.Fatalf("trial %d: right neighbour %v missed", trial, a)
+				}
+			}
+		}
+	}
+}
+
+func TestExtendHi(t *testing.T) {
+	var tr Tree
+	tr.Insert(acc(10, 19))
+	tr.Insert(acc(30, 39))
+	if !tr.ExtendHi(interval.New(10, 19), 25) {
+		t.Fatal("ExtendHi failed")
+	}
+	if got := tr.Stab(interval.At(25)); len(got) != 1 || got[0].Interval != interval.New(10, 25) {
+		t.Fatalf("Stab after ExtendHi = %v", got)
+	}
+	checkAVL(t, &tr)
+	if tr.ExtendHi(interval.New(10, 19), 30) {
+		t.Fatal("ExtendHi matched a stale interval")
+	}
+	if tr.ExtendHi(interval.New(10, 25), 20) {
+		t.Fatal("ExtendHi accepted a shrink")
+	}
+}
+
+func TestExtendLo(t *testing.T) {
+	var tr Tree
+	tr.Insert(acc(10, 19))
+	tr.Insert(acc(30, 39))
+	if !tr.ExtendLo(interval.New(30, 39), 25) {
+		t.Fatal("ExtendLo failed")
+	}
+	if got := tr.Stab(interval.At(25)); len(got) != 1 || got[0].Interval != interval.New(25, 39) {
+		t.Fatalf("Stab after ExtendLo = %v", got)
+	}
+	checkAVL(t, &tr)
+	if tr.ExtendLo(interval.New(25, 39), 28) {
+		t.Fatal("ExtendLo accepted a shrink")
+	}
+	// Items remain ordered after the key change.
+	items := tr.Items()
+	if len(items) != 2 || items[0].Lo != 10 || items[1].Lo != 25 {
+		t.Fatalf("Items = %v", items)
+	}
+}
+
+func TestExtendMissingInterval(t *testing.T) {
+	var tr Tree
+	tr.Insert(acc(0, 5))
+	if tr.ExtendHi(interval.New(7, 9), 12) || tr.ExtendLo(interval.New(7, 9), 6) {
+		t.Fatal("Extend on a missing interval reported success")
+	}
+}
+
+func TestDuplicateLowerBounds(t *testing.T) {
+	// The multiset property: equal intervals coexist and delete removes
+	// exactly one.
+	var tr Tree
+	tr.Insert(acc(5, 10))
+	tr.Insert(acc(5, 10))
+	tr.Insert(acc(5, 8))
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.Stab(interval.At(6)); len(got) != 3 {
+		t.Fatalf("Stab = %v", got)
+	}
+	if !tr.Delete(interval.New(5, 10)) {
+		t.Fatal("delete failed")
+	}
+	if got := tr.Stab(interval.At(9)); len(got) != 1 {
+		t.Fatalf("after delete, Stab([9]) = %v", got)
+	}
+}

@@ -1,0 +1,168 @@
+// Package legacybst reimplements the memory-access storage of the
+// original RMA-Analyzer (Aitkaci et al., EuroMPI'21) as described in
+// §3 and §4.1 of the paper, including its two published defects:
+//
+//   - Accesses are stored one node per access, never fragmented or
+//     merged, so the tree grows linearly with the number of accesses
+//     (Code 2 / Fig. 8b: 5,002 nodes for a 1,000-iteration loop).
+//
+//   - The search for intersecting accesses navigates the tree by
+//     comparing interval *lower bounds only* and therefore inspects
+//     only the nodes on the descent path. A wide interval stored in a
+//     subtree the descent does not enter is missed, which is the false
+//     negative of Code 1 / Fig. 5a.
+//
+// The C++ original stores accesses in a std::multiset (a balanced
+// red-black tree); this implementation balances with the same AVL
+// scheme as package itree so that size, not pathological shape, is the
+// performance variable — exactly the comparison the paper makes.
+package legacybst
+
+import (
+	"rmarace/internal/access"
+	"rmarace/internal/interval"
+)
+
+type node struct {
+	acc         access.Access
+	left, right *node
+	height      int
+}
+
+// Tree is the legacy multiset BST keyed by interval lower bound. The
+// zero value is an empty tree ready to use.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Len returns the number of stored accesses.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the height of the tree (0 when empty).
+func (t *Tree) Height() int { return height(t.root) }
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func (n *node) update() { n.height = 1 + max(height(n.left), height(n.right)) }
+
+func rotateRight(y *node) *node {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	y.update()
+	x.update()
+	return x
+}
+
+func rotateLeft(x *node) *node {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	x.update()
+	y.update()
+	return y
+}
+
+func balance(n *node) *node {
+	n.update()
+	switch bf := height(n.left) - height(n.right); {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// less orders nodes by lower bound only — the legacy comparison the
+// paper identifies as the source of missed intersections. Ties go
+// right, like std::multiset insertion order for equivalent keys.
+func less(a, b access.Access) bool { return a.Lo < b.Lo }
+
+// Insert adds acc as a new node. Nothing is fragmented or merged.
+func (t *Tree) Insert(acc access.Access) {
+	t.root = insert(t.root, acc)
+	t.size++
+}
+
+func insert(n *node, acc access.Access) *node {
+	if n == nil {
+		nn := &node{acc: acc}
+		nn.update()
+		return nn
+	}
+	if less(acc, n.acc) {
+		n.left = insert(n.left, acc)
+	} else {
+		n.right = insert(n.right, acc)
+	}
+	return balance(n)
+}
+
+// SearchIntersecting returns the stored accesses intersecting iv that
+// the legacy algorithm actually finds: those on the lower-bound descent
+// path of iv.Lo. Accesses intersecting iv that live off the path are
+// missed — deliberately, to reproduce RMA-Analyzer's behaviour.
+func (t *Tree) SearchIntersecting(iv interval.Interval) []access.Access {
+	var out []access.Access
+	n := t.root
+	for n != nil {
+		if n.acc.Intersects(iv) {
+			out = append(out, n.acc)
+		}
+		if iv.Lo < n.acc.Lo {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return out
+}
+
+// InOrder calls fn for every stored access in key order, stopping early
+// if fn returns false.
+func (t *Tree) InOrder(fn func(access.Access) bool) {
+	inOrder(t.root, fn)
+}
+
+func inOrder(n *node, fn func(access.Access) bool) bool {
+	if n == nil {
+		return true
+	}
+	return inOrder(n.left, fn) && fn(n.acc) && inOrder(n.right, fn)
+}
+
+// Items returns all stored accesses in key order.
+func (t *Tree) Items() []access.Access {
+	out := make([]access.Access, 0, t.size)
+	t.InOrder(func(a access.Access) bool {
+		out = append(out, a)
+		return true
+	})
+	return out
+}
+
+// Clear empties the tree, as happens at the end of an epoch.
+func (t *Tree) Clear() {
+	t.root = nil
+	t.size = 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

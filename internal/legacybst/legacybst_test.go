@@ -1,0 +1,138 @@
+package legacybst
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/interval"
+)
+
+func acc(lo, hi uint64, t access.Type) access.Access {
+	return access.Access{Interval: interval.New(lo, hi), Type: t}
+}
+
+func TestEmpty(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatal("zero tree not empty")
+	}
+	if got := tr.SearchIntersecting(interval.New(0, 10)); len(got) != 0 {
+		t.Fatalf("search on empty tree = %v", got)
+	}
+}
+
+func TestInsertGrowsLinearly(t *testing.T) {
+	// The legacy defect of Code 2 (Fig. 8b): every access is a node,
+	// even when adjacent and identically typed.
+	var tr Tree
+	for i := 0; i < 1000; i++ {
+		tr.Insert(acc(uint64(i), uint64(i), access.RMAWrite))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000 (one node per access)", tr.Len())
+	}
+}
+
+// TestPaperFigure5aMiss reproduces the false negative of Code 1:
+// Load(4); MPI_Put(2,12); Store(7). The Put's origin-side interval
+// [2...12] is keyed left of [4]; the lower-bound search for [7] goes
+// right at [4] and never sees it.
+func TestPaperFigure5aMiss(t *testing.T) {
+	var tr Tree
+	tr.Insert(acc(4, 4, access.LocalRead))
+	tr.Insert(acc(2, 12, access.RMARead))
+
+	got := tr.SearchIntersecting(interval.At(7))
+	if len(got) != 0 {
+		t.Fatalf("legacy search found %v; the defect this package reproduces requires a miss", got)
+	}
+}
+
+func TestSearchFindsOnPathIntersections(t *testing.T) {
+	// With the wide interval at the root the descent path does include
+	// it, so the race IS found — this is why the two-operation
+	// microbenchmarks produce no legacy false negatives (Table 3).
+	var tr Tree
+	tr.Insert(acc(2, 12, access.RMARead))
+	got := tr.SearchIntersecting(interval.At(7))
+	if len(got) != 1 || got[0].Interval != interval.New(2, 12) {
+		t.Fatalf("search = %v", got)
+	}
+}
+
+func TestSearchEqualLowerBounds(t *testing.T) {
+	var tr Tree
+	tr.Insert(acc(5, 10, access.RMAWrite))
+	tr.Insert(acc(5, 20, access.RMAWrite))
+	got := tr.SearchIntersecting(interval.New(5, 6))
+	if len(got) != 2 {
+		t.Fatalf("search with duplicate keys = %v", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	var tr Tree
+	tr.Insert(acc(0, 1, access.LocalRead))
+	tr.Clear()
+	if tr.Len() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestItemsOrdered(t *testing.T) {
+	var tr Tree
+	for _, lo := range []uint64{9, 3, 7, 1, 5} {
+		tr.Insert(acc(lo, lo+1, access.LocalRead))
+	}
+	items := tr.Items()
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Lo > items[i].Lo {
+			t.Fatalf("items out of order: %v", items)
+		}
+	}
+}
+
+func TestBalancedUnderSortedInsertion(t *testing.T) {
+	var tr Tree
+	const n = 1 << 12
+	for i := 0; i < n; i++ {
+		tr.Insert(acc(uint64(i), uint64(i), access.LocalRead))
+	}
+	if h := tr.Height(); h > 24 {
+		t.Fatalf("height %d after sorted insertion; multiset emulation must stay balanced", h)
+	}
+}
+
+// TestSearchIsSubsetOfTruth: the legacy search may miss intersections
+// but must never invent them, and everything it returns must be on the
+// lower-bound descent path.
+func TestSearchIsSubsetOfTruth(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var tr Tree
+	var all []access.Access
+	for i := 0; i < 500; i++ {
+		lo := uint64(r.Intn(500))
+		a := acc(lo, lo+uint64(r.Intn(30)), access.RMAWrite)
+		tr.Insert(a)
+		all = append(all, a)
+
+		qlo := uint64(r.Intn(500))
+		q := interval.New(qlo, qlo+uint64(r.Intn(30)))
+		got := tr.SearchIntersecting(q)
+		for _, g := range got {
+			if !g.Intersects(q) {
+				t.Fatalf("legacy search returned non-intersecting %v for %v", g, q)
+			}
+		}
+		truth := 0
+		for _, a := range all {
+			if a.Intersects(q) {
+				truth++
+			}
+		}
+		if len(got) > truth {
+			t.Fatalf("legacy search returned more hits (%d) than exist (%d)", len(got), truth)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package micro
+
+import (
+	"fmt"
+
+	"rmarace/internal/access"
+	"rmarace/internal/detector"
+	"rmarace/internal/mpi"
+	"rmarace/internal/rma"
+)
+
+// Ranks is the world size every microbenchmark runs with: the owner of
+// the doubly-accessed location (rank 0), the first origin (rank 1) and
+// ORIGIN 2 (rank 2).
+const Ranks = 3
+
+const (
+	locOff      = 0  // the doubly-accessed location in the owner's window/buffer
+	locOffAlt   = 64 // the second location of disjoint controls
+	remoteOff1  = 32 // scratch window region at rank 1 targeted by owner ops
+	remoteOff2  = 40
+	obWinOff1   = 128 // origin-side buffers placed inside the issuer's window
+	obWinOff2   = 160
+	selfDstOff1 = 128 // self-communication target regions
+	selfDstOff2 = 160
+	accBytes    = 8
+	winSize     = 256
+)
+
+// issuer returns the rank executing the descriptor.
+func (c *Case) issuer(d Descriptor, second bool) int {
+	if !d.remote() {
+		return 0
+	}
+	if second && c.SecondOrigin {
+		return 2
+	}
+	return 1
+}
+
+func (c *Case) dbg(line int) access.Debug {
+	return access.Debug{File: "micro/" + c.Name + ".c", Line: line}
+}
+
+// body returns the SPMD program of the case.
+func (c *Case) body() func(p *rma.Proc) error {
+	return func(p *rma.Proc) error {
+		// The suite's windows are created over stack arrays
+		// (MPI_Win_create on a local buffer); see the package comment.
+		w, err := p.WinCreate("X", winSize, rma.OnStack())
+		if err != nil {
+			return err
+		}
+		// Heap buffers: the out-of-window location and per-operation
+		// origin/destination scratch.
+		locHeap := p.Alloc("loc", 128)
+		ob1 := p.Alloc("ob1", 64)
+		ob2 := p.Alloc("ob2", 64)
+
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+
+		step := func(second bool) error {
+			if p.Rank() != 0 {
+				return nil
+			}
+			line := 10
+			off := selfDstOff1
+			ob := ob1
+			if second {
+				line, off, ob = 20, selfDstOff2, ob2
+			}
+			switch c.Self {
+			case selfGetGet:
+				return w.Get(ob, 0, 0, locOff, accBytes, c.dbg(line))
+			case selfPutPut:
+				return w.Put(0, off, w.Buffer(), locOff, accBytes, c.dbg(line))
+			case selfGetPutDisjoint:
+				if !second {
+					return w.Get(ob1, 0, 0, locOff, accBytes, c.dbg(line))
+				}
+				return w.Put(0, locOffAlt, ob2, 0, accBytes, c.dbg(line))
+			}
+			return nil
+		}
+
+		exec := func(d Descriptor, second bool) error {
+			if c.Self != selfNone {
+				return step(second)
+			}
+			if p.Rank() != c.issuer(d, second) {
+				return nil
+			}
+			line := 10
+			if second {
+				line = 20
+			}
+			loc := locHeap
+			if c.InWindow {
+				loc = w.Buffer()
+			}
+			off := locOff
+			if second && !c.Overlap {
+				off = locOffAlt
+			}
+			rOff, obOff := remoteOff1, obWinOff1
+			ob := ob1
+			if second {
+				rOff, obOff, ob = remoteOff2, obWinOff2, ob2
+			}
+			switch d {
+			case dLoad:
+				_, err := loc.Load(off, accBytes, c.dbg(line))
+				return err
+			case dStore:
+				return loc.Store(off, make([]byte, accBytes), c.dbg(line))
+			case dGetL:
+				return w.Get(loc, off, 1, rOff, accBytes, c.dbg(line))
+			case dPutL:
+				return w.Put(1, rOff, loc, off, accBytes, c.dbg(line))
+			case dGetR:
+				if c.OriginBufIn {
+					return w.Get(w.Buffer(), obOff, 0, off, accBytes, c.dbg(line))
+				}
+				return w.Get(ob, 0, 0, off, accBytes, c.dbg(line))
+			case dPutR:
+				if c.OriginBufIn {
+					return w.Put(0, off, w.Buffer(), obOff, accBytes, c.dbg(line))
+				}
+				return w.Put(0, off, ob, 0, accBytes, c.dbg(line))
+			}
+			return fmt.Errorf("micro: unknown descriptor %d", d)
+		}
+
+		if err := exec(c.D1, false); err != nil {
+			return err
+		}
+		// The barrier orders the two operations' *issuing* across ranks
+		// so every run observes the suite's program order. Per the MPI
+		// standard (§6(1) of the paper) it does NOT complete one-sided
+		// communications, and none of the analyzers treats it as a
+		// synchronisation point.
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		if err := exec(c.D2, true); err != nil {
+			return err
+		}
+		return w.UnlockAll()
+	}
+}
+
+// Run executes the case under the given analysis method and reports
+// whether a race was detected. A race abort is a successful detection,
+// not an error.
+func (c *Case) Run(method detector.Method) (detected bool, err error) {
+	world := mpi.NewWorld(Ranks)
+	s := rma.NewSession(world, rma.Config{Method: method})
+	runErr := world.Run(func(mp *mpi.Proc) error { return c.body()(s.Proc(mp)) })
+	s.Close()
+	if r := s.Race(); r != nil {
+		return true, nil
+	}
+	return false, runErr
+}

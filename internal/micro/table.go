@@ -1,0 +1,146 @@
+package micro
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rmarace/internal/detector"
+)
+
+// Confusion is a Table 3 row: the detection quality of one method over
+// the suite.
+type Confusion struct {
+	FP, FN, TP, TN int
+}
+
+// Total returns the number of evaluated cases.
+func (c Confusion) Total() int { return c.FP + c.FN + c.TP + c.TN }
+
+// Result records one case's outcome under one method.
+type Result struct {
+	Name     string
+	Racy     bool
+	Detected bool
+}
+
+// Evaluate runs every case under the method and accumulates the
+// confusion matrix.
+func Evaluate(method detector.Method, cases []Case) (Confusion, []Result, error) {
+	var conf Confusion
+	results := make([]Result, 0, len(cases))
+	for i := range cases {
+		c := &cases[i]
+		detected, err := c.Run(method)
+		if err != nil {
+			return conf, results, fmt.Errorf("case %s under %v: %w", c.Name, method, err)
+		}
+		switch {
+		case c.Racy && detected:
+			conf.TP++
+		case c.Racy && !detected:
+			conf.FN++
+		case !c.Racy && detected:
+			conf.FP++
+		default:
+			conf.TN++
+		}
+		results = append(results, Result{Name: c.Name, Racy: c.Racy, Detected: detected})
+	}
+	return conf, results, nil
+}
+
+// Table2Cases are the four programs compared tool-by-tool in Table 2,
+// under their exact paper names.
+var Table2Cases = []string{
+	"ll_get_load_outwindow_origin_race",
+	"ll_get_get_inwindow_origin_safe",
+	"ll_get_load_inwindow_origin_race",
+	"ll_load_get_inwindow_origin_safe",
+}
+
+// Table2Methods are the tools compared in Table 2, in column order.
+var Table2Methods = []detector.Method{
+	detector.RMAAnalyzer, detector.MustRMAMethod, detector.OurContribution,
+}
+
+// WriteTable2 runs the four Table 2 programs under the three tools and
+// prints the paper's comparison (✓: error detected, x: no error found).
+func WriteTable2(w io.Writer) error {
+	cases := Suite()
+	fmt.Fprintf(w, "%-42s %-14s %-10s %s\n", "", "RMA-Analyzer", "MUST-RMA", "Our Contribution")
+	for _, name := range Table2Cases {
+		c := Find(cases, name)
+		if c == nil {
+			return fmt.Errorf("micro: Table 2 case %s missing from suite", name)
+		}
+		marks := make([]string, len(Table2Methods))
+		for i, m := range Table2Methods {
+			detected, err := c.Run(m)
+			if err != nil {
+				return err
+			}
+			if detected {
+				marks[i] = "yes"
+			} else {
+				marks[i] = "x"
+			}
+		}
+		fmt.Fprintf(w, "%-42s %-14s %-10s %s\n", name, marks[0], marks[1], marks[2])
+	}
+	return nil
+}
+
+// WriteTable3 evaluates the whole suite under the three tools and
+// prints the FP/FN/TP/TN table.
+func WriteTable3(w io.Writer) error {
+	cases := Suite()
+	fmt.Fprintf(w, "suite: %d codes (%d racy, %d safe)\n", len(cases), countRacy(cases), len(cases)-countRacy(cases))
+	fmt.Fprintf(w, "%-4s %-14s %-10s %s\n", "", "RMA-Analyzer", "MUST-RMA", "Our Contribution")
+	rows := [4]string{"FP", "FN", "TP", "TN"}
+	var confs []Confusion
+	for _, m := range Table2Methods {
+		conf, _, err := Evaluate(m, cases)
+		if err != nil {
+			return err
+		}
+		confs = append(confs, conf)
+	}
+	values := func(c Confusion) [4]int { return [4]int{c.FP, c.FN, c.TP, c.TN} }
+	for i, label := range rows {
+		fmt.Fprintf(w, "%-4s %-14d %-10d %d\n", label,
+			values(confs[0])[i], values(confs[1])[i], values(confs[2])[i])
+	}
+	return nil
+}
+
+// WriteMismatches lists, for debugging and EXPERIMENTS.md, every case a
+// method got wrong.
+func WriteMismatches(w io.Writer, method detector.Method) error {
+	conf, results, err := Evaluate(method, Suite())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%v: FP=%d FN=%d TP=%d TN=%d\n", method, conf.FP, conf.FN, conf.TP, conf.TN)
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	for _, r := range results {
+		if r.Racy != r.Detected {
+			kind := "FN"
+			if r.Detected {
+				kind = "FP"
+			}
+			fmt.Fprintf(w, "  %s %s\n", kind, r.Name)
+		}
+	}
+	return nil
+}
+
+func countRacy(cases []Case) int {
+	n := 0
+	for i := range cases {
+		if cases[i].Racy {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,115 @@
+package micro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rmarace/internal/detector"
+)
+
+func TestConfusionTotal(t *testing.T) {
+	c := Confusion{FP: 1, FN: 2, TP: 3, TN: 4}
+	if c.Total() != 10 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}
+
+func TestFindMissing(t *testing.T) {
+	if Find(Suite(), "no_such_case") != nil {
+		t.Fatal("Find invented a case")
+	}
+}
+
+func TestWriteTable3Format(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"154 codes", "47 racy", "107 safe", "FP", "FN", "TP", "TN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEveryRacyCaseNamesARace / safe cases end in _safe: the naming
+// convention encodes the ground truth, like the paper's suite.
+func TestNamingEncodesGroundTruth(t *testing.T) {
+	for _, c := range Suite() {
+		if c.Racy && !strings.HasSuffix(c.Name, "_race") {
+			t.Errorf("racy case %s not suffixed _race", c.Name)
+		}
+		if !c.Racy && !strings.HasSuffix(c.Name, "_safe") {
+			t.Errorf("safe case %s not suffixed _safe", c.Name)
+		}
+	}
+}
+
+// TestDisjointControlsAreSafe: every _disjoint case is a safe control.
+func TestDisjointControlsAreSafe(t *testing.T) {
+	n := 0
+	for _, c := range Suite() {
+		if strings.Contains(c.Name, "_disjoint") {
+			n++
+			if c.Racy {
+				t.Errorf("disjoint control %s marked racy", c.Name)
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no disjoint controls found")
+	}
+}
+
+// TestSuiteDeterministic: two generations agree exactly.
+func TestSuiteDeterministic(t *testing.T) {
+	a, b := Suite(), Suite()
+	if len(a) != len(b) {
+		t.Fatal("suite size varies")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Racy != b[i].Racy {
+			t.Fatalf("case %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestOurContributionOnEveryCaseMatchesGroundTruth is the exhaustive
+// soundness+completeness check at program level (subsumes Table 3 for
+// the contribution but localises failures to a case name).
+func TestOurContributionOnEveryCaseMatchesGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	for _, c := range Suite() {
+		c := c
+		detected, err := c.Run(detector.OurContribution)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if detected != c.Racy {
+			t.Errorf("%s: detected=%v, ground truth %v", c.Name, detected, c.Racy)
+		}
+	}
+}
+
+func TestWriteSuiteDoc(t *testing.T) {
+	var buf bytes.Buffer
+	WriteSuiteDoc(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"154 codes", "47 containing a data race",
+		"ll_get_load_outwindow_origin_race", "**race**",
+		"ll_get_get_inwindow_origin_safe",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("suite doc missing %q", want)
+		}
+	}
+	// 154 case rows plus the header row.
+	if n := strings.Count(out, "\n| "); n != 155 {
+		t.Errorf("catalogue has %d table rows, want 155", n)
+	}
+}

@@ -1,0 +1,122 @@
+package mpi
+
+import "fmt"
+
+const (
+	collGather = iota + 100 // offset away from the base collective kinds
+	collAllgather
+	collScatter
+)
+
+// Gather collects each rank's data at root, concatenated in rank order.
+// Non-root ranks receive nil. All contributions must have equal length.
+func (p *Proc) Gather(root int, data []byte) ([][]byte, error) {
+	v, d, err := p.collective(collReq{kind: collGather, rank: p.rank, root: root, data: data})
+	_ = v
+	if err != nil {
+		return nil, err
+	}
+	if p.rank != root {
+		return nil, nil
+	}
+	return splitEqual(d, p.w.n)
+}
+
+// Allgather collects each rank's equal-length data at every rank.
+func (p *Proc) Allgather(data []byte) ([][]byte, error) {
+	_, d, err := p.collective(collReq{kind: collAllgather, rank: p.rank, data: data})
+	if err != nil {
+		return nil, err
+	}
+	return splitEqual(d, p.w.n)
+}
+
+// Scatter distributes root's per-rank chunks: rank i receives chunks[i].
+// Non-root ranks pass nil chunks. All chunks must have equal length.
+func (p *Proc) Scatter(root int, chunks [][]byte) ([]byte, error) {
+	var flat []byte
+	if p.rank == root {
+		if len(chunks) != p.w.n {
+			return nil, fmt.Errorf("mpi: scatter needs %d chunks, got %d", p.w.n, len(chunks))
+		}
+		size := len(chunks[0])
+		for i, c := range chunks {
+			if len(c) != size {
+				return nil, fmt.Errorf("mpi: scatter chunk %d has length %d, want %d", i, len(c), size)
+			}
+			flat = append(flat, c...)
+		}
+	}
+	_, d, err := p.collective(collReq{kind: collScatter, rank: p.rank, root: root, data: flat})
+	if err != nil {
+		return nil, err
+	}
+	parts, err := splitEqual(d, p.w.n)
+	if err != nil {
+		return nil, err
+	}
+	return parts[p.rank], nil
+}
+
+func splitEqual(flat []byte, n int) ([][]byte, error) {
+	if len(flat)%n != 0 {
+		return nil, fmt.Errorf("mpi: cannot split %d bytes into %d equal parts", len(flat), n)
+	}
+	size := len(flat) / n
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = flat[i*size : (i+1)*size]
+	}
+	return out, nil
+}
+
+// serveGatherFamily handles the gather-style collectives; called from
+// serveCollective.
+func (w *World) serveGatherFamily(reqs []collReq) bool {
+	first := reqs[0]
+	switch first.kind {
+	case collGather, collAllgather:
+		size := len(first.data)
+		flat := make([]byte, 0, size*w.n)
+		// Concatenate in rank order, validating equal lengths.
+		byRank := make([][]byte, w.n)
+		for _, r := range reqs {
+			byRank[r.rank] = r.data
+		}
+		for rank, d := range byRank {
+			if len(d) != size {
+				err := fmt.Errorf("mpi: gather contribution of rank %d has length %d, want %d", rank, len(d), size)
+				w.Abort(err)
+				for _, r := range reqs {
+					r.reply <- collResp{err: err}
+				}
+				return true
+			}
+			flat = append(flat, d...)
+		}
+		for _, r := range reqs {
+			if first.kind == collGather && r.rank != first.root {
+				r.reply <- collResp{}
+				continue
+			}
+			out := make([]byte, len(flat))
+			copy(out, flat)
+			r.reply <- collResp{data: out}
+		}
+		return true
+	case collScatter:
+		var flat []byte
+		for _, r := range reqs {
+			if r.rank == first.root {
+				flat = r.data
+			}
+		}
+		for _, r := range reqs {
+			out := make([]byte, len(flat))
+			copy(out, flat)
+			r.reply <- collResp{data: out}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestGather(t *testing.T) {
+	const n = 5
+	w := NewWorld(n)
+	err := w.Run(func(p *Proc) error {
+		parts, err := p.Gather(2, []byte{byte(p.Rank()), byte(p.Rank() * 2)})
+		if err != nil {
+			return err
+		}
+		if p.Rank() != 2 {
+			if parts != nil {
+				return fmt.Errorf("non-root got %v", parts)
+			}
+			return nil
+		}
+		if len(parts) != n {
+			return fmt.Errorf("root got %d parts", len(parts))
+		}
+		for r, part := range parts {
+			if !bytes.Equal(part, []byte{byte(r), byte(r * 2)}) {
+				return fmt.Errorf("part %d = %v", r, part)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	err := w.Run(func(p *Proc) error {
+		parts, err := p.Allgather([]byte{byte(p.Rank() + 10)})
+		if err != nil {
+			return err
+		}
+		for r, part := range parts {
+			if len(part) != 1 || part[0] != byte(r+10) {
+				return fmt.Errorf("rank %d saw part %d = %v", p.Rank(), r, part)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	const n = 3
+	w := NewWorld(n)
+	err := w.Run(func(p *Proc) error {
+		var chunks [][]byte
+		if p.Rank() == 1 {
+			chunks = [][]byte{{0, 0}, {1, 1}, {2, 2}}
+		}
+		mine, err := p.Scatter(1, chunks)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(mine, []byte{byte(p.Rank()), byte(p.Rank())}) {
+			return fmt.Errorf("rank %d got %v", p.Rank(), mine)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	// A root-side argument error is local: the root must abort (as an
+	// MPI program would) to release the peers already in the collective.
+	errBad := errors.New("scatter rejected")
+	w := NewWorld(2)
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			if _, err := p.Scatter(0, [][]byte{{1}}); err == nil {
+				return fmt.Errorf("bad chunk count accepted")
+			}
+			return errBad
+		}
+		_, err := p.Scatter(0, nil)
+		return err
+	})
+	if !errors.Is(err, errBad) {
+		t.Fatalf("err = %v, want the root's abort", err)
+	}
+}
+
+func TestGatherLengthMismatchAborts(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(p *Proc) error {
+		_, err := p.Gather(0, make([]byte, p.Rank()+1))
+		return err
+	})
+	if err == nil {
+		t.Fatal("unequal gather contributions must abort")
+	}
+}

@@ -1,0 +1,305 @@
+package rma
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/detector"
+)
+
+func TestAccumulateSumMovesData(t *testing.T) {
+	err, s := run(t, 3, detector.OurContribution, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		if p.Rank() != 0 {
+			src := p.Alloc("src", 8)
+			binary.LittleEndian.PutUint64(src.Raw(), uint64(p.Rank()*10))
+			if err := w.Accumulate(0, 0, src, 0, 8, access.AccumSum, dbg(1)); err != nil {
+				return err
+			}
+		}
+		if err := w.UnlockAll(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if got := binary.LittleEndian.Uint64(w.Buffer().Raw()); got != 30 {
+				t.Errorf("sum = %d, want 30", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Race() != nil {
+		t.Fatalf("same-op accumulates raced: %v", s.Race())
+	}
+}
+
+// TestConcurrentSameOpAccumulatesSafe is the §2.1 atomicity property:
+// overlapping MPI_SUM accumulates from several origins are not a race
+// for the contribution or the MUST simulator.
+func TestConcurrentSameOpAccumulatesSafe(t *testing.T) {
+	body := func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		src := p.Alloc("src", 8)
+		if err := w.Accumulate(0, 0, src, 0, 8, access.AccumSum, dbg(p.Rank())); err != nil {
+			return err
+		}
+		return w.UnlockAll()
+	}
+	for _, m := range []detector.Method{detector.OurContribution, detector.MustRMAMethod} {
+		if err, s := run(t, 3, m, Config{}, body); err != nil || s.Race() != nil {
+			t.Errorf("%v flagged same-op accumulates: err=%v race=%v", m, err, s.Race())
+		}
+	}
+	// The legacy analyzer conservatively flags them — a documented
+	// limitation of the pre-MPI-3 tooling it models.
+	if _, s := run(t, 3, detector.RMAAnalyzer, Config{}, body); s.Race() == nil {
+		t.Error("legacy unexpectedly accepted concurrent accumulates")
+	}
+}
+
+func TestMixedOpAccumulatesRace(t *testing.T) {
+	body := func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		if p.Rank() > 0 {
+			src := p.Alloc("src", 8)
+			op := access.AccumSum
+			if p.Rank() == 2 {
+				op = access.AccumMax
+			}
+			if err := w.Accumulate(0, 0, src, 0, 8, op, dbg(p.Rank())); err != nil {
+				return err
+			}
+		}
+		return w.UnlockAll()
+	}
+	for _, m := range []detector.Method{detector.OurContribution, detector.MustRMAMethod} {
+		if _, s := run(t, 3, m, Config{}, body); s.Race() == nil {
+			t.Errorf("%v missed the mixed-operation accumulate race", m)
+		}
+	}
+}
+
+func TestAccumulateVsPutRaces(t *testing.T) {
+	body := func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		src := p.Alloc("src", 8)
+		switch p.Rank() {
+		case 1:
+			if err := w.Accumulate(0, 0, src, 0, 8, access.AccumSum, dbg(1)); err != nil {
+				return err
+			}
+		case 2:
+			if err := w.Put(0, 0, src, 0, 8, dbg(2)); err != nil {
+				return err
+			}
+		}
+		return w.UnlockAll()
+	}
+	if _, s := run(t, 3, detector.OurContribution, Config{}, body); s.Race() == nil {
+		t.Fatal("accumulate vs put race missed")
+	}
+}
+
+func TestAccumulateValidation(t *testing.T) {
+	err, _ := run(t, 2, detector.Baseline, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		src := p.Alloc("src", 16)
+		if err := w.Accumulate(1, 0, src, 0, 8, access.AccumSum, dbg(1)); !errors.Is(err, ErrNoEpoch) {
+			t.Errorf("accumulate outside epoch: %v", err)
+		}
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if err := w.Accumulate(1, 0, src, 0, 12, access.AccumSum, dbg(1)); err == nil {
+				t.Error("non-multiple-of-8 length accepted")
+			}
+			if err := w.Accumulate(1, 0, src, 0, 8, access.AccumNone, dbg(1)); err == nil {
+				t.Error("MPI_NO_OP accepted")
+			}
+			if err := w.Accumulate(9, 0, src, 0, 8, access.AccumSum, dbg(1)); err == nil {
+				t.Error("invalid rank accepted")
+			}
+		}
+		return w.UnlockAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchAndOpReturnsOldValue(t *testing.T) {
+	err, s := run(t, 2, detector.OurContribution, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 1 {
+			binary.LittleEndian.PutUint64(w.Buffer().Raw(), 7)
+		}
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			old, err := w.FetchAndOp(1, 0, 5, access.AccumSum, dbg(1))
+			if err != nil {
+				return err
+			}
+			if old != 7 {
+				t.Errorf("old = %d, want 7", old)
+			}
+		}
+		if err := w.UnlockAll(); err != nil {
+			return err
+		}
+		if p.Rank() == 1 {
+			if got := binary.LittleEndian.Uint64(w.Buffer().Raw()); got != 12 {
+				t.Errorf("value = %d, want 12", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Race() != nil {
+		t.Fatalf("fetch-and-op raced: %v", s.Race())
+	}
+}
+
+func TestApplyAccumOps(t *testing.T) {
+	cases := []struct {
+		op       access.AccumOp
+		cur, val uint64
+		want     uint64
+	}{
+		{access.AccumSum, 3, 4, 7},
+		{access.AccumReplace, 3, 4, 4},
+		{access.AccumMax, 3, 4, 4},
+		{access.AccumMax, 9, 4, 9},
+		{access.AccumMin, 3, 4, 3},
+		{access.AccumMin, 9, 4, 4},
+		{access.AccumBand, 0b1100, 0b1010, 0b1000},
+		{access.AccumNone, 3, 4, 3}, // no-op fallback
+	}
+	for _, c := range cases {
+		if got := applyAccum(c.op, c.cur, c.val); got != c.want {
+			t.Errorf("applyAccum(%v, %d, %d) = %d, want %d", c.op, c.cur, c.val, got, c.want)
+		}
+	}
+}
+
+func TestFenceSeparatesEpochs(t *testing.T) {
+	// Active-target phases: a put in phase 1 and a conflicting local
+	// store in phase 2 do not race across the fence.
+	body := func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if err := w.Fence(); err != nil { // open phase 1
+			return err
+		}
+		if p.Rank() == 1 {
+			src := p.Alloc("src", 8)
+			if err := w.Put(0, 0, src, 0, 8, dbg(1)); err != nil {
+				return err
+			}
+		}
+		if err := w.Fence(); err != nil { // phase 1 -> phase 2
+			return err
+		}
+		if p.Rank() == 0 {
+			if err := w.Buffer().Store(0, make([]byte, 8), dbg(2)); err != nil {
+				return err
+			}
+		}
+		return w.FenceEnd()
+	}
+	for _, m := range []detector.Method{detector.OurContribution, detector.MustRMAMethod, detector.RMAAnalyzer} {
+		if err, s := run(t, 2, m, Config{}, body); err != nil || s.Race() != nil {
+			t.Errorf("%v: fence-separated accesses raced: err=%v race=%v", m, err, s.Race())
+		}
+	}
+}
+
+func TestFenceWithoutSeparationStillRaces(t *testing.T) {
+	// Within one fence phase the same pattern is a race.
+	body := func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if err := w.Fence(); err != nil {
+			return err
+		}
+		if p.Rank() == 1 {
+			src := p.Alloc("src", 8)
+			if err := w.Put(0, 0, src, 0, 8, dbg(1)); err != nil {
+				return err
+			}
+		}
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if err := w.Buffer().Store(0, make([]byte, 8), dbg(2)); err != nil {
+				return err
+			}
+		}
+		return w.FenceEnd()
+	}
+	if _, s := run(t, 2, detector.OurContribution, Config{}, body); s.Race() == nil {
+		t.Fatal("intra-phase race missed")
+	}
+}
+
+func TestFenceEndWithoutOpenEpoch(t *testing.T) {
+	err, _ := run(t, 1, detector.Baseline, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 8)
+		if err != nil {
+			return err
+		}
+		if err := w.FenceEnd(); !errors.Is(err, ErrNoEpoch) {
+			t.Errorf("FenceEnd without epoch: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package rma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"rmarace/internal/access"
+	"rmarace/internal/detector"
+	"rmarace/internal/interval"
+	"rmarace/internal/mpi"
+)
+
+// Proc is one rank's instrumented handle: it wraps the mpi.Proc with
+// buffer allocation, instrumented local accesses and window creation.
+type Proc struct {
+	*mpi.Proc
+	s *Session
+	// time is the rank's program-order counter; only this rank's
+	// goroutine advances it.
+	time uint64
+	// open lists this rank's windows with an open passive-target epoch;
+	// instrumented local accesses are analysed against each of them.
+	open []*Win
+}
+
+// Proc attaches a rank to the session.
+func (s *Session) Proc(p *mpi.Proc) *Proc {
+	return &Proc{Proc: p, s: s}
+}
+
+// tick advances and returns the rank's program-order counter.
+func (p *Proc) tick() uint64 {
+	p.time++
+	return p.time
+}
+
+// Buffer is an instrumented region of one rank's simulated address
+// space. Loads and stores through it are observed by the analyzers;
+// Raw gives uninstrumented access for verification code.
+type Buffer struct {
+	p       *Proc
+	name    string
+	base    uint64
+	data    []byte
+	stack   bool
+	tracked bool
+	// winG is set when the buffer is a window's exposed memory: its
+	// bytes may be touched by remote copies, so the owner's local
+	// accesses serialise on the window's copy mutex.
+	winG *winGlobal
+}
+
+// BufOpt configures Alloc.
+type BufOpt func(*Buffer)
+
+// OnStack marks the buffer as stack-allocated. ThreadSanitizer (and so
+// the MUST-RMA simulator) does not instrument local accesses to stack
+// arrays (§5.2).
+func OnStack() BufOpt { return func(b *Buffer) { b.stack = true } }
+
+// Untracked marks the buffer as proven by the compile-time alias
+// analysis to never alias an RMA region: its local accesses are
+// Filtered events, skipped by the tree-based analyzers but still
+// instrumented by ThreadSanitizer.
+func Untracked() BufOpt { return func(b *Buffer) { b.tracked = false } }
+
+// Alloc reserves an instrumented buffer of size bytes in this rank's
+// address space.
+func (p *Proc) Alloc(name string, size int, opts ...BufOpt) *Buffer {
+	if size <= 0 {
+		panic(fmt.Sprintf("rma: Alloc(%q) with size %d", name, size))
+	}
+	b := &Buffer{
+		p:       p,
+		name:    name,
+		base:    p.AllocAddr(uint64(size)),
+		data:    make([]byte, size),
+		tracked: true,
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Name returns the buffer's debug name.
+func (b *Buffer) Name() string { return b.name }
+
+// Size returns the buffer length in bytes.
+func (b *Buffer) Size() int { return len(b.data) }
+
+// Base returns the buffer's simulated virtual base address.
+func (b *Buffer) Base() uint64 { return b.base }
+
+// Raw returns the underlying bytes without instrumentation, for test
+// and verification code only. For window memory it must only be used
+// while no remote operation can be in flight (before the first epoch or
+// after the last synchronisation).
+func (b *Buffer) Raw() []byte { return b.data }
+
+func (b *Buffer) span(off, n int) interval.Interval {
+	if off < 0 || n <= 0 || off+n > len(b.data) {
+		panic(fmt.Sprintf("rma: access [%d,%d) out of bounds of %q (size %d)", off, off+n, b.name, len(b.data)))
+	}
+	return interval.Span(b.base+uint64(off), uint64(n))
+}
+
+// event builds the instrumented-access event for a local load or store.
+func (b *Buffer) event(off, n int, tp access.Type, dbg access.Debug) detector.Event {
+	return detector.Event{
+		Acc: access.Access{
+			Interval: b.span(off, n),
+			Type:     tp,
+			Rank:     b.p.Rank(),
+			Stack:    b.stack,
+			Debug:    dbg,
+		},
+		Time:     b.p.tick(),
+		Filtered: !b.tracked && !b.p.s.cfg.DisableAliasFilter,
+	}
+}
+
+// localAccess routes a local access to every window of this rank with
+// an open epoch. Outside any epoch the access is not collected,
+// matching the paper's "memory accesses that are contained within each
+// epoch".
+func (p *Proc) localAccess(ev detector.Event) error {
+	for _, w := range p.open {
+		ev.Acc.Epoch = atomic.LoadUint64(&w.g.epochs[p.Rank()])
+		if err := w.analyse(p.Rank(), ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load performs an instrumented read of n bytes at off and returns
+// them. dbg locates the load in the instrumented program.
+func (b *Buffer) Load(off, n int, dbg access.Debug) ([]byte, error) {
+	if err := b.p.localAccess(b.event(off, n, access.LocalRead, dbg)); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	if g := b.winG; g != nil {
+		g.copyMu.Lock()
+		copy(out, b.data[off:off+n])
+		g.copyMu.Unlock()
+	} else {
+		copy(out, b.data[off:off+n])
+	}
+	return out, nil
+}
+
+// Store performs an instrumented write of val at off.
+func (b *Buffer) Store(off int, val []byte, dbg access.Debug) error {
+	if err := b.p.localAccess(b.event(off, len(val), access.LocalWrite, dbg)); err != nil {
+		return err
+	}
+	if g := b.winG; g != nil {
+		g.copyMu.Lock()
+		copy(b.data[off:], val)
+		g.copyMu.Unlock()
+	} else {
+		copy(b.data[off:], val)
+	}
+	return nil
+}
+
+// LoadU64 reads an 8-byte little-endian word at off.
+func (b *Buffer) LoadU64(off int, dbg access.Debug) (uint64, error) {
+	raw, err := b.Load(off, 8, dbg)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(raw), nil
+}
+
+// StoreU64 writes an 8-byte little-endian word at off.
+func (b *Buffer) StoreU64(off int, v uint64, dbg access.Debug) error {
+	var raw [8]byte
+	binary.LittleEndian.PutUint64(raw[:], v)
+	return b.Store(off, raw[:], dbg)
+}

@@ -1,0 +1,183 @@
+package rma
+
+import (
+	"fmt"
+
+	"rmarace/internal/mpi"
+)
+
+// Lock modes of MPI_Win_lock.
+const (
+	lockNone = iota
+	// LockExclusive is MPI_LOCK_EXCLUSIVE: sole access to the target's
+	// window; the matching Unlock orders the session's operations
+	// before every later lock holder's.
+	LockExclusive
+	// LockShared is MPI_LOCK_SHARED: concurrent holders allowed;
+	// conflicting accesses of concurrent holders still race.
+	LockShared
+)
+
+// lockReq is a message to the window's lock server.
+type lockReq struct {
+	target int
+	mode   int // LockExclusive or LockShared; lockNone for unlock
+	reply  chan struct{}
+}
+
+// lockState is the server-side state of one rank's window lock.
+type lockState struct {
+	mode    int
+	holders int
+	queue   []lockReq
+}
+
+// lockServer serialises MPI_Win_lock/MPI_Win_unlock requests for one
+// window, granting in FIFO order with shared-batch semantics.
+func (g *winGlobal) lockServer(world *mpi.World) {
+	states := make([]lockState, len(g.analyzers))
+	grantQueued := func(st *lockState) {
+		for len(st.queue) > 0 {
+			head := st.queue[0]
+			switch {
+			case st.holders == 0:
+				st.mode = head.mode
+				st.holders = 1
+				st.queue = st.queue[1:]
+				head.reply <- struct{}{}
+			case st.mode == LockShared && head.mode == LockShared:
+				st.holders++
+				st.queue = st.queue[1:]
+				head.reply <- struct{}{}
+			default:
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case req, ok := <-g.lockCh:
+			if !ok {
+				return
+			}
+			st := &states[req.target]
+			if req.mode == lockNone { // unlock
+				st.holders--
+				if st.holders < 0 {
+					world.Abort(fmt.Errorf("rma: unlock of window %q rank %d without a lock", g.name, req.target))
+					st.holders = 0
+				}
+				if st.holders == 0 {
+					st.mode = lockNone
+				}
+				req.reply <- struct{}{}
+				grantQueued(st)
+				continue
+			}
+			st.queue = append(st.queue, req)
+			grantQueued(st)
+		case <-world.Aborted():
+			// Fail everything still queued so blocked Lock calls
+			// return.
+			for i := range states {
+				for _, q := range states[i].queue {
+					close(q.reply)
+				}
+				states[i].queue = nil
+			}
+			return
+		}
+	}
+}
+
+// Lock acquires a passive-target lock on target's window
+// (MPI_Win_lock). mode is LockExclusive or LockShared. One-sided
+// operations towards target are permitted between Lock and Unlock, in
+// addition to any LockAll epoch. Locking two targets in opposite orders
+// from two ranks deadlocks, as in MPI.
+func (w *Win) Lock(mode, target int) error {
+	if w.freed {
+		return ErrFreed
+	}
+	if mode != LockExclusive && mode != LockShared {
+		return fmt.Errorf("rma: invalid lock mode %d", mode)
+	}
+	if target < 0 || target >= w.p.Size() {
+		return fmt.Errorf("rma: lock of invalid rank %d", target)
+	}
+	if w.lockMode[target] != lockNone {
+		return fmt.Errorf("rma: window %q rank %d already locked by this process", w.g.name, target)
+	}
+	reply := make(chan struct{}, 1)
+	select {
+	case w.g.lockCh <- lockReq{target: target, mode: mode, reply: reply}:
+	case <-w.p.World().Aborted():
+		return w.p.World().AbortErr()
+	}
+	select {
+	case _, ok := <-reply:
+		if !ok {
+			return w.p.World().AbortErr()
+		}
+	case <-w.p.World().Aborted():
+		return w.p.World().AbortErr()
+	}
+	w.lockMode[target] = mode
+	return nil
+}
+
+// Unlock releases the passive-target lock on target's window
+// (MPI_Win_unlock), completing this process's operations towards it.
+// After an exclusive unlock the session's accesses are ordered before
+// any later lock holder's, which the analysis models by retiring them
+// at the target (Analyzer.Release). Origin-side completion is not
+// modelled: a local store to a source buffer after Unlock may still be
+// flagged — the same conservatism class as §6(2).
+func (w *Win) Unlock(target int) error {
+	if target < 0 || target >= w.p.Size() {
+		return fmt.Errorf("rma: unlock of invalid rank %d", target)
+	}
+	mode := w.lockMode[target]
+	if mode == lockNone {
+		return fmt.Errorf("rma: window %q rank %d is not locked by this process", w.g.name, target)
+	}
+
+	// MPI_Win_unlock completes the session's operations at the target:
+	// a synchronisation marker travels behind the session's accesses on
+	// the notification channel and is acknowledged once they are all
+	// analysed. Exclusive sessions are additionally retired (released)
+	// because the unlock orders them before every later lock holder.
+	ack := make(chan struct{})
+	msg := notifMsg{sync: true, release: mode == LockExclusive, origin: w.p.Rank(), ack: ack}
+	select {
+	case w.g.notifCh[target] <- msg:
+	case <-w.p.World().Aborted():
+		return w.p.World().AbortErr()
+	}
+	w.sent[target]++
+	select {
+	case <-ack:
+	case <-w.p.World().Aborted():
+		return w.p.World().AbortErr()
+	}
+
+	reply := make(chan struct{}, 1)
+	select {
+	case w.g.lockCh <- lockReq{target: target, mode: lockNone, reply: reply}:
+	case <-w.p.World().Aborted():
+		return w.p.World().AbortErr()
+	}
+	select {
+	case <-reply:
+	case <-w.p.World().Aborted():
+		return w.p.World().AbortErr()
+	}
+	w.lockMode[target] = lockNone
+	return nil
+}
+
+// locked reports whether this process may access target's window
+// through a per-target lock.
+func (w *Win) lockedFor(target int) bool {
+	return w.lockMode[target] != lockNone
+}

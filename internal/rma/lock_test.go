@@ -1,0 +1,279 @@
+package rma
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"rmarace/internal/detector"
+)
+
+// TestExclusiveLockSerialisesWriters: two origins put to the same
+// target location, each under an exclusive lock. The unlock orders the
+// sessions, so no race is reported and the final window content is one
+// of the two values.
+func TestExclusiveLockSerialisesWriters(t *testing.T) {
+	for _, m := range []detector.Method{detector.OurContribution, detector.MustRMAMethod} {
+		err, s := run(t, 3, m, Config{}, func(p *Proc) error {
+			w, err := p.WinCreate("w", 64)
+			if err != nil {
+				return err
+			}
+			if p.Rank() != 0 {
+				src := p.Alloc("src", 8)
+				src.Raw()[0] = byte(p.Rank())
+				if err := w.Lock(LockExclusive, 0); err != nil {
+					return err
+				}
+				if err := w.Put(0, 0, src, 0, 8, dbg(p.Rank())); err != nil {
+					return err
+				}
+				if err := w.Unlock(0); err != nil {
+					return err
+				}
+			}
+			return p.Barrier()
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if s.Race() != nil {
+			t.Fatalf("%v flagged lock-serialised puts: %v", m, s.Race())
+		}
+	}
+}
+
+// TestLegacyFlagsLockSerialisedWriters: the original RMA-Analyzer does
+// not instrument per-target unlocks, so the same program is one of its
+// false positives.
+func TestLegacyFlagsLockSerialisedWriters(t *testing.T) {
+	_, s := run(t, 3, detector.RMAAnalyzer, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if p.Rank() != 0 {
+			src := p.Alloc("src", 8)
+			if err := w.Lock(LockExclusive, 0); err != nil {
+				return err
+			}
+			if err := w.Put(0, 0, src, 0, 8, dbg(p.Rank())); err != nil {
+				return err
+			}
+			if err := w.Unlock(0); err != nil {
+				return err
+			}
+		}
+		return p.Barrier()
+	})
+	if s.Race() == nil {
+		t.Fatal("legacy unexpectedly understood per-target unlocks")
+	}
+}
+
+// TestSharedLockConcurrentWritersRace: shared locks allow concurrency,
+// so conflicting puts remain races.
+func TestSharedLockConcurrentWritersRace(t *testing.T) {
+	_, s := run(t, 3, detector.OurContribution, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		// Both origins hold shared locks before either puts, so the
+		// sessions demonstrably overlap.
+		if p.Rank() != 0 {
+			if err := w.Lock(LockShared, 0); err != nil {
+				return err
+			}
+		}
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		if p.Rank() != 0 {
+			src := p.Alloc("src", 8)
+			if err := w.Put(0, 0, src, 0, 8, dbg(p.Rank())); err != nil {
+				return err
+			}
+			if err := w.Unlock(0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if s.Race() == nil {
+		t.Fatal("conflicting shared-lock puts must race")
+	}
+}
+
+// TestExclusiveLockMutualExclusion: the lock really excludes — a
+// critical counter incremented under the lock never shows interleaving.
+func TestExclusiveLockMutualExclusion(t *testing.T) {
+	var inside, collisions int64
+	err, _ := run(t, 6, detector.Baseline, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 20; i++ {
+			if err := w.Lock(LockExclusive, 0); err != nil {
+				return err
+			}
+			if atomic.AddInt64(&inside, 1) != 1 {
+				atomic.AddInt64(&collisions, 1)
+			}
+			atomic.AddInt64(&inside, -1)
+			if err := w.Unlock(0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if collisions != 0 {
+		t.Fatalf("%d critical-section collisions under exclusive lock", collisions)
+	}
+}
+
+// TestSharedLocksCoexist: multiple shared holders enter together.
+func TestSharedLocksCoexist(t *testing.T) {
+	err, _ := run(t, 4, detector.Baseline, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if err := w.Lock(LockShared, 0); err != nil {
+			return err
+		}
+		// All four ranks hold the shared lock across this barrier; an
+		// exclusive grant to anyone would deadlock here.
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		return w.Unlock(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockValidation(t *testing.T) {
+	err, _ := run(t, 2, detector.Baseline, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if err := w.Lock(99, 1); err == nil {
+			t.Error("invalid mode accepted")
+		}
+		if err := w.Lock(LockExclusive, 7); err == nil {
+			t.Error("invalid rank accepted")
+		}
+		if err := w.Unlock(1); err == nil {
+			t.Error("unlock without lock accepted")
+		}
+		if p.Rank() == 0 {
+			if err := w.Lock(LockExclusive, 1); err != nil {
+				return err
+			}
+			if err := w.Lock(LockShared, 1); err == nil {
+				t.Error("double lock of one target accepted")
+			}
+			if err := w.Unlock(1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockSessionAllowsRMAWithoutEpoch: operations under a per-target
+// lock do not require a LockAll epoch.
+func TestLockSessionAllowsRMAWithoutEpoch(t *testing.T) {
+	err, s := run(t, 2, detector.OurContribution, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			src := p.Alloc("src", 8)
+			copy(src.Raw(), "payload!")
+			if err := w.Lock(LockExclusive, 1); err != nil {
+				return err
+			}
+			if err := w.Put(1, 8, src, 0, 8, dbg(1)); err != nil {
+				return err
+			}
+			if err := w.Unlock(1); err != nil {
+				return err
+			}
+		}
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		if p.Rank() == 1 && !bytes.Equal(w.Buffer().Raw()[8:16], []byte("payload!")) {
+			t.Error("put under lock did not move data")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Race() != nil {
+		t.Fatalf("unexpected race: %v", s.Race())
+	}
+}
+
+// TestRaceAcrossLockAndLocalAccess: the target's own local store still
+// races with a locked origin's put when they are not ordered — the
+// release only orders lock holders.
+func TestRaceAcrossLockAndLocalAccess(t *testing.T) {
+	_, s := run(t, 2, detector.OurContribution, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		if p.Rank() == 1 {
+			src := p.Alloc("src", 8)
+			if err := w.Lock(LockExclusive, 0); err != nil {
+				return err
+			}
+			if err := w.Put(0, 0, src, 0, 8, dbg(5)); err != nil {
+				return err
+			}
+			// Hold the lock while the target stores: the put's
+			// notification precedes the release in channel order, so
+			// the conflict is observed deterministically.
+			if err := p.Barrier(); err != nil { // A: put issued
+				return err
+			}
+			if err := p.Barrier(); err != nil { // B: store done
+				return err
+			}
+			if err := w.Unlock(0); err != nil {
+				return err
+			}
+		} else {
+			if err := p.Barrier(); err != nil { // A
+				return err
+			}
+			if err := w.Buffer().Store(0, make([]byte, 8), dbg(6)); err != nil {
+				return err
+			}
+			if err := p.Barrier(); err != nil { // B
+				return err
+			}
+		}
+		return w.UnlockAll()
+	})
+	if s.Race() == nil {
+		t.Fatal("store racing with an in-flight locked put missed")
+	}
+}

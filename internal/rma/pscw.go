@@ -1,0 +1,138 @@
+package rma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// General Active Target Synchronisation (PSCW): MPI_Win_post /
+// MPI_Win_start / MPI_Win_complete / MPI_Win_wait. A target exposes its
+// window to a group of origins with Post and retires the exposure with
+// Wait; an origin opens an access epoch towards a group of targets with
+// Start and closes it with Complete. Wait returns only after every
+// posted origin has completed, so the exposure forms one analysis epoch
+// at the target: its analyzer's EpochEnd runs inside Wait.
+//
+// The handshakes ride the simulated MPI point-to-point layer with
+// window-scoped tags, exactly how a PMPI-based tool would observe them.
+
+// pscw message tags; each window gets its own tag space via its id.
+const (
+	tagPost = 1 << 20
+	tagDone = 1 << 21
+)
+
+// Start opens an access epoch towards the given targets
+// (MPI_Win_start). It blocks until every target has posted its
+// exposure.
+func (w *Win) Start(targets ...int) error {
+	if w.freed {
+		return ErrFreed
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("rma: Start with an empty target group")
+	}
+	if w.pscwTargets != nil {
+		return fmt.Errorf("rma: Start while a PSCW access epoch is open")
+	}
+	for _, t := range targets {
+		if t < 0 || t >= w.p.Size() {
+			return fmt.Errorf("rma: Start with invalid rank %d", t)
+		}
+	}
+	for _, t := range targets {
+		if _, err := w.p.Recv(t, tagPost+w.g.id); err != nil {
+			return err
+		}
+	}
+	w.pscwTargets = make(map[int]bool, len(targets))
+	for _, t := range targets {
+		w.pscwTargets[t] = true
+	}
+	w.pscwSent = make(map[int]int64, len(targets))
+	return nil
+}
+
+// Complete closes the access epoch (MPI_Win_complete): every target of
+// the Start group receives the number of accesses sent to it so its
+// Wait can drain them.
+func (w *Win) Complete() error {
+	if w.pscwTargets == nil {
+		return fmt.Errorf("rma: Complete without a matching Start")
+	}
+	for t := range w.pscwTargets {
+		var count [8]byte
+		binary.LittleEndian.PutUint64(count[:], uint64(w.pscwSent[t]))
+		if err := w.p.Send(t, tagDone+w.g.id, count[:]); err != nil {
+			return err
+		}
+	}
+	w.pscwTargets = nil
+	w.pscwSent = nil
+	return nil
+}
+
+// Post exposes this process's window to the given origins
+// (MPI_Win_post).
+func (w *Win) Post(origins ...int) error {
+	if w.freed {
+		return ErrFreed
+	}
+	if len(origins) == 0 {
+		return fmt.Errorf("rma: Post with an empty origin group")
+	}
+	if w.pscwPosted != nil {
+		return fmt.Errorf("rma: Post while an exposure epoch is open")
+	}
+	for _, o := range origins {
+		if o < 0 || o >= w.p.Size() {
+			return fmt.Errorf("rma: Post with invalid rank %d", o)
+		}
+	}
+	for _, o := range origins {
+		if err := w.p.Send(o, tagPost+w.g.id, nil); err != nil {
+			return err
+		}
+	}
+	w.pscwPosted = origins
+	return nil
+}
+
+// Wait retires the exposure epoch (MPI_Win_wait): it blocks until every
+// posted origin has called Complete and all their accesses have been
+// analysed, then completes the analysis epoch.
+func (w *Win) Wait() error {
+	if w.pscwPosted == nil {
+		return fmt.Errorf("rma: Wait without a matching Post")
+	}
+	rank := w.p.Rank()
+	var incoming int64
+	for _, o := range w.pscwPosted {
+		m, err := w.p.Recv(o, tagDone+w.g.id)
+		if err != nil {
+			return err
+		}
+		incoming += int64(binary.LittleEndian.Uint64(m.Data))
+	}
+	w.expected += incoming
+
+	g := w.g
+	world := w.p.World()
+	g.recvMu[rank].Lock()
+	for g.received[rank] < w.expected && world.AbortErr() == nil {
+		g.recvCond[rank].Wait()
+	}
+	g.recvMu[rank].Unlock()
+	if err := world.AbortErr(); err != nil {
+		return err
+	}
+
+	g.anMu[rank].Lock()
+	g.analyzers[rank].EpochEnd()
+	atomic.AddUint64(&g.epochs[rank], 1)
+	g.anMu[rank].Unlock()
+
+	w.pscwPosted = nil
+	return nil
+}

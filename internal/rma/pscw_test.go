@@ -1,0 +1,229 @@
+package rma
+
+import (
+	"rmarace/internal/access"
+	"testing"
+
+	"rmarace/internal/detector"
+)
+
+// TestPSCWCleanExchange: a classic post/start/complete/wait halo step
+// moves data and stays race-free under every method.
+func TestPSCWCleanExchange(t *testing.T) {
+	for _, m := range detector.Methods() {
+		err, s := run(t, 3, m, Config{}, func(p *Proc) error {
+			w, err := p.WinCreate("w", 64)
+			if err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				// Target: expose to both origins, wait for completion.
+				if err := w.Post(1, 2); err != nil {
+					return err
+				}
+				if err := w.Wait(); err != nil {
+					return err
+				}
+				raw := w.Buffer().Raw()
+				if raw[0] != 1 || raw[8] != 2 {
+					t.Errorf("window after exchange: %v", raw[:16])
+				}
+				return nil
+			}
+			// Origins: each writes its dedicated slot.
+			src := p.Alloc("src", 8)
+			src.Raw()[0] = byte(p.Rank())
+			if err := w.Start(0); err != nil {
+				return err
+			}
+			if err := w.Put(0, 8*(p.Rank()-1), src, 0, 8, dbg(p.Rank())); err != nil {
+				return err
+			}
+			return w.Complete()
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if s.Race() != nil {
+			t.Fatalf("%v: clean PSCW exchange raced: %v", m, s.Race())
+		}
+	}
+}
+
+// TestPSCWConflictDetected: two origins writing the same slot in one
+// exposure race.
+func TestPSCWConflictDetected(t *testing.T) {
+	_, s := run(t, 3, detector.OurContribution, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if err := w.Post(1, 2); err != nil {
+				return err
+			}
+			return w.Wait()
+		}
+		src := p.Alloc("src", 8)
+		if err := w.Start(0); err != nil {
+			return err
+		}
+		if err := w.Put(0, 0, src, 0, 8, dbg(p.Rank())); err != nil {
+			return err
+		}
+		return w.Complete()
+	})
+	if s.Race() == nil {
+		t.Fatal("overlapping PSCW puts missed")
+	}
+}
+
+// TestPSCWEpochSeparation: consecutive exposures are separate analysis
+// epochs — the same slot written in each exposure does not race.
+func TestPSCWEpochSeparation(t *testing.T) {
+	err, s := run(t, 2, detector.OurContribution, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		for round := 0; round < 3; round++ {
+			if p.Rank() == 0 {
+				if err := w.Post(1); err != nil {
+					return err
+				}
+				if err := w.Wait(); err != nil {
+					return err
+				}
+			} else {
+				src := p.Alloc("src", 8)
+				if err := w.Start(0); err != nil {
+					return err
+				}
+				if err := w.Put(0, 0, src, 0, 8, dbg(40+round)); err != nil {
+					return err
+				}
+				if err := w.Complete(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Race() != nil {
+		t.Fatalf("cross-exposure accesses raced: %v", s.Race())
+	}
+}
+
+// TestPSCWOrderingErrors: protocol misuse is rejected.
+func TestPSCWOrderingErrors(t *testing.T) {
+	err, _ := run(t, 2, detector.Baseline, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		if err := w.Complete(); err == nil {
+			t.Error("Complete without Start accepted")
+		}
+		if err := w.Wait(); err == nil {
+			t.Error("Wait without Post accepted")
+		}
+		if err := w.Start(); err == nil {
+			t.Error("empty Start group accepted")
+		}
+		if err := w.Post(); err == nil {
+			t.Error("empty Post group accepted")
+		}
+		if err := w.Start(9); err == nil {
+			t.Error("invalid Start rank accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPSCWAccessOutsideEpochRejected: a put to a rank not in the Start
+// group (and with no other epoch) fails.
+func TestPSCWAccessOutsideEpochRejected(t *testing.T) {
+	err, _ := run(t, 3, detector.Baseline, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 64)
+		if err != nil {
+			return err
+		}
+		switch p.Rank() {
+		case 0:
+			if err := w.Post(1); err != nil {
+				return err
+			}
+			if err := w.Wait(); err != nil {
+				return err
+			}
+		case 1:
+			src := p.Alloc("src", 8)
+			if err := w.Start(0); err != nil {
+				return err
+			}
+			// Rank 2 is not in the access group.
+			if err := w.Put(2, 0, src, 0, 8, dbg(1)); err == nil {
+				t.Error("put outside the PSCW group accepted")
+			}
+			if err := w.Put(0, 0, src, 0, 8, dbg(2)); err != nil {
+				return err
+			}
+			if err := w.Complete(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPSCWWithVectorAndAccumulate: the extended operations work inside
+// a PSCW epoch and are drained by Wait.
+func TestPSCWWithVectorAndAccumulate(t *testing.T) {
+	err, s := run(t, 2, detector.OurContribution, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 256)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if err := w.Post(1); err != nil {
+				return err
+			}
+			if err := w.Wait(); err != nil {
+				return err
+			}
+			if w.Buffer().Raw()[128] == 0 {
+				t.Error("vector block missing")
+			}
+			return nil
+		}
+		src := p.Alloc("src", 256)
+		for i := range src.Raw() {
+			src.Raw()[i] = 7
+		}
+		if err := w.Start(0); err != nil {
+			return err
+		}
+		if err := w.PutVector(0, 128, src, 0, Vector{BlockLen: 8, Stride: 32, Count: 2}, dbg(3)); err != nil {
+			return err
+		}
+		if _, err := w.FetchAndOp(0, 64, 1, access.AccumSum, dbg(4)); err != nil {
+			return err
+		}
+		return w.Complete()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Race() != nil {
+		t.Fatalf("unexpected race: %v", s.Race())
+	}
+}

@@ -1,0 +1,179 @@
+// Package rma is the instrumentation layer of the reproduction: the
+// analogue of RMA-Analyzer's PMPI interposition plus LLVM pass (§5.1).
+// It wraps the simulated MPI runtime with instrumented windows, buffers
+// and one-sided operations, and feeds every observed memory access to
+// the analyzer selected for the run:
+//
+//   - every Put/Get produces an origin-side access analysed locally and
+//     a target-side access sent to the target as a notification message,
+//     processed by a per-window receiver goroutine (the paper's "for
+//     each window, a thread is created to receive all the MPI_Send");
+//   - local loads and stores on instrumented buffers are analysed
+//     against every window with an open epoch on the issuing rank;
+//   - at MPI_Win_unlock_all all ranks reduce their per-target remote
+//     access counts, wait for the pending notifications, and complete
+//     the epoch.
+//
+// A static alias filter models the LLVM alias analysis: buffers
+// allocated Untracked produce Filtered events that the tree-based
+// analyzers skip and the MUST-RMA simulator (ThreadSanitizer) still
+// pays for.
+//
+// Beyond the paper's passive-target lock_all/unlock_all epochs, the
+// layer implements the full MPI-RMA synchronisation surface: fence
+// phases, per-target exclusive/shared locks with unlock-release
+// ordering, general active target synchronisation (PSCW), accumulate
+// operations with datatype-level atomicity, vector datatypes and
+// window destruction. Each is documented at its definition and marked
+// as an extension.
+package rma
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rmarace/internal/core"
+	"rmarace/internal/detector"
+	"rmarace/internal/mpi"
+)
+
+// Config selects the analysis method and its variations for a session.
+type Config struct {
+	Method detector.Method
+	// UnsafeFlushClear turns MPI_Win_flush into a BST clear for the
+	// calling rank (the §6(2) ablation). Only meaningful for
+	// OurContribution.
+	UnsafeFlushClear bool
+	// DisableAliasFilter feeds Filtered accesses to the tree-based
+	// analyzers too, modelling a build without the LLVM alias analysis.
+	DisableAliasFilter bool
+	// StridedMerging enables the §6(3) regular-section extension of the
+	// contribution analyzer (compressing constant-stride accesses that
+	// plain merging cannot coalesce). Only meaningful for
+	// OurContribution.
+	StridedMerging bool
+}
+
+// Session owns the analysis state of one simulated job: one analyzer
+// per (rank, window), the notification plumbing, timing and statistics.
+type Session struct {
+	cfg   Config
+	world *mpi.World
+	must  *detector.MustShared
+
+	mu     sync.Mutex
+	wins   map[string]*winGlobal
+	closed chan struct{}
+
+	epochNanos []int64 // per-rank cumulative time inside epochs (atomic)
+
+	race atomic.Pointer[detector.Race]
+}
+
+// NewSession creates the analysis session for world under cfg.
+func NewSession(world *mpi.World, cfg Config) *Session {
+	s := &Session{
+		cfg:        cfg,
+		world:      world,
+		wins:       make(map[string]*winGlobal),
+		closed:     make(chan struct{}),
+		epochNanos: make([]int64, world.Size()),
+	}
+	if cfg.Method == detector.MustRMAMethod {
+		s.must = detector.NewMustShared(world.Size())
+	}
+	return s
+}
+
+// Method returns the session's analysis method.
+func (s *Session) Method() detector.Method { return s.cfg.Method }
+
+// newAnalyzer builds the per-(rank, window) analyzer for the configured
+// method.
+func (s *Session) newAnalyzer(rank int) detector.Analyzer {
+	switch s.cfg.Method {
+	case detector.Baseline:
+		return detector.NewBaseline()
+	case detector.RMAAnalyzer:
+		return detector.NewLegacy()
+	case detector.MustRMAMethod:
+		return detector.NewMustRMA(s.must, rank)
+	case detector.OurContribution:
+		var opts []core.Option
+		if s.cfg.UnsafeFlushClear {
+			opts = append(opts, core.WithUnsafeFlushClear())
+		}
+		if s.cfg.StridedMerging {
+			opts = append(opts, core.WithStridedMerging())
+		}
+		return core.New(opts...)
+	}
+	panic(fmt.Sprintf("rma: unknown method %v", s.cfg.Method))
+}
+
+// abort records the first race and aborts the world, like the
+// MPI_Abort call in the paper's error path.
+func (s *Session) abort(r *detector.Race) {
+	if s.race.CompareAndSwap(nil, r) {
+		s.world.Abort(r)
+	}
+}
+
+// Race returns the first detected race, or nil.
+func (s *Session) Race() *detector.Race { return s.race.Load() }
+
+// EpochTime returns the cumulative wall-clock time all ranks spent
+// inside epochs (the metric of Fig. 10) and the per-rank breakdown.
+func (s *Session) EpochTime() (total time.Duration, perRank []time.Duration) {
+	perRank = make([]time.Duration, len(s.epochNanos))
+	for i := range s.epochNanos {
+		d := time.Duration(atomic.LoadInt64(&s.epochNanos[i]))
+		perRank[i] = d
+		total += d
+	}
+	return total, perRank
+}
+
+// WindowStats describes one window's analysis footprint.
+type WindowStats struct {
+	Name string
+	// PerRankMaxNodes is each rank's high-water BST node count (shadow
+	// cells for MUST-RMA).
+	PerRankMaxNodes []int
+	// TotalMaxNodes sums PerRankMaxNodes — the "number of nodes in the
+	// BST" aggregate of §5.3 and Table 4.
+	TotalMaxNodes int
+	// Accesses sums processed accesses over ranks.
+	Accesses uint64
+}
+
+// Stats snapshots all windows' analysis statistics.
+func (s *Session) Stats() []WindowStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WindowStats, 0, len(s.wins))
+	for _, g := range s.wins {
+		ws := WindowStats{Name: g.name, PerRankMaxNodes: make([]int, len(g.analyzers))}
+		for r := range g.analyzers {
+			g.anMu[r].Lock()
+			ws.PerRankMaxNodes[r] = g.analyzers[r].MaxNodes()
+			ws.Accesses += g.analyzers[r].Accesses()
+			g.anMu[r].Unlock()
+			ws.TotalMaxNodes += ws.PerRankMaxNodes[r]
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// TotalMaxNodes sums the node high-water marks over every window and
+// rank of the session.
+func (s *Session) TotalMaxNodes() int {
+	total := 0
+	for _, ws := range s.Stats() {
+		total += ws.TotalMaxNodes
+	}
+	return total
+}

@@ -1,0 +1,118 @@
+package rma
+
+import (
+	"testing"
+
+	"rmarace/internal/detector"
+)
+
+func TestSessionMethodAccessor(t *testing.T) {
+	for _, m := range detector.Methods() {
+		err, s := run(t, 2, m, Config{}, func(p *Proc) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Method() != m {
+			t.Errorf("Method() = %v, want %v", s.Method(), m)
+		}
+	}
+}
+
+func TestStatsAndTotalMaxNodes(t *testing.T) {
+	err, s := run(t, 2, detector.OurContribution, Config{}, func(p *Proc) error {
+		w1, err := p.WinCreate("a", 64)
+		if err != nil {
+			return err
+		}
+		w2, err := p.WinCreate("b", 64)
+		if err != nil {
+			return err
+		}
+		for _, w := range []*Win{w1, w2} {
+			if err := w.LockAll(); err != nil {
+				return err
+			}
+			src := p.Alloc("src", 8)
+			// Distinct per-rank offsets: no overlap.
+			if err := w.Put(1-p.Rank(), 16*p.Rank(), src, 0, 8, dbg(1)); err != nil {
+				return err
+			}
+			if err := w.UnlockAll(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d windows, want 2", len(stats))
+	}
+	total := 0
+	for _, ws := range stats {
+		if ws.Name != "a" && ws.Name != "b" {
+			t.Errorf("unexpected window name %q", ws.Name)
+		}
+		if len(ws.PerRankMaxNodes) != 2 {
+			t.Errorf("per-rank stats = %v", ws.PerRankMaxNodes)
+		}
+		if ws.Accesses == 0 {
+			t.Errorf("window %s recorded no accesses", ws.Name)
+		}
+		total += ws.TotalMaxNodes
+	}
+	if got := s.TotalMaxNodes(); got != total {
+		t.Errorf("TotalMaxNodes = %d, want %d", got, total)
+	}
+	if total == 0 {
+		t.Error("no nodes recorded at all")
+	}
+}
+
+func TestEpochTimePerRankBreakdown(t *testing.T) {
+	err, s := run(t, 3, detector.Baseline, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 8)
+		if err != nil {
+			return err
+		}
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		return w.UnlockAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, perRank := s.EpochTime()
+	if len(perRank) != 3 {
+		t.Fatalf("perRank = %v", perRank)
+	}
+	var sum int64
+	for _, d := range perRank {
+		if d <= 0 {
+			t.Errorf("rank with zero epoch time: %v", perRank)
+		}
+		sum += int64(d)
+	}
+	if int64(total) != sum {
+		t.Errorf("total %v != sum %v", total, sum)
+	}
+}
+
+func TestFlushRequiresEpoch(t *testing.T) {
+	err, _ := run(t, 2, detector.OurContribution, Config{}, func(p *Proc) error {
+		w, err := p.WinCreate("w", 8)
+		if err != nil {
+			return err
+		}
+		if err := w.Flush(1); err == nil {
+			t.Error("Flush outside an epoch accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

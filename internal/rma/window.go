@@ -1,0 +1,443 @@
+package rma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rmarace/internal/access"
+	"rmarace/internal/detector"
+	"rmarace/internal/mpi"
+)
+
+// ErrNoEpoch is returned when a one-sided operation is issued outside a
+// passive-target epoch.
+var ErrNoEpoch = errors.New("rma: one-sided operation outside an epoch (missing MPI_Win_lock_all)")
+
+// ErrEpochOpen is returned when LockAll is called twice without an
+// intervening UnlockAll.
+var ErrEpochOpen = errors.New("rma: epoch already open")
+
+// ErrFreed is returned by operations on a window after MPI_Win_free.
+var ErrFreed = errors.New("rma: window has been freed (MPI_Win_free)")
+
+// notifMsg travels on a window's per-rank notification channel: a
+// remote access to analyse, or an unlock synchronisation marker (with
+// release set for exclusive unlocks, which additionally retire the
+// origin's session).
+type notifMsg struct {
+	ev      detector.Event
+	sync    bool
+	release bool
+	origin  int
+	ack     chan struct{}
+}
+
+// winGlobal is the collective state of one window across all ranks.
+type winGlobal struct {
+	name string
+	size int
+	id   int // window index within the session, scoping PSCW tags
+	s    *Session
+
+	analyzers []detector.Analyzer
+	anMu      []sync.Mutex
+
+	mems []*Buffer
+	// copyMu serialises every byte of data movement touching this
+	// window's memory — remote copies and the owner's instrumented
+	// local accesses. The simulator really performs the programs'
+	// (possibly racing) accesses; without this serialisation Go's own
+	// race detector would flag the deliberately racy example programs.
+	// The detectors' analysis is unaffected: they see the access
+	// events, not the bytes.
+	copyMu sync.Mutex
+
+	lockCh  chan lockReq
+	notifCh []chan notifMsg
+	// received counts processed notifications per rank, guarded by
+	// recvMu; recvCond broadcasts on every update and on abort.
+	recvMu   []sync.Mutex
+	received []int64
+	recvCond []*sync.Cond
+
+	// epochs counts each rank's *completed* analysis epochs for this
+	// window (atomic). Every access — local, origin-side or notified —
+	// is stamped with the owner's count, so all accesses analysed
+	// between two EpochEnd calls share an epoch number even when they
+	// arrive before the owner's own (non-collective) LockAll.
+	epochs []uint64
+
+	watcherOnce sync.Once
+}
+
+// Win is one rank's handle on a window: the analogue of an MPI_Win.
+type Win struct {
+	p   *Proc
+	g   *winGlobal
+	buf *Buffer
+
+	epoch      uint64
+	epochOpen  bool
+	epochStart time.Time
+	sent       []int64
+	expected   int64
+	freed      bool
+	// lockMode tracks this process's per-target MPI_Win_lock state.
+	lockMode []int
+	// PSCW state: open access-epoch targets and per-target access
+	// counts (origin side), and the posted origin group (target side).
+	pscwTargets map[int]bool
+	pscwSent    map[int]int64
+	pscwPosted  []int
+}
+
+// WinCreate collectively creates (or joins) the window named name with
+// size bytes of exposed memory per rank, starts the per-rank receiver
+// goroutine, and synchronises all ranks before returning. Buffer
+// options apply to the exposed memory: pass OnStack to model an
+// MPI_Win_create over a stack array (as the paper's microbenchmark
+// suite does), or none for MPI_Win_allocate-style heap memory.
+func (p *Proc) WinCreate(name string, size int, opts ...BufOpt) (*Win, error) {
+	s := p.s
+	n := p.Size()
+
+	s.mu.Lock()
+	g, ok := s.wins[name]
+	if !ok {
+		g = &winGlobal{
+			name:      name,
+			size:      size,
+			id:        len(s.wins),
+			s:         s,
+			analyzers: make([]detector.Analyzer, n),
+			anMu:      make([]sync.Mutex, n),
+			mems:      make([]*Buffer, n),
+			lockCh:    make(chan lockReq, n),
+			notifCh:   make([]chan notifMsg, n),
+			recvMu:    make([]sync.Mutex, n),
+			received:  make([]int64, n),
+			recvCond:  make([]*sync.Cond, n),
+			epochs:    make([]uint64, n),
+		}
+		for r := 0; r < n; r++ {
+			g.analyzers[r] = s.newAnalyzer(r)
+			g.notifCh[r] = make(chan notifMsg, 1024)
+			g.recvCond[r] = sync.NewCond(&g.recvMu[r])
+		}
+		s.wins[name] = g
+	} else if g.size != size {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("rma: window %q recreated with size %d != %d", name, size, g.size)
+	}
+	s.mu.Unlock()
+
+	g.watcherOnce.Do(func() {
+		// Wake every count-waiter when the world aborts; exit when the
+		// session closes so finished runs can be collected.
+		go func() {
+			select {
+			case <-p.World().Aborted():
+			case <-s.closed:
+				return
+			}
+			for r := range g.recvCond {
+				g.recvMu[r].Lock()
+				g.recvCond[r].Broadcast()
+				g.recvMu[r].Unlock()
+			}
+		}()
+		// Serve MPI_Win_lock/MPI_Win_unlock requests.
+		go g.lockServer(p.World())
+	})
+
+	rank := p.Rank()
+	buf := p.Alloc(name+".win", size, opts...)
+	buf.winG = g
+	g.mems[rank] = buf
+	go g.receiver(rank, p.World())
+
+	if err := p.Barrier(); err != nil {
+		return nil, err
+	}
+	return &Win{p: p, g: g, buf: buf, sent: make([]int64, n), lockMode: make([]int, n)}, nil
+}
+
+// receiver is the paper's per-window analysis thread: it drains the
+// rank's notification channel, feeding each remote access to the
+// rank's analyzer and retiring sessions on exclusive-unlock releases.
+func (g *winGlobal) receiver(rank int, world *mpi.World) {
+	for {
+		select {
+		case m, ok := <-g.notifCh[rank]:
+			if !ok {
+				return
+			}
+			if m.sync {
+				if m.release {
+					g.anMu[rank].Lock()
+					g.analyzers[rank].Release(m.origin)
+					g.anMu[rank].Unlock()
+				}
+				if m.ack != nil {
+					close(m.ack)
+				}
+			} else {
+				m.ev.Acc.Epoch = atomic.LoadUint64(&g.epochs[rank])
+				g.analyse(rank, m.ev)
+			}
+			g.recvMu[rank].Lock()
+			g.received[rank]++
+			g.recvCond[rank].Broadcast()
+			g.recvMu[rank].Unlock()
+		case <-world.Aborted():
+			return
+		}
+	}
+}
+
+// analyse runs one event through rank's analyzer, aborting the world on
+// a detected race. It returns the race as an error, or nil.
+func (g *winGlobal) analyse(rank int, ev detector.Event) error {
+	g.anMu[rank].Lock()
+	race := g.analyzers[rank].Access(ev)
+	g.anMu[rank].Unlock()
+	if race != nil {
+		g.s.abort(race)
+		return race
+	}
+	return nil
+}
+
+// Buffer returns the rank's exposed window memory; local accesses on it
+// are "in window" accesses.
+func (w *Win) Buffer() *Buffer { return w.buf }
+
+// Name returns the window name.
+func (w *Win) Name() string { return w.g.name }
+
+// analyse routes a local access of this window's owner.
+func (w *Win) analyse(rank int, ev detector.Event) error {
+	return w.g.analyse(rank, ev)
+}
+
+// Free destroys this process's handle on the window (MPI_Win_free). It
+// is collective; every epoch must be closed and every per-target lock
+// released first. Further operations on the handle fail with ErrFreed.
+func (w *Win) Free() error {
+	if w.freed {
+		return ErrFreed
+	}
+	if w.epochOpen {
+		return errors.New("rma: MPI_Win_free with an open access epoch")
+	}
+	for target, mode := range w.lockMode {
+		if mode != lockNone {
+			return fmt.Errorf("rma: MPI_Win_free while rank %d is still locked", target)
+		}
+	}
+	if err := w.p.Barrier(); err != nil {
+		return err
+	}
+	w.freed = true
+	return nil
+}
+
+// LockAll opens a passive-target access epoch (MPI_Win_lock_all).
+func (w *Win) LockAll() error {
+	if w.freed {
+		return ErrFreed
+	}
+	if w.epochOpen {
+		return ErrEpochOpen
+	}
+	w.epoch++
+	w.epochOpen = true
+	w.epochStart = time.Now()
+	w.p.open = append(w.p.open, w)
+	return nil
+}
+
+// UnlockAll closes the epoch (MPI_Win_unlock_all): all ranks reduce the
+// number of remote accesses issued towards each window, wait for their
+// pending notifications, complete the epoch analysis and synchronise.
+func (w *Win) UnlockAll() error {
+	if !w.epochOpen {
+		return ErrNoEpoch
+	}
+	rank := w.p.Rank()
+
+	counts, err := w.p.Allreduce(w.sent, mpi.OpSum)
+	if err != nil {
+		return err
+	}
+	w.expected += counts[rank]
+
+	g := w.g
+	world := w.p.World()
+	g.recvMu[rank].Lock()
+	for g.received[rank] < w.expected && world.AbortErr() == nil {
+		g.recvCond[rank].Wait()
+	}
+	g.recvMu[rank].Unlock()
+	if err := world.AbortErr(); err != nil {
+		return err
+	}
+
+	g.anMu[rank].Lock()
+	g.analyzers[rank].EpochEnd()
+	atomic.AddUint64(&g.epochs[rank], 1)
+	g.anMu[rank].Unlock()
+
+	if err := w.p.Barrier(); err != nil {
+		return err
+	}
+
+	for i := range w.sent {
+		w.sent[i] = 0
+	}
+	w.epochOpen = false
+	atomic.AddInt64(&w.p.s.epochNanos[rank], int64(time.Since(w.epochStart)))
+	for i, o := range w.p.open {
+		if o == w {
+			w.p.open = append(w.p.open[:i], w.p.open[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// rmaEvent builds the event for one side of a one-sided operation. RMA
+// accesses are never alias-filtered: the MPI call itself is always
+// intercepted.
+func rmaEvent(b *Buffer, off, n int, tp access.Type, origin int, epoch, callTime uint64, dbg access.Debug) detector.Event {
+	return detector.Event{
+		Acc: access.Access{
+			Interval: b.span(off, n),
+			Type:     tp,
+			Rank:     origin,
+			Epoch:    epoch,
+			Stack:    b.stack,
+			Debug:    dbg,
+		},
+		Time:     callTime,
+		CallTime: callTime,
+	}
+}
+
+// Put writes n bytes of src at srcOff into target's window at targetOff
+// (MPI_Put): an RMA_Read of the origin buffer and an RMA_Write of the
+// target window region.
+func (w *Win) Put(target, targetOff int, src *Buffer, srcOff, n int, dbg access.Debug) error {
+	return w.onesided(target, targetOff, src, srcOff, n, dbg, true)
+}
+
+// Get reads n bytes from target's window at targetOff into dst at
+// dstOff (MPI_Get): an RMA_Write of the origin buffer and an RMA_Read
+// of the target window region.
+func (w *Win) Get(dst *Buffer, dstOff, target, targetOff, n int, dbg access.Debug) error {
+	return w.onesided(target, targetOff, dst, dstOff, n, dbg, false)
+}
+
+func (w *Win) onesided(target, targetOff int, local *Buffer, localOff, n int, dbg access.Debug, isPut bool) error {
+	if target < 0 || target >= w.p.Size() {
+		return fmt.Errorf("rma: one-sided operation to invalid rank %d", target)
+	}
+	if w.freed {
+		return ErrFreed
+	}
+	if !w.epochOpen && !w.lockedFor(target) && !w.pscwTargets[target] {
+		return ErrNoEpoch
+	}
+	g := w.g
+	tgtMem := g.mems[target]
+	callTime := w.p.tick()
+	origin := w.p.Rank()
+
+	localType, remoteType := access.RMAWrite, access.RMARead // Get
+	if isPut {
+		localType, remoteType = access.RMARead, access.RMAWrite
+	}
+
+	// Origin-side access, analysed locally.
+	originEpoch := atomic.LoadUint64(&g.epochs[origin])
+	if err := w.analyse(origin, rmaEvent(local, localOff, n, localType, origin, originEpoch, callTime, dbg)); err != nil {
+		return err
+	}
+
+	// Data movement (the window memory itself).
+	g.copyMu.Lock()
+	if isPut {
+		copy(tgtMem.data[targetOff:targetOff+n], local.data[localOff:localOff+n])
+	} else {
+		copy(local.data[localOff:localOff+n], tgtMem.data[targetOff:targetOff+n])
+	}
+	g.copyMu.Unlock()
+
+	// Target-side access, notified to the target's receiver (the
+	// paper's MPI_Send on the hidden communicator). The receiver stamps
+	// the target's epoch.
+	ev := rmaEvent(tgtMem, targetOff, n, remoteType, origin, 0, callTime, dbg)
+	select {
+	case g.notifCh[target] <- notifMsg{ev: ev}:
+	case <-w.p.World().Aborted():
+		return w.p.World().AbortErr()
+	}
+	w.countSent(target)
+	return nil
+}
+
+// countSent attributes an issued notification to the synchronisation
+// mechanism that will drain it: the PSCW access epoch when one is open
+// towards the target, otherwise the window's lock_all/lock accounting.
+func (w *Win) countSent(target int) {
+	if w.pscwTargets[target] {
+		w.pscwSent[target]++
+		return
+	}
+	w.sent[target]++
+}
+
+// Flush completes this rank's outstanding operations towards target
+// (MPI_Win_flush). Following §6(2) it does not clear any analysis state
+// unless the session runs the unsafe ablation.
+func (w *Win) Flush(target int) error {
+	if !w.epochOpen {
+		return ErrNoEpoch
+	}
+	_ = target // data movement is synchronous in the simulator
+	rank := w.p.Rank()
+	w.g.anMu[rank].Lock()
+	w.g.analyzers[rank].Flush(rank)
+	w.g.anMu[rank].Unlock()
+	return nil
+}
+
+// FlushAll completes this rank's outstanding operations towards every
+// target (MPI_Win_flush_all).
+func (w *Win) FlushAll() error { return w.Flush(-1) }
+
+// Close releases the session's receiver goroutines. Call it after the
+// world has finished; it is not collective.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	func() {
+		defer func() { recover() }() // tolerate double close
+		close(s.closed)              // stops the abort watchers
+	}()
+	for _, g := range s.wins {
+		for r := range g.notifCh {
+			func() {
+				defer func() { recover() }() // tolerate double close
+				close(g.notifCh[r])
+			}()
+		}
+		func() {
+			defer func() { recover() }()
+			close(g.lockCh) // stops the lock server
+		}()
+	}
+}

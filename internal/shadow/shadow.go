@@ -1,0 +1,241 @@
+// Package shadow implements a ThreadSanitizer-style shadow memory for
+// the MUST-RMA simulator (§3, §5): every instrumented access is recorded
+// per memory granule together with enough clock information to decide
+// whether two accesses are concurrent, and conflicting concurrent
+// accesses are reported as races.
+//
+// The happens-before model matches how MUST-RMA treats passive-target
+// epochs:
+//
+//   - accesses local to a process are ordered by program order (a scalar
+//     per-rank time suffices, because distinct processes never share
+//     native memory);
+//
+//   - a one-sided operation behaves like an asynchronous task carrying a
+//     snapshot of the origin's vector clock taken at the call. Local
+//     accesses that precede the call happen before the task; everything
+//     else in the epoch — later local accesses, and any other RMA task —
+//     is concurrent with it until the epoch completes.
+//
+// Carrying an O(P) clock snapshot per one-sided operation is exactly the
+// cost the paper blames for MUST-RMA's growing overhead at scale (§5.3).
+package shadow
+
+import (
+	"rmarace/internal/access"
+	"rmarace/internal/vc"
+)
+
+// Granule is the default shadow-cell width in bytes, matching TSan's
+// 8-byte shadow words. Accesses to distinct addresses within one granule
+// may be conflated, as in the real tool.
+const Granule = 8
+
+// Entry describes one recorded access.
+type Entry struct {
+	// IsRMA marks accesses performed by a one-sided operation; they are
+	// concurrent with every other access of the epoch except local
+	// accesses that precede the call.
+	IsRMA bool
+	// Rank is the issuing rank; Time its scalar program-order clock at
+	// the access (meaningful for local accesses).
+	Rank int
+	Time uint64
+	// Snapshot is the origin's vector clock at the MPI call site; nil
+	// for local accesses. To keep shadow memory O(1) per cell, stored
+	// entries drop the full clock and retain only the component the
+	// memory's owner needs (snapAtOwner): within one process's shadow,
+	// local accesses only ever come from the owner, so comparisons only
+	// read that component.
+	Snapshot vc.Clock
+	Type     access.Type
+	AccumOp  access.AccumOp
+	Debug    access.Debug
+
+	snapAtOwner uint64
+}
+
+// snapAt returns the snapshot component for rank, falling back to the
+// retained owner component for compacted (stored) entries.
+func (e Entry) snapAt(rank int) uint64 {
+	if e.Snapshot != nil {
+		return e.Snapshot.At(rank)
+	}
+	return e.snapAtOwner
+}
+
+// Conflict reports two concurrent conflicting accesses to one granule.
+type Conflict struct {
+	Addr      uint64 // granule base address
+	Prev, Cur Entry
+}
+
+type cell struct {
+	lastWrite *Entry
+	reads     []Entry
+}
+
+// Memory is a shadow memory for one process's address space. The zero
+// value is not usable; call NewMemory. Memory is not safe for
+// concurrent use.
+type Memory struct {
+	granule uint64
+	owner   int
+	cells   map[uint64]*cell
+	// Recorded counts every granule update, the unit of MUST-RMA
+	// analysis work.
+	Recorded uint64
+}
+
+// NewMemory returns an empty shadow memory with the default granule,
+// owned by rank 0.
+func NewMemory() *Memory { return NewMemoryGranule(Granule) }
+
+// NewMemoryOwner returns an empty shadow memory for the given owning
+// rank — the only rank whose local accesses can appear in it.
+func NewMemoryOwner(owner int) *Memory {
+	m := NewMemoryGranule(Granule)
+	m.owner = owner
+	return m
+}
+
+// NewMemoryGranule returns an empty shadow memory with the given
+// granule width in bytes (must be a power of two).
+func NewMemoryGranule(granule uint64) *Memory {
+	if granule == 0 || granule&(granule-1) != 0 {
+		panic("shadow: granule must be a power of two")
+	}
+	return &Memory{granule: granule, cells: make(map[uint64]*cell)}
+}
+
+// orderedBefore reports whether a happens before b.
+func orderedBefore(a, b Entry) bool {
+	switch {
+	case !a.IsRMA && !b.IsRMA:
+		// Local accesses are ordered only within one process.
+		return a.Rank == b.Rank && a.Time < b.Time
+	case !a.IsRMA && b.IsRMA:
+		// Local before an RMA task iff the task's snapshot observed it.
+		return a.Time <= b.snapAt(a.Rank)
+	case a.IsRMA && !b.IsRMA:
+		// An RMA task completes only at the end of the epoch; within
+		// the epoch nothing local can be after it. (A local access
+		// whose own snapshot view would place it first is covered by
+		// the symmetric call.)
+		return false
+	default:
+		// Two one-sided operations within one epoch are unordered, even
+		// from the same origin (§2.1 Ordering).
+		return false
+	}
+}
+
+func concurrent(a, b Entry) bool {
+	return !orderedBefore(a, b) && !orderedBefore(b, a)
+}
+
+func conflicting(a, b Entry) bool {
+	if a.Type == access.RMAAccum && b.Type == access.RMAAccum && a.AccumOp == b.AccumOp {
+		return false // element-wise atomic, same-operation accumulates
+	}
+	return a.Type.IsWrite() || b.Type.IsWrite()
+}
+
+// Record registers an access covering iv and returns the first conflict
+// found, or nil. The caller is responsible for skipping accesses the
+// tool would not instrument (stack arrays).
+func (m *Memory) Record(a access.Access, e Entry) *Conflict {
+	e.Type = a.Type
+	e.AccumOp = a.AccumOp
+	e.Debug = a.Debug
+	if e.IsRMA {
+		e.snapAtOwner = e.Snapshot.At(m.owner)
+	}
+	var conflict *Conflict
+	for base := a.Lo &^ (m.granule - 1); base <= a.Hi; base += m.granule {
+		m.Recorded++
+		c := m.cells[base]
+		if c == nil {
+			c = &cell{}
+			m.cells[base] = c
+		}
+		if conflict == nil {
+			conflict = c.check(base, e)
+		}
+		c.update(e, m)
+		if base > base+m.granule {
+			break // address-space wrap guard
+		}
+	}
+	return conflict
+}
+
+func (c *cell) check(base uint64, e Entry) *Conflict {
+	if w := c.lastWrite; w != nil && concurrent(*w, e) && conflicting(*w, e) {
+		return &Conflict{Addr: base, Prev: *w, Cur: e}
+	}
+	if e.Type.IsWrite() {
+		for i := range c.reads {
+			if concurrent(c.reads[i], e) {
+				return &Conflict{Addr: base, Prev: c.reads[i], Cur: e}
+			}
+		}
+	}
+	return nil
+}
+
+func (c *cell) update(e Entry, m *Memory) {
+	// Compact before retention: the O(P) snapshot is dropped, keeping
+	// only the owner component (see Entry).
+	e.Snapshot = nil
+	if e.Type.IsWrite() {
+		ew := e
+		c.lastWrite = &ew
+		c.reads = c.reads[:0]
+		return
+	}
+	// Reads: keep at most one entry per (rank, IsRMA) class. Within one
+	// epoch all RMA reads of a rank are mutually concurrent and a later
+	// local read of a rank supersedes an earlier one for conflict
+	// detection, so the classes are lossless here and bound the cell to
+	// O(P) entries, like TSan's bounded shadow words.
+	for i := range c.reads {
+		if c.reads[i].Rank == e.Rank && c.reads[i].IsRMA == e.IsRMA {
+			if !e.IsRMA || c.reads[i].Time <= e.Time {
+				c.reads[i] = e
+			}
+			return
+		}
+	}
+	c.reads = append(c.reads, e)
+}
+
+// Cells returns the number of shadow cells currently allocated.
+func (m *Memory) Cells() int { return len(m.cells) }
+
+// Clear empties the shadow memory, as happens when an epoch completes
+// and all its accesses become ordered with the future.
+func (m *Memory) Clear() {
+	m.cells = make(map[uint64]*cell)
+}
+
+// RemoveRank retires every stored entry issued by rank, the effect of
+// an exclusive MPI_Win_unlock ordering that rank's operations before
+// everything that follows. Empty cells are reclaimed.
+func (m *Memory) RemoveRank(rank int) {
+	for base, c := range m.cells {
+		if c.lastWrite != nil && c.lastWrite.Rank == rank {
+			c.lastWrite = nil
+		}
+		kept := c.reads[:0]
+		for _, r := range c.reads {
+			if r.Rank != rank {
+				kept = append(kept, r)
+			}
+		}
+		c.reads = kept
+		if c.lastWrite == nil && len(c.reads) == 0 {
+			delete(m.cells, base)
+		}
+	}
+}

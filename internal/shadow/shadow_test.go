@@ -1,0 +1,198 @@
+package shadow
+
+import (
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/interval"
+	"rmarace/internal/vc"
+)
+
+func acc(lo, hi uint64, t access.Type) access.Access {
+	return access.Access{Interval: interval.New(lo, hi), Type: t, Debug: access.Debug{File: "s.c", Line: 1}}
+}
+
+func local(rank int, time uint64) Entry {
+	return Entry{Rank: rank, Time: time}
+}
+
+func rma(rank int, snap vc.Clock) Entry {
+	return Entry{IsRMA: true, Rank: rank, Snapshot: snap}
+}
+
+func TestNewMemoryGranuleValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two granule must panic")
+		}
+	}()
+	NewMemoryGranule(3)
+}
+
+func TestLocalProgramOrderIsSafe(t *testing.T) {
+	m := NewMemory()
+	if c := m.Record(acc(0, 7, access.LocalWrite), local(0, 1)); c != nil {
+		t.Fatalf("first access conflicted: %+v", c)
+	}
+	if c := m.Record(acc(0, 7, access.LocalWrite), local(0, 2)); c != nil {
+		t.Fatalf("program-ordered writes conflicted: %+v", c)
+	}
+}
+
+// TestGetThenLoadRaces reproduces ll_get_load (Table 2 row 1): the Get's
+// origin-side write task is concurrent with the later Load.
+func TestGetThenLoadRaces(t *testing.T) {
+	m := NewMemory()
+	clk := vc.Clock{5} // origin clock at the MPI_Get call
+	if c := m.Record(acc(0, 7, access.RMAWrite), rma(0, clk)); c != nil {
+		t.Fatalf("unexpected conflict: %+v", c)
+	}
+	// The Load happens at local time 6 > snapshot[0] = 5: concurrent.
+	c := m.Record(acc(0, 7, access.LocalRead), local(0, 6))
+	if c == nil {
+		t.Fatal("MPI_Get;Load must race")
+	}
+	if !c.Prev.IsRMA || c.Cur.IsRMA {
+		t.Fatalf("conflict endpoints wrong: %+v", c)
+	}
+}
+
+// TestLoadThenGetIsSafe reproduces ll_load_get (Table 2 row 4): a local
+// access the RMA call's snapshot has observed happens before the task.
+func TestLoadThenGetIsSafe(t *testing.T) {
+	m := NewMemory()
+	if c := m.Record(acc(0, 7, access.LocalRead), local(0, 3)); c != nil {
+		t.Fatalf("unexpected conflict: %+v", c)
+	}
+	clk := vc.Clock{4} // call site after the load
+	if c := m.Record(acc(0, 7, access.RMAWrite), rma(0, clk)); c != nil {
+		t.Fatalf("Load;MPI_Get flagged: %+v", c)
+	}
+}
+
+func TestTwoRMAWritesRace(t *testing.T) {
+	// Even from the same origin: ordering within an epoch is undefined.
+	m := NewMemory()
+	m.Record(acc(0, 7, access.RMAWrite), rma(0, vc.Clock{1}))
+	if c := m.Record(acc(0, 7, access.RMAWrite), rma(0, vc.Clock{2})); c == nil {
+		t.Fatal("two RMA writes from one origin must race")
+	}
+}
+
+func TestCrossRankLocalVsRMA(t *testing.T) {
+	// Target's own store vs an incoming Put whose snapshot has not
+	// observed the target: race.
+	m := NewMemory()
+	m.Record(acc(0, 7, access.LocalWrite), local(1, 9))
+	snap := vc.New(2) // origin 0 knows nothing of rank 1
+	if c := m.Record(acc(0, 7, access.RMAWrite), rma(0, snap)); c == nil {
+		t.Fatal("store vs incoming Put must race")
+	}
+}
+
+func TestReadReadNeverConflicts(t *testing.T) {
+	m := NewMemory()
+	m.Record(acc(0, 7, access.RMARead), rma(0, vc.Clock{1, 0}))
+	if c := m.Record(acc(0, 7, access.RMARead), rma(1, vc.Clock{0, 1})); c != nil {
+		t.Fatalf("read-read flagged: %+v", c)
+	}
+}
+
+func TestWriteAfterConcurrentReadsCaught(t *testing.T) {
+	// The local write comes from rank 1, so the memory is rank 1's
+	// (stored entries retain only the owner's snapshot component).
+	m := NewMemoryOwner(1)
+	m.Record(acc(0, 7, access.RMARead), rma(0, vc.Clock{1, 0}))
+	if c := m.Record(acc(0, 7, access.LocalWrite), local(1, 1)); c == nil {
+		t.Fatal("write over a concurrent RMA read must race")
+	}
+}
+
+func TestCompactionRetainsOwnerComponent(t *testing.T) {
+	// A stored RMA entry keeps exactly the owner's snapshot component:
+	// a later local access by the owner that the snapshot had observed
+	// is still ordered before the task.
+	m := NewMemoryOwner(1)
+	m.Record(acc(0, 7, access.RMAWrite), rma(0, vc.Clock{3, 9}))
+	// Owner's local read at time 9 was observed by the snapshot (9<=9):
+	// ordered, no race despite the RMA write.
+	if c := m.Record(acc(0, 7, access.LocalRead), local(1, 9)); c != nil {
+		t.Fatalf("observed local access flagged: %+v", c)
+	}
+	// At time 10 it is concurrent: race.
+	if c := m.Record(acc(0, 7, access.LocalRead), local(1, 10)); c == nil {
+		t.Fatal("unobserved local access missed")
+	}
+}
+
+func TestGranuleConflation(t *testing.T) {
+	// Two distinct addresses within one 8-byte granule are conflated —
+	// documented TSan-style imprecision.
+	m := NewMemory()
+	m.Record(acc(0, 0, access.RMAWrite), rma(0, vc.Clock{1}))
+	if c := m.Record(acc(7, 7, access.RMAWrite), rma(0, vc.Clock{2})); c == nil {
+		t.Fatal("same-granule accesses should be conflated")
+	}
+	// Distinct granules are independent.
+	m2 := NewMemory()
+	m2.Record(acc(0, 0, access.RMAWrite), rma(0, vc.Clock{1}))
+	if c := m2.Record(acc(8, 8, access.RMAWrite), rma(0, vc.Clock{2})); c != nil {
+		t.Fatalf("different granules conflated: %+v", c)
+	}
+}
+
+func TestMultiGranuleSpan(t *testing.T) {
+	m := NewMemory()
+	m.Record(acc(0, 63, access.RMAWrite), rma(0, vc.Clock{1}))
+	if m.Cells() != 8 {
+		t.Fatalf("64-byte access should populate 8 cells, got %d", m.Cells())
+	}
+	// A conflicting access anywhere in the span is caught.
+	if c := m.Record(acc(40, 41, access.LocalRead), local(0, 99)); c == nil {
+		t.Fatal("overlap in the middle of a span missed")
+	}
+}
+
+func TestClear(t *testing.T) {
+	m := NewMemory()
+	m.Record(acc(0, 7, access.RMAWrite), rma(0, vc.Clock{1}))
+	m.Clear()
+	if m.Cells() != 0 {
+		t.Fatal("Clear left cells behind")
+	}
+	// After an epoch boundary the same locations are free to reuse.
+	if c := m.Record(acc(0, 7, access.LocalWrite), local(0, 2)); c != nil {
+		t.Fatalf("post-clear access conflicted: %+v", c)
+	}
+}
+
+func TestRecordedCountsGranules(t *testing.T) {
+	m := NewMemory()
+	m.Record(acc(0, 31, access.LocalRead), local(0, 1)) // 4 granules
+	m.Record(acc(0, 7, access.LocalRead), local(0, 2))  // 1 granule
+	if m.Recorded != 5 {
+		t.Fatalf("Recorded = %d, want 5", m.Recorded)
+	}
+}
+
+func TestReadsBoundedPerRankClass(t *testing.T) {
+	m := NewMemory()
+	for i := 0; i < 100; i++ {
+		m.Record(acc(0, 0, access.RMARead), rma(0, vc.Clock{uint64(i)}))
+		m.Record(acc(0, 0, access.LocalRead), local(0, uint64(i)))
+	}
+	c := m.cells[0]
+	if len(c.reads) > 2 {
+		t.Fatalf("reads list grew to %d entries; expected at most one per (rank, class)", len(c.reads))
+	}
+}
+
+func TestWriteSupersedesReads(t *testing.T) {
+	m := NewMemory()
+	m.Record(acc(0, 0, access.LocalRead), local(0, 1))
+	m.Record(acc(0, 0, access.LocalWrite), local(0, 2))
+	c := m.cells[0]
+	if len(c.reads) != 0 || c.lastWrite == nil {
+		t.Fatal("write did not supersede read set")
+	}
+}

@@ -1,0 +1,156 @@
+package strided
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/interval"
+)
+
+func acc(lo, n uint64) access.Access {
+	return access.Access{
+		Interval: interval.Span(lo, n),
+		Type:     access.LocalWrite,
+		Rank:     1,
+		Debug:    access.Debug{File: "s.c", Line: 3},
+	}
+}
+
+func mustNew(t *testing.T, first, second access.Access) Section {
+	t.Helper()
+	s, err := New(first, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(acc(0, 8), acc(24, 16)); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if _, err := New(acc(24, 8), acc(0, 8)); err == nil {
+		t.Error("decreasing bases accepted")
+	}
+	if _, err := New(acc(0, 8), acc(4, 8)); err == nil {
+		t.Error("overlapping elements accepted")
+	}
+	s := mustNew(t, acc(0, 8), acc(24, 8))
+	if s.Stride != 24 || s.Width != 8 || s.Count != 2 {
+		t.Fatalf("section = %+v", s)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	s := mustNew(t, acc(0, 8), acc(24, 8))
+	next := acc(48, 8)
+	if !s.CanAppend(next) {
+		t.Fatal("CanAppend(48) = false")
+	}
+	s.Append()
+	if s.Count != 3 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.CanAppend(acc(60, 8)) {
+		t.Error("off-stride access appendable")
+	}
+	wrongID := acc(72, 8)
+	wrongID.Debug.Line = 99
+	if s.CanAppend(wrongID) {
+		t.Error("different identity appendable")
+	}
+	wrongRank := acc(72, 8)
+	wrongRank.Rank = 2
+	if s.CanAppend(wrongRank) {
+		t.Error("different rank appendable")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	s := mustNew(t, acc(10, 8), acc(34, 8))
+	s.Append() // elements at 10, 34, 58
+	if got := s.Bounds(); got != interval.New(10, 65) {
+		t.Fatalf("Bounds = %v", got)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	// Elements: [0..7], [24..31], [48..55].
+	s := mustNew(t, acc(0, 8), acc(24, 8))
+	s.Append()
+	cases := []struct {
+		iv       interval.Interval
+		from, to uint64
+	}{
+		{interval.New(0, 7), 0, 1},
+		{interval.New(7, 24), 0, 2},   // touches elements 0 and 1
+		{interval.New(8, 23), 0, 0},   // the gap
+		{interval.New(30, 50), 1, 3},  // elements 1 and 2
+		{interval.New(56, 100), 0, 0}, // past the end
+		{interval.New(0, 55), 0, 3},   // everything
+		{interval.At(31), 1, 2},
+	}
+	for _, c := range cases {
+		from, to := s.Overlap(c.iv)
+		if from != c.from || to != c.to {
+			t.Errorf("Overlap(%v) = [%d,%d), want [%d,%d)", c.iv, from, to, c.from, c.to)
+		}
+		if got := s.Intersects(c.iv); got != (c.from < c.to) {
+			t.Errorf("Intersects(%v) = %v", c.iv, got)
+		}
+	}
+}
+
+func TestRepresentative(t *testing.T) {
+	s := mustNew(t, acc(0, 8), acc(24, 8))
+	r := s.Representative(1)
+	if r.Interval != interval.New(24, 31) || r.Type != access.LocalWrite || r.Rank != 1 {
+		t.Fatalf("Representative(1) = %+v", r)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := mustNew(t, acc(0, 8), acc(24, 8))
+	if got := s.String(); got != "[0:+24 x 2 (8 bytes), Local_Write]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestQuickOverlapMatchesBruteForce compares the index arithmetic with
+// an exhaustive element scan on random sections and queries.
+func TestQuickOverlapMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 2000; trial++ {
+		base := uint64(r.Intn(100))
+		width := uint64(r.Intn(8) + 1)
+		stride := width + uint64(r.Intn(20))
+		count := uint64(r.Intn(10) + 2)
+		s := Section{Base: base, Stride: stride, Width: width, Count: count, Acc: acc(base, width)}
+
+		qlo := uint64(r.Intn(300))
+		q := interval.Span(qlo, uint64(r.Intn(40)+1))
+
+		var wantFrom, wantTo uint64
+		found := false
+		for k := uint64(0); k < count; k++ {
+			if s.Element(k).Intersects(q) {
+				if !found {
+					wantFrom = k
+					found = true
+				}
+				wantTo = k + 1
+			}
+		}
+		gotFrom, gotTo := s.Overlap(q)
+		if !found {
+			if gotFrom != gotTo {
+				t.Fatalf("trial %d: %v Overlap(%v) = [%d,%d), want empty", trial, s, q, gotFrom, gotTo)
+			}
+			continue
+		}
+		if gotFrom != wantFrom || gotTo != wantTo {
+			t.Fatalf("trial %d: %v Overlap(%v) = [%d,%d), want [%d,%d)", trial, s, q, gotFrom, gotTo, wantFrom, wantTo)
+		}
+	}
+}

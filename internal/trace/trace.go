@@ -1,0 +1,224 @@
+// Package trace records and replays streams of instrumented memory
+// accesses. Traces decouple workload generation from analysis: the
+// rmarace CLI can capture a simulated application's accesses once and
+// replay them under every detector, which is also how the deterministic
+// detector benchmarks are fed.
+//
+// The format is JSON Lines: one Event per line, self-describing and
+// diff-friendly. A Header line (kind "header") opens the stream.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rmarace/internal/access"
+	"rmarace/internal/detector"
+	"rmarace/internal/interval"
+)
+
+// Header opens a trace stream.
+type Header struct {
+	Kind string `json:"kind"` // always "header"
+	// Ranks is the world size of the traced run.
+	Ranks int `json:"ranks"`
+	// Window names the traced window.
+	Window string `json:"window"`
+}
+
+// Record is one traced event: either an access or an epoch boundary.
+type Record struct {
+	Kind string `json:"kind"` // "access" or "epoch_end"
+	// Owner is the rank whose per-window analyzer processes the record
+	// (the window owner); Rank is the rank that issued the access.
+	Owner int `json:"owner"`
+	Rank  int `json:"rank"`
+	// Access fields (kind "access").
+	Lo       uint64 `json:"lo,omitempty"`
+	Hi       uint64 `json:"hi,omitempty"`
+	Type     string `json:"type,omitempty"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+	Stack    bool   `json:"stack,omitempty"`
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Time     uint64 `json:"time,omitempty"`
+	CallTime uint64 `json:"call_time,omitempty"`
+	Filtered bool   `json:"filtered,omitempty"`
+	AccumOp  uint8  `json:"accum_op,omitempty"`
+}
+
+// typeNames maps access types to their wire names.
+var typeNames = map[access.Type]string{
+	access.LocalRead:  "local_read",
+	access.LocalWrite: "local_write",
+	access.RMARead:    "rma_read",
+	access.RMAWrite:   "rma_write",
+	access.RMAAccum:   "rma_accum",
+}
+
+func typeFromName(s string) (access.Type, error) {
+	for t, n := range typeNames {
+		if n == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown access type %q", s)
+}
+
+// Writer serialises events to a stream.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter writes a trace with the given header to w.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	h.Kind = "header"
+	if err := enc.Encode(h); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, enc: enc}, nil
+}
+
+// Access appends one access event analysed by owner's tree.
+func (t *Writer) Access(owner int, ev detector.Event) error {
+	return t.enc.Encode(Record{
+		Kind:     "access",
+		Owner:    owner,
+		Rank:     ev.Acc.Rank,
+		Lo:       ev.Acc.Lo,
+		Hi:       ev.Acc.Hi,
+		Type:     typeNames[ev.Acc.Type],
+		Epoch:    ev.Acc.Epoch,
+		Stack:    ev.Acc.Stack,
+		File:     ev.Acc.Debug.File,
+		Line:     ev.Acc.Debug.Line,
+		Time:     ev.Time,
+		CallTime: ev.CallTime,
+		Filtered: ev.Filtered,
+		AccumOp:  uint8(ev.Acc.AccumOp),
+	})
+}
+
+// EpochEnd appends an epoch boundary for the given owner.
+func (t *Writer) EpochEnd(owner int) error {
+	return t.enc.Encode(Record{Kind: "epoch_end", Owner: owner})
+}
+
+// Flush flushes buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader deserialises a trace stream.
+type Reader struct {
+	dec    *json.Decoder
+	Header Header
+}
+
+// NewReader opens a trace stream and reads its header.
+func NewReader(r io.Reader) (*Reader, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h Header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if h.Kind != "header" {
+		return nil, fmt.Errorf("trace: first record is %q, not a header", h.Kind)
+	}
+	return &Reader{dec: dec, Header: h}, nil
+}
+
+// Next returns the next record, or io.EOF.
+func (r *Reader) Next() (Record, error) {
+	var rec Record
+	if err := r.dec.Decode(&rec); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// Event converts an access record back to a detector event.
+func (rec Record) Event() (detector.Event, error) {
+	if rec.Kind != "access" {
+		return detector.Event{}, fmt.Errorf("trace: record kind %q is not an access", rec.Kind)
+	}
+	t, err := typeFromName(rec.Type)
+	if err != nil {
+		return detector.Event{}, err
+	}
+	if rec.Hi < rec.Lo {
+		return detector.Event{}, fmt.Errorf("trace: inverted interval [%d, %d]", rec.Lo, rec.Hi)
+	}
+	return detector.Event{
+		Acc: access.Access{
+			Interval: interval.New(rec.Lo, rec.Hi),
+			Type:     t,
+			Rank:     rec.Rank,
+			Epoch:    rec.Epoch,
+			Stack:    rec.Stack,
+			AccumOp:  access.AccumOp(rec.AccumOp),
+			Debug:    access.Debug{File: rec.File, Line: rec.Line},
+		},
+		Time:     rec.Time,
+		CallTime: rec.CallTime,
+		Filtered: rec.Filtered,
+	}, nil
+}
+
+// ReplayResult summarises a replay.
+type ReplayResult struct {
+	Events   int
+	Epochs   int
+	MaxNodes int
+	Race     *detector.Race
+}
+
+// Replay feeds a trace through per-owner analyzers built by
+// newAnalyzer and stops at the first race, like the on-the-fly tools.
+func Replay(r *Reader, newAnalyzer func(owner int) detector.Analyzer) (ReplayResult, error) {
+	analyzers := make(map[int]detector.Analyzer)
+	get := func(owner int) detector.Analyzer {
+		a, ok := analyzers[owner]
+		if !ok {
+			a = newAnalyzer(owner)
+			analyzers[owner] = a
+		}
+		return a
+	}
+	var res ReplayResult
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		switch rec.Kind {
+		case "access":
+			ev, err := rec.Event()
+			if err != nil {
+				return res, err
+			}
+			res.Events++
+			if race := get(rec.Owner).Access(ev); race != nil {
+				res.Race = race
+				return res, nil
+			}
+		case "epoch_end":
+			res.Epochs++
+			get(rec.Owner).EpochEnd()
+		default:
+			return res, fmt.Errorf("trace: unknown record kind %q", rec.Kind)
+		}
+	}
+	for _, a := range analyzers {
+		if n := a.MaxNodes(); n > res.MaxNodes {
+			res.MaxNodes = n
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,153 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	c := New(4)
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("component %d = %d", i, v)
+		}
+	}
+}
+
+func TestTickAndAt(t *testing.T) {
+	c := New(3)
+	c.Tick(1).Tick(1).Tick(2)
+	if c.At(0) != 0 || c.At(1) != 2 || c.At(2) != 1 {
+		t.Fatalf("clock = %v", c)
+	}
+	if c.At(99) != 0 {
+		t.Fatal("out-of-range component should read 0")
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	a := New(2)
+	b := a.Copy()
+	a.Tick(0)
+	if b.At(0) != 0 {
+		t.Fatal("copy aliases original")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	a := Clock{3, 0, 5}
+	b := Clock{1, 4, 5}
+	a.Join(b)
+	want := Clock{3, 4, 5}
+	if !a.Equal(want) {
+		t.Fatalf("join = %v, want %v", a, want)
+	}
+}
+
+func TestHappensBefore(t *testing.T) {
+	a := Clock{1, 2, 3}
+	b := Clock{1, 3, 3}
+	if !a.HappensBefore(b) {
+		t.Error("a < b expected")
+	}
+	if b.HappensBefore(a) {
+		t.Error("b < a unexpected")
+	}
+	if a.HappensBefore(a) {
+		t.Error("a < a must be false (strictness)")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	a := Clock{2, 0}
+	b := Clock{0, 2}
+	if !a.Concurrent(b) || !b.Concurrent(a) {
+		t.Error("incomparable clocks must be concurrent")
+	}
+	if a.Concurrent(a) {
+		t.Error("a clock is not concurrent with itself")
+	}
+	c := Clock{3, 1}
+	if b.HappensBefore(c) {
+		t.Error("{0,2} must not happen before {3,1}")
+	}
+	if !b.Concurrent(c) {
+		t.Error("{0,2} and {3,1} are concurrent")
+	}
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	if (Clock{1, 2}).Equal(Clock{1, 2, 0}) {
+		t.Error("clocks of different widths are not equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Clock{1, 0, 7}).String(); got != "<1,0,7>" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEpochObservedBy(t *testing.T) {
+	c := Clock{5, 2}
+	if !(Epoch{Rank: 0, Time: 5}).ObservedBy(c) {
+		t.Error("step (0,5) is observed by <5,2>")
+	}
+	if (Epoch{Rank: 1, Time: 3}).ObservedBy(c) {
+		t.Error("step (1,3) is not observed by <5,2>")
+	}
+}
+
+// Happens-before must be a strict partial order: irreflexive,
+// antisymmetric and transitive. Exercised over random small clocks.
+func TestQuickStrictPartialOrder(t *testing.T) {
+	mk := func(x, y, z uint8) Clock { return Clock{uint64(x % 4), uint64(y % 4), uint64(z % 4)} }
+	irrefl := func(x, y, z uint8) bool {
+		c := mk(x, y, z)
+		return !c.HappensBefore(c)
+	}
+	if err := quick.Check(irrefl, nil); err != nil {
+		t.Fatal(err)
+	}
+	antisym := func(a1, a2, a3, b1, b2, b3 uint8) bool {
+		a, b := mk(a1, a2, a3), mk(b1, b2, b3)
+		return !(a.HappensBefore(b) && b.HappensBefore(a))
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Fatal(err)
+	}
+	trans := func(a1, a2, a3, b1, b2, b3, c1, c2, c3 uint8) bool {
+		a, b, c := mk(a1, a2, a3), mk(b1, b2, b3), mk(c1, c2, c3)
+		if a.HappensBefore(b) && b.HappensBefore(c) {
+			return a.HappensBefore(c)
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJoinIsLUB(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint8) bool {
+		a := Clock{uint64(a1), uint64(a2)}
+		b := Clock{uint64(b1), uint64(b2)}
+		j := a.Copy().Join(b)
+		// j dominates both inputs.
+		for i := range j {
+			if j[i] < a[i] || j[i] < b[i] {
+				return false
+			}
+		}
+		// and is the least such clock.
+		for i := range j {
+			if j[i] != a[i] && j[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

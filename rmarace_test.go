@@ -1,0 +1,113 @@
+package rmarace
+
+import (
+	"strings"
+	"testing"
+)
+
+// code1 is the paper's Code 1 through the public API.
+func code1(p *Proc) error {
+	win, err := p.WinCreate("X", 64)
+	if err != nil {
+		return err
+	}
+	if err := win.LockAll(); err != nil {
+		return err
+	}
+	if p.Rank() == 0 {
+		buf := p.Alloc("buf", 32)
+		if _, err := buf.Load(4, 1, Debug{File: "main.c", Line: 2}); err != nil {
+			return err
+		}
+		if err := win.Put(1, 0, buf, 2, 10, Debug{File: "main.c", Line: 3}); err != nil {
+			return err
+		}
+		if err := buf.Store(7, []byte{0x12}, Debug{File: "main.c", Line: 4}); err != nil {
+			return err
+		}
+	}
+	return win.UnlockAll()
+}
+
+func TestRunDetectsCode1(t *testing.T) {
+	rep, _ := Run(2, OurContribution, code1)
+	if rep.Race == nil {
+		t.Fatal("Code 1 race not detected through the public API")
+	}
+	msg := rep.Race.Message()
+	if !strings.Contains(msg, "main.c:4") || !strings.Contains(msg, "main.c:3") {
+		t.Errorf("race message = %s", msg)
+	}
+}
+
+func TestRunLegacyMissesCode1(t *testing.T) {
+	rep, err := Run(2, RMAAnalyzer, code1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Race != nil {
+		t.Fatalf("legacy found Code 1 (should reproduce its false negative): %v", rep.Race)
+	}
+}
+
+func TestRunCleanProgram(t *testing.T) {
+	rep, err := Run(4, OurContribution, func(p *Proc) error {
+		win, err := p.WinCreate("X", 256)
+		if err != nil {
+			return err
+		}
+		if err := win.LockAll(); err != nil {
+			return err
+		}
+		src := p.Alloc("src", 8)
+		if err := win.Put((p.Rank()+1)%p.Size(), 8*p.Rank(), src, 0, 8, Debug{File: "ring.c", Line: 1}); err != nil {
+			return err
+		}
+		return win.UnlockAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Race != nil {
+		t.Fatalf("clean ring raced: %v", rep.Race)
+	}
+	if rep.EpochTime <= 0 || rep.MaxNodes <= 0 {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+}
+
+func TestStandaloneAnalyzer(t *testing.T) {
+	z := NewAnalyzer()
+	if z.Name() != "our-contribution" {
+		t.Fatalf("Name = %q", z.Name())
+	}
+	l := NewLegacyAnalyzer()
+	if l.Name() != "rma-analyzer" {
+		t.Fatalf("legacy Name = %q", l.Name())
+	}
+}
+
+func TestMethodsOrder(t *testing.T) {
+	ms := Methods()
+	if len(ms) != 4 || ms[0] != Baseline || ms[3] != OurContribution {
+		t.Fatalf("Methods() = %v", ms)
+	}
+}
+
+func TestRunPropagatesBodyError(t *testing.T) {
+	_, err := Run(2, Baseline, func(p *Proc) error {
+		if p.Rank() == 0 {
+			return errTest
+		}
+		return p.Barrier()
+	})
+	if err == nil {
+		t.Fatal("body error swallowed")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
