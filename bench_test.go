@@ -19,11 +19,11 @@ import (
 	"rmarace/internal/codes"
 	"rmarace/internal/core"
 	"rmarace/internal/detector"
+	"rmarace/internal/engine"
 	"rmarace/internal/figure3"
 	"rmarace/internal/interval"
-	"rmarace/internal/itree"
-	"rmarace/internal/legacybst"
 	"rmarace/internal/micro"
+	"rmarace/internal/store"
 	"rmarace/internal/trace"
 )
 
@@ -370,34 +370,73 @@ func BenchmarkAblationStridedMerging(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationUnbalanced contrasts stabbing the balanced interval
-// tree with the legacy lower-bound descent at equal size, the §4.2
-// complexity claim.
+// BenchmarkAblationUnbalanced contrasts the stabbing query across the
+// pluggable store backends at equal size — the balanced AVL interval
+// tree against the legacy lower-bound descent (the §4.2 complexity
+// claim), plus the shadow-memory and regular-section representations.
 func BenchmarkAblationUnbalanced(b *testing.B) {
 	const n = 1 << 14
-	var it itree.Tree
-	var lt legacybst.Tree
-	for i := 0; i < n; i++ {
-		a := access.Access{Interval: interval.Span(uint64(i)*16, 8), Type: access.RMARead}
-		it.Insert(a)
-		lt.Insert(a)
+	for _, name := range store.Names() {
+		st, err := store.New(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			st.Insert(access.Access{Interval: interval.Span(uint64(i)*16, 8), Type: access.RMARead})
+		}
+		b.Run(name+"-stab", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				iv := interval.Span(uint64(i%n)*16, 8)
+				found := 0
+				st.Stab(iv, func(access.Access) bool { found++; return true })
+				if found == 0 {
+					b.Fatal("stab miss")
+				}
+			}
+		})
 	}
-	b.Run("itree-stab", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			iv := interval.Span(uint64(i%n)*16, 8)
-			if got := it.Stab(iv); len(got) != 1 {
-				b.Fatal("stab miss")
+}
+
+// BenchmarkNotificationThroughput drives a CFD-Proxy-shaped stream of
+// adjacent target-side accesses through the analysis engine, unbatched
+// (one channel message per access, the pre-pipeline behaviour) versus
+// coalesced into DefaultNotifBatch-sized batches. Batching amortises
+// the channel, lock and condvar traffic and lets the analyzer's
+// frontier fast path elide the per-access neighbour search.
+func BenchmarkNotificationThroughput(b *testing.B) {
+	stream := adjacentStream(1 << 14)
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			e := engine.New(engine.Config{
+				Ranks:       1,
+				NewAnalyzer: func(int) detector.Analyzer { return core.New() },
+			})
+			e.StartReceiver(0)
+			defer e.Close()
+			b.ResetTimer()
+			var sent int64
+			for i := 0; i < b.N; {
+				// One analysis epoch per pass over the stream.
+				for off := 0; off < len(stream) && i < b.N; off += batch {
+					end := off + batch
+					if end > len(stream) {
+						end = len(stream)
+					}
+					evs := make([]detector.Event, end-off)
+					copy(evs, stream[off:end])
+					if err := e.Notify(0, evs); err != nil {
+						b.Fatal(err)
+					}
+					sent += int64(end - off)
+					i += end - off
+				}
+				if err := e.WaitReceived(0, sent); err != nil {
+					b.Fatal(err)
+				}
+				e.EpochEnd(0)
 			}
-		}
-	})
-	b.Run("legacy-search", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			iv := interval.Span(uint64(i%n)*16, 8)
-			if got := lt.SearchIntersecting(iv); len(got) != 1 {
-				b.Fatal("search miss")
-			}
-		}
-	})
+		})
+	}
 }
 
 // BenchmarkInsert compares per-access analyzer cost on the two access

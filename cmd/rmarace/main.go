@@ -21,6 +21,7 @@ import (
 	"rmarace/internal/codes"
 	"rmarace/internal/core"
 	"rmarace/internal/detector"
+	"rmarace/internal/store"
 	"rmarace/internal/trace"
 )
 
@@ -44,34 +45,49 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  rmarace replay [-method NAME] [-compare] TRACE
+  rmarace replay [-method NAME] [-store NAME] [-compare] TRACE
   rmarace demo
   rmarace codes
 
-methods: baseline, rma-analyzer, must-rma, our-contribution`)
+methods: baseline, rma-analyzer, must-rma, our-contribution
+stores (tree-based methods): avl (default), legacy, shadow, strided`)
 	os.Exit(2)
 }
 
-func newAnalyzer(method detector.Method, ranks int) func(int) detector.Analyzer {
+func newAnalyzer(method detector.Method, ranks int, storeName string) func(int) detector.Analyzer {
 	var shared *detector.MustShared
 	if method == detector.MustRMAMethod {
 		shared = detector.NewMustShared(ranks)
+	}
+	// Each analyzer owns its backend, so one is built per owner.
+	newStore := func() store.AccessStore {
+		st, err := store.New(storeName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
 	}
 	return func(owner int) detector.Analyzer {
 		switch method {
 		case detector.Baseline:
 			return detector.NewBaseline()
 		case detector.RMAAnalyzer:
+			if storeName != "" {
+				return detector.NewLegacyWithStore(newStore())
+			}
 			return detector.NewLegacy()
 		case detector.MustRMAMethod:
 			return detector.NewMustRMA(shared, owner)
 		default:
+			if storeName != "" {
+				return core.New(core.WithStore(newStore()))
+			}
 			return core.New()
 		}
 	}
 }
 
-func replayOne(path string, method detector.Method) error {
+func replayOne(path string, method detector.Method, storeName string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -82,7 +98,7 @@ func replayOne(path string, method detector.Method) error {
 		return err
 	}
 	start := time.Now()
-	res, err := trace.Replay(r, newAnalyzer(method, r.Header.Ranks))
+	res, err := trace.Replay(r, newAnalyzer(method, r.Header.Ranks, storeName))
 	if err != nil {
 		return err
 	}
@@ -98,16 +114,20 @@ func replayOne(path string, method detector.Method) error {
 func replayCmd(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	methodName := fs.String("method", "our-contribution", "analysis method")
+	storeName := fs.String("store", "", "storage backend for the tree-based methods (avl, legacy, shadow, strided)")
 	compare := fs.Bool("compare", false, "replay under all four methods")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
 	path := fs.Arg(0)
+	if _, err := store.New(*storeName); err != nil {
+		log.Fatal(err)
+	}
 
 	if *compare {
 		for _, m := range detector.Methods() {
-			if err := replayOne(path, m); err != nil {
+			if err := replayOne(path, m, *storeName); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -117,7 +137,7 @@ func replayCmd(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := replayOne(path, method); err != nil {
+	if err := replayOne(path, method, *storeName); err != nil {
 		log.Fatal(err)
 	}
 }

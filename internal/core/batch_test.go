@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/detector"
+	"rmarace/internal/interval"
+)
+
+// randomReadStream builds a race-free stream (reads never conflict)
+// that still exercises every insertion path: adjacent runs that merge,
+// overlapping accesses that fragment, and debug variation that blocks
+// merging.
+func randomReadStream(rng *rand.Rand, n int) []detector.Event {
+	out := make([]detector.Event, n)
+	cursor := uint64(1 << 16)
+	for i := range out {
+		var iv interval.Interval
+		switch rng.Intn(4) {
+		case 0: // adjacent continuation (the frontier fast path)
+			iv = interval.Span(cursor, 8)
+			cursor += 8
+		case 1: // overlap something recent (fragmentation)
+			back := uint64(rng.Intn(64) * 4)
+			iv = interval.Span(cursor-back-4, uint64(8+rng.Intn(16)))
+		default: // fresh location
+			cursor += uint64(64 + rng.Intn(128))
+			iv = interval.Span(cursor, uint64(4+rng.Intn(12)))
+			cursor += iv.Len()
+		}
+		out[i] = detector.Event{
+			Acc: access.Access{
+				Interval: iv,
+				Type:     access.RMARead,
+				Rank:     rng.Intn(3),
+				Debug:    access.Debug{File: "batch.c", Line: 1 + rng.Intn(2)},
+			},
+			Time: uint64(i + 1), CallTime: uint64(i + 1),
+		}
+	}
+	return out
+}
+
+// TestAccessBatchMatchesScalar pins the batched entry point to the
+// scalar one: for any chunking of the same stream, AccessBatch must
+// leave the store in the same state Access does.
+func TestAccessBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	stream := randomReadStream(rng, 4000)
+
+	scalar := New()
+	for _, ev := range stream {
+		if r := scalar.Access(ev); r != nil {
+			t.Fatalf("scalar reported a race on a read-only stream: %v", r)
+		}
+	}
+
+	for _, chunk := range []int{1, 3, 64, 1000} {
+		batched := New()
+		for off := 0; off < len(stream); off += chunk {
+			end := off + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			evs := make([]detector.Event, end-off)
+			copy(evs, stream[off:end])
+			if r := batched.AccessBatch(evs); r != nil {
+				t.Fatalf("chunk %d reported a race on a read-only stream: %v", chunk, r)
+			}
+		}
+		if got, want := batched.Items(), scalar.Items(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk %d: store diverged from scalar\n got %d items\nwant %d items", chunk, len(got), len(want))
+		}
+		if got, want := batched.Accesses(), scalar.Accesses(); got != want {
+			t.Fatalf("chunk %d: accesses %d, want %d", chunk, got, want)
+		}
+	}
+}
+
+// TestAccessBatchReportsSameRace plants a conflicting write behind an
+// adjacent run and checks the batched path reports the identical race
+// the scalar path does.
+func TestAccessBatchReportsSameRace(t *testing.T) {
+	var stream []detector.Event
+	for i := 0; i < 100; i++ {
+		stream = append(stream, detector.Event{
+			Acc: access.Access{
+				Interval: interval.Span(uint64(4096+i*8), 8),
+				Type:     access.RMAWrite,
+				Rank:     0,
+				Debug:    access.Debug{File: "run.c", Line: 5},
+			},
+			Time: uint64(i + 1), CallTime: uint64(i + 1),
+		})
+	}
+	stream = append(stream, detector.Event{
+		Acc: access.Access{
+			Interval: interval.Span(4096+400, 8), // inside the merged run
+			Type:     access.RMAWrite,
+			Rank:     1,
+			Debug:    access.Debug{File: "other.c", Line: 9},
+		},
+		Time: 101, CallTime: 101,
+	})
+
+	scalar := New()
+	var scalarRace *detector.Race
+	for _, ev := range stream {
+		if scalarRace = scalar.Access(ev); scalarRace != nil {
+			break
+		}
+	}
+	if scalarRace == nil {
+		t.Fatal("scalar missed the planted race")
+	}
+
+	batched := New()
+	evs := make([]detector.Event, len(stream))
+	copy(evs, stream)
+	batchRace := batched.AccessBatch(evs)
+	if batchRace == nil {
+		t.Fatal("batched missed the planted race")
+	}
+	if !reflect.DeepEqual(*scalarRace, *batchRace) {
+		t.Fatalf("race reports diverged:\nscalar %+v\nbatch  %+v", *scalarRace, *batchRace)
+	}
+}

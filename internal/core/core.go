@@ -1,7 +1,8 @@
 // Package core implements the paper's contribution: the new insertion
 // algorithm for RMA-Analyzer's memory-access BST (Algorithm 1), built
 // from the fragmentation algorithm of §4.1 and the merging algorithm of
-// §4.2 over the balanced interval tree of package itree.
+// §4.2 over a pluggable access store (package store; the balanced AVL
+// interval tree of package itree by default).
 //
 // Given a new access, the analyzer
 //
@@ -17,24 +18,35 @@
 // Because the stored intervals are kept pairwise disjoint, the stabbing
 // query finds every intersection — eliminating the legacy false
 // negatives — and merging keeps the tree small — eliminating the legacy
-// node blow-up. All operations are logarithmic in the tree size.
+// node blow-up. All operations are logarithmic in the tree size on the
+// default backend; WithStore swaps the backend (for the ablation runs)
+// without touching the algorithm.
 package core
 
 import (
 	"rmarace/internal/access"
 	"rmarace/internal/detector"
-	"rmarace/internal/itree"
+	"rmarace/internal/store"
 	"rmarace/internal/strided"
 )
 
 // Analyzer is the contribution's per-(process, window) analysis state.
-// It implements detector.Analyzer. The zero value is ready to use.
+// It implements detector.Analyzer (and detector.BatchAnalyzer, for the
+// batched notification pipeline). The zero value is ready to use with
+// the default AVL store.
 type Analyzer struct {
-	tree        itree.Tree
+	st          store.AccessStore
 	accesses    uint64
 	maxNodes    int
 	flushClears bool
 	noMerge     bool
+	// frontier is the stored access the last insertion ended in, when
+	// that insertion took the no-overlap fast path: AccessBatch uses it
+	// to skip the left-neighbour lookup for adjacent batch runs (the
+	// CFD-Proxy merge fast path). Invalidated by anything that can move
+	// or remove it.
+	frontier   access.Access
+	frontierOK bool
 	// Strided-merging extension state (WithStridedMerging): finalised
 	// regular sections plus the per-stream open runs.
 	stridedOn bool
@@ -64,22 +76,45 @@ func WithoutMerging() Option {
 	return func(a *Analyzer) { a.noMerge = true }
 }
 
+// WithStore runs Algorithm 1 over the given storage backend instead of
+// the default AVL interval tree. Backends without the complete-stab
+// guarantee (the legacy lower-bound BST) reintroduce the corresponding
+// published defects; that is the point of the ablation.
+func WithStore(s store.AccessStore) Option {
+	return func(a *Analyzer) { a.st = s }
+}
+
 // New returns a fresh analyzer for one window.
 func New(opts ...Option) *Analyzer {
 	a := &Analyzer{}
 	for _, o := range opts {
 		o(a)
 	}
+	if a.st == nil {
+		a.st = store.NewAVL()
+	}
 	return a
+}
+
+// lazyStore returns the backend, initialising the default for zero-value
+// Analyzers.
+func (z *Analyzer) lazyStore() store.AccessStore {
+	if z.st == nil {
+		z.st = store.NewAVL()
+	}
+	return z.st
 }
 
 // Name implements detector.Analyzer.
 func (*Analyzer) Name() string { return "our-contribution" }
 
+// Store returns the analyzer's storage backend.
+func (z *Analyzer) Store() store.AccessStore { return z.lazyStore() }
+
 // Access implements detector.Analyzer with Algorithm 1. In strided
 // mode (WithStridedMerging) the access is first checked against the
 // compressed regular sections and, when it continues a strided run,
-// absorbed into one instead of the tree.
+// absorbed into one instead of the store.
 func (z *Analyzer) Access(ev detector.Event) *detector.Race {
 	if ev.Filtered {
 		return nil // removed by the compile-time alias analysis
@@ -96,6 +131,7 @@ func (z *Analyzer) Access(ev detector.Event) *detector.Race {
 		return race
 	}
 	if z.tryStride(a) {
+		z.frontierOK = false
 		z.bumpMaxNodes()
 		return nil
 	}
@@ -104,10 +140,62 @@ func (z *Analyzer) Access(ev detector.Event) *detector.Race {
 	return race
 }
 
+// AccessBatch implements detector.BatchAnalyzer for the batched
+// notification pipeline. Semantics are identical to calling Access per
+// event; the win is the frontier fast path: when an event extends the
+// access the previous one merged into (the adjacent Put/Get runs of
+// CFD-Proxy and Code 2), the left-neighbour lookup and race scan reduce
+// to one narrow emptiness probe right of the frontier.
+func (z *Analyzer) AccessBatch(evs []detector.Event) *detector.Race {
+	if z.stridedOn {
+		// The strided paths keep their own run state; batch events feed
+		// through the scalar path unchanged.
+		for i := range evs {
+			if race := z.Access(evs[i]); race != nil {
+				return race
+			}
+		}
+		return nil
+	}
+	st := z.lazyStore()
+	for i := range evs {
+		ev := evs[i]
+		if ev.Filtered {
+			continue // does not touch the store; the frontier stays valid
+		}
+		a := ev.Acc
+		if z.frontierOK && !z.noMerge && z.frontier.Hi+1 == a.Lo && access.Mergeable(z.frontier, a) {
+			// The store is disjoint, so the only access that can touch
+			// a.Lo-1 is the frontier itself: the left neighbour is known
+			// without a search. One emptiness probe over [a.Lo, a.Hi+1]
+			// establishes that nothing intersects a and no right
+			// neighbour exists, which is exactly the Access fast path's
+			// mergeL case.
+			probe := a.Interval
+			if probe.Hi+1 != 0 {
+				probe.Hi++
+			}
+			empty := st.Stab(probe, func(access.Access) bool { return false })
+			if empty {
+				z.accesses++
+				store.ExtendHi(st, z.frontier, a.Hi)
+				z.frontier.Hi = a.Hi
+				z.bumpMaxNodes()
+				continue
+			}
+		}
+		if race := z.Access(ev); race != nil {
+			return race
+		}
+	}
+	return nil
+}
+
 // insert runs steps (1)-(5) of Algorithm 1 for one access. raceCheck
 // false skips step (1) for accesses that were already validated (the
 // strided path and re-materialised section elements).
 func (z *Analyzer) insert(a access.Access, raceCheck bool) *detector.Race {
+	st := z.lazyStore()
 	// One stabbing query, widened by one address on each side, yields
 	// both the intersecting accesses (for the race check and
 	// fragmentation) and the at most two boundary neighbours merging
@@ -115,7 +203,7 @@ func (z *Analyzer) insert(a access.Access, raceCheck bool) *detector.Race {
 	// Disjointness guarantees a neighbour touching a.Lo-1 ends exactly
 	// there.
 	inter := z.scratch[:0]
-	left, right, hasLeft, hasRight := z.tree.StabNeighbors(a.Interval, &inter)
+	left, right, hasLeft, hasRight := store.StabNeighbors(st, a.Interval, &inter)
 	z.scratch = inter[:0]
 	var leftNb, rightNb *access.Access
 	if hasLeft {
@@ -144,21 +232,30 @@ func (z *Analyzer) insert(a access.Access, raceCheck bool) *detector.Race {
 		mergeR := !z.noMerge && rightNb != nil && access.Mergeable(a, *rightNb)
 		switch {
 		case mergeL && mergeR:
-			z.tree.Delete(rightNb.Interval)
-			z.tree.ExtendHi(leftNb.Interval, rightNb.Hi)
+			st.Delete(rightNb.Interval)
+			store.ExtendHi(st, *leftNb, rightNb.Hi)
+			z.frontier = *leftNb
+			z.frontier.Hi = rightNb.Hi
 		case mergeL:
-			z.tree.ExtendHi(leftNb.Interval, a.Hi)
+			store.ExtendHi(st, *leftNb, a.Hi)
+			z.frontier = *leftNb
+			z.frontier.Hi = a.Hi
 		case mergeR:
-			z.tree.ExtendLo(rightNb.Interval, a.Lo)
+			store.ExtendLo(st, *rightNb, a.Lo)
+			z.frontier = *rightNb
+			z.frontier.Lo = a.Lo
 		default:
-			z.tree.Insert(a)
+			st.Insert(a)
+			z.frontier = a
 		}
+		z.frontierOK = true
 		z.bumpMaxNodes()
 		return nil
 	}
 
 	// (2)-(4) fragment and merge, pulling in the boundary neighbours
 	// only when they can actually coalesce with the edge fragments.
+	z.frontierOK = false
 	frags := access.Fragment(inter, a)
 	deletions := make([]access.Access, len(inter), len(inter)+2)
 	copy(deletions, inter)
@@ -177,20 +274,21 @@ func (z *Analyzer) insert(a access.Access, raceCheck bool) *detector.Race {
 
 	// (5) finish_insertion: replace the old accesses by the new ones.
 	for _, d := range deletions {
-		z.tree.Delete(d.Interval)
+		st.Delete(d.Interval)
 	}
 	for _, m := range merged {
-		z.tree.Insert(m)
+		st.Insert(m)
 	}
 	z.bumpMaxNodes()
 	return nil
 }
 
 // EpochEnd implements detector.Analyzer: accesses of a completed epoch
-// cannot race with later ones, so the tree (and, in strided mode, the
+// cannot race with later ones, so the store (and, in strided mode, the
 // sections) are emptied.
 func (z *Analyzer) EpochEnd() {
-	z.tree.Clear()
+	z.lazyStore().Clear()
+	z.frontierOK = false
 	if z.stridedOn {
 		z.sections = z.sections[:0]
 		z.open = make(map[runKey]*runState)
@@ -211,16 +309,8 @@ func (z *Analyzer) Flush(rank int) {
 // because an exclusive unlock orders them before everything that
 // follows.
 func (z *Analyzer) Release(rank int) {
-	var doomed []access.Access
-	z.tree.InOrder(func(a access.Access) bool {
-		if a.Rank == rank {
-			doomed = append(doomed, a)
-		}
-		return true
-	})
-	for _, d := range doomed {
-		z.tree.Delete(d.Interval)
-	}
+	store.RemoveRank(z.lazyStore(), rank)
+	z.frontierOK = false
 	if z.stridedOn {
 		kept := z.sections[:0]
 		for _, s := range z.sections {
@@ -229,11 +319,9 @@ func (z *Analyzer) Release(rank int) {
 			}
 		}
 		z.sections = kept
-		for k, rs := range z.open {
+		for k := range z.open {
 			if k.rank == rank {
 				delete(z.open, k)
-			} else {
-				_ = rs
 			}
 		}
 	}
@@ -241,7 +329,7 @@ func (z *Analyzer) Release(rank int) {
 
 // Nodes implements detector.Analyzer (the Table 4 metric). In strided
 // mode each regular section counts as one node.
-func (z *Analyzer) Nodes() int { return z.tree.Len() + z.sectionCount() }
+func (z *Analyzer) Nodes() int { return z.lazyStore().Len() + z.sectionCount() }
 
 func (z *Analyzer) bumpMaxNodes() {
 	if n := z.Nodes(); n > z.maxNodes {
@@ -255,8 +343,12 @@ func (z *Analyzer) MaxNodes() int { return z.maxNodes }
 // Accesses implements detector.Analyzer.
 func (z *Analyzer) Accesses() uint64 { return z.accesses }
 
-// Items returns the stored accesses in ascending interval order, for
-// inspection and testing (the BSTs drawn in Fig. 5).
-func (z *Analyzer) Items() []access.Access { return z.tree.Items() }
+// Items returns the stored accesses in ascending interval order (on the
+// default backend), for inspection and testing (the BSTs drawn in
+// Fig. 5).
+func (z *Analyzer) Items() []access.Access { return store.Items(z.lazyStore()) }
 
-var _ detector.Analyzer = (*Analyzer)(nil)
+var (
+	_ detector.Analyzer      = (*Analyzer)(nil)
+	_ detector.BatchAnalyzer = (*Analyzer)(nil)
+)

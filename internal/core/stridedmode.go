@@ -76,10 +76,10 @@ func (z *Analyzer) sectionRace(a access.Access) *detector.Race {
 	return nil
 }
 
-// treeRace runs only step (1) of Algorithm 1 against the tree.
+// treeRace runs only step (1) of Algorithm 1 against the store.
 func (z *Analyzer) treeRace(a access.Access) *detector.Race {
 	var race *detector.Race
-	z.tree.VisitStab(a.Interval, func(s access.Access) bool {
+	z.lazyStore().Stab(a.Interval, func(s access.Access) bool {
 		if access.Races(s, a) {
 			race = &detector.Race{Prev: s, Cur: a}
 			return false
@@ -109,10 +109,10 @@ func (z *Analyzer) tryStride(a access.Access) bool {
 	}
 	if rs.hasLast {
 		if sec, err := strided.New(rs.last, a); err == nil {
-			// Reclaim the run's first element from the tree; if it was
+			// Reclaim the run's first element from the store; if it was
 			// meanwhile merged or fragmented away, fall back to plain
 			// storage.
-			if z.tree.Delete(rs.last.Interval) {
+			if z.lazyStore().Delete(rs.last.Interval) {
 				rs.sec = &sec
 				rs.hasLast = false
 				return true

@@ -96,6 +96,30 @@ type Analyzer interface {
 	Accesses() uint64
 }
 
+// BatchAnalyzer is the optional batch-processing capability of the
+// notification pipeline: AccessBatch must be equivalent to calling
+// Access on each event in order, returning the first race. Analyzers
+// implement it to amortise per-event work across a batch (the
+// contribution's adjacent-merge fast path).
+type BatchAnalyzer interface {
+	AccessBatch(evs []Event) *Race
+}
+
+// AccessBatch feeds a batch of events to a through its BatchAnalyzer
+// capability when present, falling back to one Access call per event.
+// It returns the first detected race, or nil.
+func AccessBatch(a Analyzer, evs []Event) *Race {
+	if b, ok := a.(BatchAnalyzer); ok {
+		return b.AccessBatch(evs)
+	}
+	for i := range evs {
+		if r := a.Access(evs[i]); r != nil {
+			return r
+		}
+	}
+	return nil
+}
+
 // Method enumerates the four compared approaches, in the order the
 // paper's figures present them.
 type Method int

@@ -2,7 +2,7 @@ package detector
 
 import (
 	"rmarace/internal/access"
-	"rmarace/internal/legacybst"
+	"rmarace/internal/store"
 )
 
 // LegacyAnalyzer reproduces the original RMA-Analyzer (Aitkaci et al.,
@@ -15,17 +15,31 @@ import (
 //   - the race predicate ignores program order within a process, so
 //     Load;MPI_Get is flagged like MPI_Get;Load (the published false
 //     positives, e.g. ll_load_get_inwindow_origin_safe).
+//
+// The first two defects live in the storage backend (the legacy
+// lower-bound BST adapter of package store); the third in the
+// order-insensitive predicate below. Swapping the backend
+// (NewLegacyWithStore) isolates the predicate defect from the storage
+// defects.
 type LegacyAnalyzer struct {
-	tree     legacybst.Tree
+	st       store.AccessStore
 	accesses uint64
 	maxNodes int
 }
 
-// NewLegacy returns a fresh legacy RMA-Analyzer state for one window.
-func NewLegacy() *LegacyAnalyzer { return &LegacyAnalyzer{} }
+// NewLegacy returns a fresh legacy RMA-Analyzer state for one window,
+// over the legacy lower-bound BST.
+func NewLegacy() *LegacyAnalyzer { return NewLegacyWithStore(store.NewLegacyBST()) }
+
+// NewLegacyWithStore returns the legacy analysis algorithm over the
+// given storage backend.
+func NewLegacyWithStore(s store.AccessStore) *LegacyAnalyzer { return &LegacyAnalyzer{st: s} }
 
 // Name implements Analyzer.
 func (*LegacyAnalyzer) Name() string { return "rma-analyzer" }
+
+// Store returns the analyzer's storage backend.
+func (l *LegacyAnalyzer) Store() store.AccessStore { return l.st }
 
 // Access implements Analyzer with the legacy two-traversal scheme: one
 // descent to check for races, one descent to insert.
@@ -35,23 +49,29 @@ func (l *LegacyAnalyzer) Access(ev Event) *Race {
 	}
 	l.accesses++
 	a := ev.Acc
-	for _, s := range l.tree.SearchIntersecting(a.Interval) {
+	var race *Race
+	l.st.Stab(a.Interval, func(s access.Access) bool {
 		// Order-insensitive check: any overlapping pair with at least
 		// one RMA access and one write is reported, even the safe
 		// local-before-RMA program orders fixed in §5.2.
 		if access.Conflicts(s.Type, a.Type) {
-			return &Race{Prev: s, Cur: a}
+			race = &Race{Prev: s, Cur: a}
+			return false
 		}
+		return true
+	})
+	if race != nil {
+		return race
 	}
-	l.tree.Insert(a)
-	if n := l.tree.Len(); n > l.maxNodes {
+	l.st.Insert(a)
+	if n := l.st.Len(); n > l.maxNodes {
 		l.maxNodes = n
 	}
 	return nil
 }
 
 // EpochEnd implements Analyzer.
-func (l *LegacyAnalyzer) EpochEnd() { l.tree.Clear() }
+func (l *LegacyAnalyzer) EpochEnd() { l.st.Clear() }
 
 // Flush implements Analyzer as a no-op: the paper reports that
 // instrumenting MPI_Win_flush in RMA-Analyzer is unsound (§6) and the
@@ -65,7 +85,7 @@ func (l *LegacyAnalyzer) Flush(int) {}
 func (l *LegacyAnalyzer) Release(int) {}
 
 // Nodes implements Analyzer.
-func (l *LegacyAnalyzer) Nodes() int { return l.tree.Len() }
+func (l *LegacyAnalyzer) Nodes() int { return l.st.Len() }
 
 // MaxNodes implements Analyzer.
 func (l *LegacyAnalyzer) MaxNodes() int { return l.maxNodes }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"rmarace/internal/shadow"
+	"rmarace/internal/store"
 	"rmarace/internal/vc"
 )
 
@@ -61,12 +62,13 @@ func (s *MustShared) advance(rank int, t uint64) {
 }
 
 // MustAnalyzer is the per-(process, window) view of the MUST-RMA
-// simulator: a ThreadSanitizer-style shadow memory checked against the
+// simulator: a ThreadSanitizer-style shadow memory (held as the
+// shadow-backed AccessStore of package store) checked against the
 // shared happens-before clocks.
 type MustAnalyzer struct {
 	shared   *MustShared
 	rank     int
-	mem      *shadow.Memory
+	mem      *store.Shadow
 	accesses uint64
 	maxCells int
 }
@@ -74,11 +76,14 @@ type MustAnalyzer struct {
 // NewMustRMA returns a MUST-RMA analyzer for one window of one rank,
 // backed by the given shared clock state.
 func NewMustRMA(shared *MustShared, rank int) *MustAnalyzer {
-	return &MustAnalyzer{shared: shared, rank: rank, mem: shadow.NewMemoryOwner(rank)}
+	return &MustAnalyzer{shared: shared, rank: rank, mem: store.NewShadowOwner(rank)}
 }
 
 // Name implements Analyzer.
 func (*MustAnalyzer) Name() string { return "must-rma" }
+
+// Store returns the analyzer's storage backend.
+func (m *MustAnalyzer) Store() store.AccessStore { return m.mem }
 
 // Access implements Analyzer. Unlike the tree-based analyzers it also
 // processes alias-filtered accesses (ThreadSanitizer instruments the
@@ -101,7 +106,7 @@ func (m *MustAnalyzer) Access(ev Event) *Race {
 	}
 
 	conflict := m.mem.Record(a, entry)
-	if n := m.mem.Cells(); n > m.maxCells {
+	if n := m.mem.Len(); n > m.maxCells {
 		m.maxCells = n
 	}
 	if conflict == nil {
@@ -131,7 +136,7 @@ func (m *MustAnalyzer) Flush(int) {}
 func (m *MustAnalyzer) Release(rank int) { m.mem.RemoveRank(rank) }
 
 // Nodes implements Analyzer: the number of live shadow cells.
-func (m *MustAnalyzer) Nodes() int { return m.mem.Cells() }
+func (m *MustAnalyzer) Nodes() int { return m.mem.Len() }
 
 // MaxNodes implements Analyzer.
 func (m *MustAnalyzer) MaxNodes() int { return m.maxCells }

@@ -1,0 +1,366 @@
+// Package engine is the per-window analysis engine: the state machine
+// that owns the analyzers, serialises access to them, runs the
+// receiver goroutines draining notification batches, and implements
+// the count-and-drain quiescence protocol the synchronisation calls
+// build on (the paper's "for each window, a thread is created to
+// receive all the MPI_Send").
+//
+// The engine is deliberately independent of the MPI simulator: the
+// instrumentation layer (package internal/rma) supplies a stop channel
+// and a race callback, and the engine exposes exactly the operations
+// the MPI-RMA synchronisation surface needs — Notify/SendSync to feed
+// a rank's receiver, WaitReceived to drain it, EpochEnd/Epoch for the
+// epoch lifecycle, Analyse for origin-side and local accesses. That
+// makes the whole analysis pipeline unit-testable without spinning up
+// a simulated world.
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"rmarace/internal/detector"
+)
+
+// DefaultChannelCap is the per-rank notification channel capacity when
+// Config.ChannelCap is zero.
+const DefaultChannelCap = 1024
+
+// ErrClosed is returned by sends after the engine has been closed.
+var ErrClosed = errors.New("engine: closed")
+
+// errStopped is returned on a stop without a StopErr callback.
+var errStopped = errors.New("engine: stopped")
+
+// Batch is one message on a rank's notification channel: a batch of
+// remote accesses to analyse, or a synchronisation marker (Sync) that
+// acknowledges once everything ahead of it has been processed and,
+// with Release set, retires the origin's accesses first (an exclusive
+// MPI_Win_unlock).
+type Batch struct {
+	Evs     []detector.Event
+	Sync    bool
+	Release bool
+	Origin  int
+	Ack     chan struct{}
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Ranks is the number of per-rank analyzer/receiver pairs.
+	Ranks int
+	// NewAnalyzer builds the analyzer owned by the given rank.
+	NewAnalyzer func(rank int) detector.Analyzer
+	// ChannelCap bounds each rank's notification channel
+	// (DefaultChannelCap when zero). A full channel never drops a
+	// notification: the sender counts an overflow and blocks until the
+	// receiver catches up.
+	ChannelCap int
+	// OnRace is called (possibly from a receiver goroutine) for every
+	// race an analyzer reports. May be nil.
+	OnRace func(*detector.Race)
+	// Stop aborts the engine when closed: receivers exit, blocked
+	// senders and waiters return StopErr. May be nil (never stops).
+	Stop <-chan struct{}
+	// StopErr reports why Stop fired. May be nil.
+	StopErr func() error
+}
+
+// Engine is the analysis state machine of one window across all ranks.
+type Engine struct {
+	cfg       Config
+	analyzers []detector.Analyzer
+	// anMu serialises each rank's analyzer between its receiver and the
+	// rank's own origin-side/local analysis calls.
+	anMu    []sync.Mutex
+	notifCh []chan Batch
+	// received counts processed notifications per rank (events and sync
+	// markers alike), guarded by recvMu; recvCond broadcasts on every
+	// update and on stop.
+	recvMu   []sync.Mutex
+	received []int64
+	recvCond []*sync.Cond
+	// epochs counts each rank's completed analysis epochs (atomic).
+	// Receivers stamp every event with the owner's current count, so
+	// all accesses analysed between two EpochEnd calls share an epoch
+	// number even when they arrive before the owner's own LockAll.
+	epochs []uint64
+	// overflows counts, per rank, sends that found the notification
+	// channel full and had to block (atomic). Nothing is dropped; the
+	// counter makes the backpressure visible in the stats.
+	overflows []int64
+
+	startMu sync.Mutex
+	started []bool
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// New builds an engine; receivers are started per rank with
+// StartReceiver.
+func New(cfg Config) *Engine {
+	if cfg.ChannelCap <= 0 {
+		cfg.ChannelCap = DefaultChannelCap
+	}
+	e := &Engine{
+		cfg:       cfg,
+		analyzers: make([]detector.Analyzer, cfg.Ranks),
+		anMu:      make([]sync.Mutex, cfg.Ranks),
+		notifCh:   make([]chan Batch, cfg.Ranks),
+		recvMu:    make([]sync.Mutex, cfg.Ranks),
+		received:  make([]int64, cfg.Ranks),
+		recvCond:  make([]*sync.Cond, cfg.Ranks),
+		epochs:    make([]uint64, cfg.Ranks),
+		overflows: make([]int64, cfg.Ranks),
+		started:   make([]bool, cfg.Ranks),
+		closed:    make(chan struct{}),
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		e.analyzers[r] = cfg.NewAnalyzer(r)
+		e.notifCh[r] = make(chan Batch, cfg.ChannelCap)
+		e.recvCond[r] = sync.NewCond(&e.recvMu[r])
+	}
+	// Wake every count-waiter when the engine stops; exit when it
+	// closes so finished runs can be collected.
+	go func() {
+		select {
+		case <-e.cfg.Stop:
+		case <-e.closed:
+			return
+		}
+		e.WakeAll()
+	}()
+	return e
+}
+
+// Ranks returns the number of ranks the engine serves.
+func (e *Engine) Ranks() int { return len(e.analyzers) }
+
+// StartReceiver starts rank's receiver goroutine. It is idempotent:
+// re-joining a window (MPI_Win_free followed by a create under the
+// same name) must not stack a second receiver on the same channel.
+func (e *Engine) StartReceiver(rank int) {
+	e.startMu.Lock()
+	defer e.startMu.Unlock()
+	if e.started[rank] {
+		return
+	}
+	e.started[rank] = true
+	go e.receive(rank)
+}
+
+// receive drains rank's notification channel until the engine stops or
+// closes.
+func (e *Engine) receive(rank int) {
+	for {
+		select {
+		case b := <-e.notifCh[rank]:
+			e.process(rank, b)
+		case <-e.cfg.Stop:
+			return
+		case <-e.closed:
+			return
+		}
+	}
+}
+
+// process handles one batch: sync markers acknowledge (releasing the
+// origin first when asked); event batches are stamped with the owner's
+// epoch and fed to the analyzer in one serialised call.
+func (e *Engine) process(rank int, b Batch) {
+	if b.Sync {
+		if b.Release {
+			e.anMu[rank].Lock()
+			e.analyzers[rank].Release(b.Origin)
+			e.anMu[rank].Unlock()
+		}
+		if b.Ack != nil {
+			close(b.Ack)
+		}
+		e.addReceived(rank, 1)
+		return
+	}
+	epoch := atomic.LoadUint64(&e.epochs[rank])
+	for i := range b.Evs {
+		b.Evs[i].Acc.Epoch = epoch
+	}
+	e.anMu[rank].Lock()
+	race := detector.AccessBatch(e.analyzers[rank], b.Evs)
+	e.anMu[rank].Unlock()
+	if race != nil && e.cfg.OnRace != nil {
+		e.cfg.OnRace(race)
+	}
+	e.addReceived(rank, int64(len(b.Evs)))
+}
+
+func (e *Engine) addReceived(rank int, n int64) {
+	e.recvMu[rank].Lock()
+	e.received[rank] += n
+	e.recvCond[rank].Broadcast()
+	e.recvMu[rank].Unlock()
+}
+
+// Notify enqueues a batch of remote accesses for rank's receiver. The
+// batch is handed off: the caller must not reuse the slice. When the
+// channel is full the overflow counter is bumped and the send blocks
+// (backpressure) until the receiver drains, the engine stops, or it
+// closes — a notification is never silently dropped.
+func (e *Engine) Notify(rank int, evs []detector.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	return e.send(rank, Batch{Evs: evs})
+}
+
+// SendSync enqueues a synchronisation marker behind everything already
+// sent to rank. ack is closed once the marker is processed; release
+// additionally retires origin's stored accesses first.
+func (e *Engine) SendSync(rank, origin int, release bool, ack chan struct{}) error {
+	return e.send(rank, Batch{Sync: true, Release: release, Origin: origin, Ack: ack})
+}
+
+func (e *Engine) send(rank int, b Batch) error {
+	select {
+	case e.notifCh[rank] <- b:
+		return nil
+	default:
+	}
+	atomic.AddInt64(&e.overflows[rank], 1)
+	select {
+	case e.notifCh[rank] <- b:
+		return nil
+	case <-e.cfg.Stop:
+		return e.stopErr()
+	case <-e.closed:
+		return ErrClosed
+	}
+}
+
+func (e *Engine) stopErr() error {
+	if e.cfg.StopErr != nil {
+		if err := e.cfg.StopErr(); err != nil {
+			return err
+		}
+	}
+	return errStopped
+}
+
+// stopped reports whether the engine's stop channel has fired.
+func (e *Engine) stoppedErr() error {
+	select {
+	case <-e.cfg.Stop:
+		return e.stopErr()
+	default:
+		return nil
+	}
+}
+
+// WaitReceived blocks until rank has processed at least expected
+// notifications (counting events and sync markers), or the engine
+// stops or closes, in which case the corresponding error is returned.
+func (e *Engine) WaitReceived(rank int, expected int64) error {
+	e.recvMu[rank].Lock()
+	for e.received[rank] < expected && e.stoppedErr() == nil && !e.isClosed() {
+		e.recvCond[rank].Wait()
+	}
+	satisfied := e.received[rank] >= expected
+	e.recvMu[rank].Unlock()
+	if err := e.stoppedErr(); err != nil {
+		return err
+	}
+	if !satisfied {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (e *Engine) isClosed() bool {
+	select {
+	case <-e.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Received returns how many notifications rank has processed.
+func (e *Engine) Received(rank int) int64 {
+	e.recvMu[rank].Lock()
+	defer e.recvMu[rank].Unlock()
+	return e.received[rank]
+}
+
+// WakeAll broadcasts every rank's receive condition, releasing
+// WaitReceived callers so they can observe a stop.
+func (e *Engine) WakeAll() {
+	for r := range e.recvCond {
+		e.recvMu[r].Lock()
+		e.recvCond[r].Broadcast()
+		e.recvMu[r].Unlock()
+	}
+}
+
+// Analyse feeds one access (origin-side or local) through rank's
+// analyzer under the serialisation lock and reports any race through
+// the callback as well as the return value.
+func (e *Engine) Analyse(rank int, ev detector.Event) *detector.Race {
+	e.anMu[rank].Lock()
+	race := e.analyzers[rank].Access(ev)
+	e.anMu[rank].Unlock()
+	if race != nil && e.cfg.OnRace != nil {
+		e.cfg.OnRace(race)
+	}
+	return race
+}
+
+// EpochEnd completes rank's analysis epoch: the analyzer retires its
+// state and the epoch counter future accesses are stamped with moves
+// on. Callers drain first (WaitReceived).
+func (e *Engine) EpochEnd(rank int) {
+	e.anMu[rank].Lock()
+	e.analyzers[rank].EpochEnd()
+	atomic.AddUint64(&e.epochs[rank], 1)
+	e.anMu[rank].Unlock()
+}
+
+// Epoch returns rank's completed-epoch count, the number stamped onto
+// accesses analysed now.
+func (e *Engine) Epoch(rank int) uint64 { return atomic.LoadUint64(&e.epochs[rank]) }
+
+// Flush observes an MPI_Win_flush by rank.
+func (e *Engine) Flush(rank int) {
+	e.anMu[rank].Lock()
+	e.analyzers[rank].Flush(rank)
+	e.anMu[rank].Unlock()
+}
+
+// WithAnalyzer runs fn with rank's analyzer under the serialisation
+// lock, for statistics snapshots.
+func (e *Engine) WithAnalyzer(rank int, fn func(detector.Analyzer)) {
+	e.anMu[rank].Lock()
+	fn(e.analyzers[rank])
+	e.anMu[rank].Unlock()
+}
+
+// Overflows returns how many sends found rank's channel full and had
+// to block.
+func (e *Engine) Overflows(rank int) int64 { return atomic.LoadInt64(&e.overflows[rank]) }
+
+// TotalOverflows sums Overflows over all ranks.
+func (e *Engine) TotalOverflows() int64 {
+	var total int64
+	for r := range e.overflows {
+		total += atomic.LoadInt64(&e.overflows[r])
+	}
+	return total
+}
+
+// Close shuts the engine down: receivers exit, blocked senders return
+// ErrClosed, waiters wake. Safe to call more than once and safe
+// against concurrent in-flight sends (no channel is ever closed).
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.closed) })
+	e.WakeAll()
+}

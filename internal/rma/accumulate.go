@@ -3,7 +3,6 @@ package rma
 import (
 	"encoding/binary"
 	"fmt"
-	"sync/atomic"
 
 	"rmarace/internal/access"
 )
@@ -36,7 +35,7 @@ func (w *Win) Accumulate(target, targetOff int, src *Buffer, srcOff, n int, op a
 	origin := w.p.Rank()
 
 	// Origin side: the source buffer is read, exactly like a Put.
-	originEpoch := atomic.LoadUint64(&g.epochs[origin])
+	originEpoch := g.eng.Epoch(origin)
 	if err := w.analyse(origin, rmaEvent(src, srcOff, n, access.RMARead, origin, originEpoch, callTime, dbg)); err != nil {
 		return err
 	}
@@ -54,13 +53,7 @@ func (w *Win) Accumulate(target, targetOff int, src *Buffer, srcOff, n int, op a
 	// Target side: an RMA_Accum access carrying the operation.
 	ev := rmaEvent(tgtMem, targetOff, n, access.RMAAccum, origin, 0, callTime, dbg)
 	ev.Acc.AccumOp = op
-	select {
-	case g.notifCh[target] <- notifMsg{ev: ev}:
-	case <-w.p.World().Aborted():
-		return w.p.World().AbortErr()
-	}
-	w.countSent(target)
-	return nil
+	return w.notify(target, ev)
 }
 
 // FetchAndOp performs an MPI_Fetch_and_op on one 8-byte element: it
@@ -90,12 +83,9 @@ func (w *Win) FetchAndOp(target, targetOff int, value uint64, op access.AccumOp,
 
 	ev := rmaEvent(tgtMem, targetOff, 8, access.RMAAccum, origin, 0, callTime, dbg)
 	ev.Acc.AccumOp = op
-	select {
-	case g.notifCh[target] <- notifMsg{ev: ev}:
-	case <-w.p.World().Aborted():
-		return 0, w.p.World().AbortErr()
+	if err := w.notify(target, ev); err != nil {
+		return 0, err
 	}
-	w.countSent(target)
 	return old, nil
 }
 

@@ -3,7 +3,6 @@ package rma
 import (
 	"encoding/binary"
 	"fmt"
-	"sync/atomic"
 
 	"rmarace/internal/access"
 	"rmarace/internal/detector"
@@ -127,7 +126,7 @@ func (b *Buffer) event(off, n int, tp access.Type, dbg access.Debug) detector.Ev
 // epoch".
 func (p *Proc) localAccess(ev detector.Event) error {
 	for _, w := range p.open {
-		ev.Acc.Epoch = atomic.LoadUint64(&w.g.epochs[p.Rank()])
+		ev.Acc.Epoch = w.g.eng.Epoch(p.Rank())
 		if err := w.analyse(p.Rank(), ev); err != nil {
 			return err
 		}

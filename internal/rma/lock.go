@@ -35,7 +35,7 @@ type lockState struct {
 // lockServer serialises MPI_Win_lock/MPI_Win_unlock requests for one
 // window, granting in FIFO order with shared-batch semantics.
 func (g *winGlobal) lockServer(world *mpi.World) {
-	states := make([]lockState, len(g.analyzers))
+	states := make([]lockState, g.ranks)
 	grantQueued := func(st *lockState) {
 		for len(st.queue) > 0 {
 			head := st.queue[0]
@@ -143,16 +143,17 @@ func (w *Win) Unlock(target int) error {
 	}
 
 	// MPI_Win_unlock completes the session's operations at the target:
-	// a synchronisation marker travels behind the session's accesses on
-	// the notification channel and is acknowledged once they are all
-	// analysed. Exclusive sessions are additionally retired (released)
-	// because the unlock orders them before every later lock holder.
+	// the pending notification batch is flushed, then a synchronisation
+	// marker travels behind the session's accesses on the notification
+	// channel and is acknowledged once they are all analysed. Exclusive
+	// sessions are additionally retired (released) because the unlock
+	// orders them before every later lock holder.
+	if err := w.flushNotifs(target); err != nil {
+		return err
+	}
 	ack := make(chan struct{})
-	msg := notifMsg{sync: true, release: mode == LockExclusive, origin: w.p.Rank(), ack: ack}
-	select {
-	case w.g.notifCh[target] <- msg:
-	case <-w.p.World().Aborted():
-		return w.p.World().AbortErr()
+	if err := w.g.eng.SendSync(target, w.p.Rank(), mode == LockExclusive, ack); err != nil {
+		return err
 	}
 	w.sent[target]++
 	select {

@@ -3,7 +3,6 @@ package rma
 import (
 	"encoding/binary"
 	"fmt"
-	"sync/atomic"
 )
 
 // General Active Target Synchronisation (PSCW): MPI_Win_post /
@@ -55,11 +54,17 @@ func (w *Win) Start(targets ...int) error {
 }
 
 // Complete closes the access epoch (MPI_Win_complete): every target of
-// the Start group receives the number of accesses sent to it so its
-// Wait can drain them.
+// the Start group gets its pending notification batch flushed and then
+// receives the number of accesses sent to it so its Wait can drain
+// them.
 func (w *Win) Complete() error {
 	if w.pscwTargets == nil {
 		return fmt.Errorf("rma: Complete without a matching Start")
+	}
+	for t := range w.pscwTargets {
+		if err := w.flushNotifs(t); err != nil {
+			return err
+		}
 	}
 	for t := range w.pscwTargets {
 		var count [8]byte
@@ -117,21 +122,10 @@ func (w *Win) Wait() error {
 	}
 	w.expected += incoming
 
-	g := w.g
-	world := w.p.World()
-	g.recvMu[rank].Lock()
-	for g.received[rank] < w.expected && world.AbortErr() == nil {
-		g.recvCond[rank].Wait()
-	}
-	g.recvMu[rank].Unlock()
-	if err := world.AbortErr(); err != nil {
+	if err := w.g.eng.WaitReceived(rank, w.expected); err != nil {
 		return err
 	}
-
-	g.anMu[rank].Lock()
-	g.analyzers[rank].EpochEnd()
-	atomic.AddUint64(&g.epochs[rank], 1)
-	g.anMu[rank].Unlock()
+	w.g.eng.EpochEnd(rank)
 
 	w.pscwPosted = nil
 	return nil

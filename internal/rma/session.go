@@ -37,6 +37,7 @@ import (
 	"rmarace/internal/core"
 	"rmarace/internal/detector"
 	"rmarace/internal/mpi"
+	"rmarace/internal/store"
 )
 
 // Config selects the analysis method and its variations for a session.
@@ -54,6 +55,18 @@ type Config struct {
 	// plain merging cannot coalesce). Only meaningful for
 	// OurContribution.
 	StridedMerging bool
+	// Store selects the storage backend the contribution analyzer runs
+	// Algorithm 1 over ("avl", "legacy", "shadow", "strided"; package
+	// internal/store). Empty means the default AVL interval tree. Only
+	// meaningful for OurContribution.
+	Store string
+	// NotifBatch bounds how many consecutive target-side notifications
+	// to the same target coalesce into one channel message
+	// (DefaultNotifBatch when zero; 1 disables batching). Batches are
+	// always flushed before any synchronisation that publishes or
+	// drains the access counts, so detection semantics do not depend on
+	// the setting.
+	NotifBatch int
 }
 
 // Session owns the analysis state of one simulated job: one analyzer
@@ -108,6 +121,13 @@ func (s *Session) newAnalyzer(rank int) detector.Analyzer {
 		if s.cfg.StridedMerging {
 			opts = append(opts, core.WithStridedMerging())
 		}
+		if s.cfg.Store != "" {
+			st, err := store.New(s.cfg.Store)
+			if err != nil {
+				panic(fmt.Sprintf("rma: %v", err))
+			}
+			opts = append(opts, core.WithStore(st))
+		}
 		return core.New(opts...)
 	}
 	panic(fmt.Sprintf("rma: unknown method %v", s.cfg.Method))
@@ -147,6 +167,9 @@ type WindowStats struct {
 	TotalMaxNodes int
 	// Accesses sums processed accesses over ranks.
 	Accesses uint64
+	// Overflows counts notification sends that found a rank's channel
+	// full and had to block (engine backpressure; nothing is dropped).
+	Overflows int64
 }
 
 // Stats snapshots all windows' analysis statistics.
@@ -155,14 +178,15 @@ func (s *Session) Stats() []WindowStats {
 	defer s.mu.Unlock()
 	out := make([]WindowStats, 0, len(s.wins))
 	for _, g := range s.wins {
-		ws := WindowStats{Name: g.name, PerRankMaxNodes: make([]int, len(g.analyzers))}
-		for r := range g.analyzers {
-			g.anMu[r].Lock()
-			ws.PerRankMaxNodes[r] = g.analyzers[r].MaxNodes()
-			ws.Accesses += g.analyzers[r].Accesses()
-			g.anMu[r].Unlock()
+		ws := WindowStats{Name: g.name, PerRankMaxNodes: make([]int, g.ranks)}
+		for r := 0; r < g.ranks; r++ {
+			g.eng.WithAnalyzer(r, func(a detector.Analyzer) {
+				ws.PerRankMaxNodes[r] = a.MaxNodes()
+				ws.Accesses += a.Accesses()
+			})
 			ws.TotalMaxNodes += ws.PerRankMaxNodes[r]
 		}
+		ws.Overflows = g.eng.TotalOverflows()
 		out = append(out, ws)
 	}
 	return out

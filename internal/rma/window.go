@@ -9,6 +9,7 @@ import (
 
 	"rmarace/internal/access"
 	"rmarace/internal/detector"
+	"rmarace/internal/engine"
 	"rmarace/internal/mpi"
 )
 
@@ -23,27 +24,24 @@ var ErrEpochOpen = errors.New("rma: epoch already open")
 // ErrFreed is returned by operations on a window after MPI_Win_free.
 var ErrFreed = errors.New("rma: window has been freed (MPI_Win_free)")
 
-// notifMsg travels on a window's per-rank notification channel: a
-// remote access to analyse, or an unlock synchronisation marker (with
-// release set for exclusive unlocks, which additionally retire the
-// origin's session).
-type notifMsg struct {
-	ev      detector.Event
-	sync    bool
-	release bool
-	origin  int
-	ack     chan struct{}
-}
+// DefaultNotifBatch is the notification batch size when Config leaves
+// NotifBatch zero: up to this many consecutive target-side accesses to
+// the same target coalesce into one channel message. 1 disables
+// batching.
+const DefaultNotifBatch = 64
 
-// winGlobal is the collective state of one window across all ranks.
+// winGlobal is the collective state of one window across all ranks:
+// the shared memory and locking plumbing, plus the analysis engine
+// (package internal/engine) owning the analyzers, receiver goroutines
+// and the count-and-drain quiescence protocol.
 type winGlobal struct {
-	name string
-	size int
-	id   int // window index within the session, scoping PSCW tags
-	s    *Session
+	name  string
+	size  int
+	id    int // window index within the session, scoping PSCW tags
+	ranks int
+	s     *Session
 
-	analyzers []detector.Analyzer
-	anMu      []sync.Mutex
+	eng *engine.Engine
 
 	mems []*Buffer
 	// copyMu serialises every byte of data movement touching this
@@ -55,22 +53,8 @@ type winGlobal struct {
 	// events, not the bytes.
 	copyMu sync.Mutex
 
-	lockCh  chan lockReq
-	notifCh []chan notifMsg
-	// received counts processed notifications per rank, guarded by
-	// recvMu; recvCond broadcasts on every update and on abort.
-	recvMu   []sync.Mutex
-	received []int64
-	recvCond []*sync.Cond
-
-	// epochs counts each rank's *completed* analysis epochs for this
-	// window (atomic). Every access — local, origin-side or notified —
-	// is stamped with the owner's count, so all accesses analysed
-	// between two EpochEnd calls share an epoch number even when they
-	// arrive before the owner's own (non-collective) LockAll.
-	epochs []uint64
-
-	watcherOnce sync.Once
+	lockCh     chan lockReq
+	serverOnce sync.Once
 }
 
 // Win is one rank's handle on a window: the analogue of an MPI_Win.
@@ -85,6 +69,12 @@ type Win struct {
 	sent       []int64
 	expected   int64
 	freed      bool
+	// pending coalesces consecutive target-side notifications per
+	// target into batches of at most batchCap events; every
+	// synchronisation that publishes or drains the sent counts flushes
+	// first, so the quiescence protocol is unchanged.
+	pending  [][]detector.Event
+	batchCap int
 	// lockMode tracks this process's per-target MPI_Win_lock state.
 	lockMode []int
 	// PSCW state: open access-epoch targets and per-target access
@@ -108,25 +98,21 @@ func (p *Proc) WinCreate(name string, size int, opts ...BufOpt) (*Win, error) {
 	g, ok := s.wins[name]
 	if !ok {
 		g = &winGlobal{
-			name:      name,
-			size:      size,
-			id:        len(s.wins),
-			s:         s,
-			analyzers: make([]detector.Analyzer, n),
-			anMu:      make([]sync.Mutex, n),
-			mems:      make([]*Buffer, n),
-			lockCh:    make(chan lockReq, n),
-			notifCh:   make([]chan notifMsg, n),
-			recvMu:    make([]sync.Mutex, n),
-			received:  make([]int64, n),
-			recvCond:  make([]*sync.Cond, n),
-			epochs:    make([]uint64, n),
+			name:   name,
+			size:   size,
+			id:     len(s.wins),
+			ranks:  n,
+			s:      s,
+			mems:   make([]*Buffer, n),
+			lockCh: make(chan lockReq, n),
 		}
-		for r := 0; r < n; r++ {
-			g.analyzers[r] = s.newAnalyzer(r)
-			g.notifCh[r] = make(chan notifMsg, 1024)
-			g.recvCond[r] = sync.NewCond(&g.recvMu[r])
-		}
+		g.eng = engine.New(engine.Config{
+			Ranks:       n,
+			NewAnalyzer: s.newAnalyzer,
+			OnRace:      s.abort,
+			Stop:        p.World().Aborted(),
+			StopErr:     p.World().AbortErr,
+		})
 		s.wins[name] = g
 	} else if g.size != size {
 		s.mu.Unlock()
@@ -134,78 +120,52 @@ func (p *Proc) WinCreate(name string, size int, opts ...BufOpt) (*Win, error) {
 	}
 	s.mu.Unlock()
 
-	g.watcherOnce.Do(func() {
-		// Wake every count-waiter when the world aborts; exit when the
-		// session closes so finished runs can be collected.
-		go func() {
-			select {
-			case <-p.World().Aborted():
-			case <-s.closed:
-				return
-			}
-			for r := range g.recvCond {
-				g.recvMu[r].Lock()
-				g.recvCond[r].Broadcast()
-				g.recvMu[r].Unlock()
-			}
-		}()
-		// Serve MPI_Win_lock/MPI_Win_unlock requests.
-		go g.lockServer(p.World())
-	})
+	// Serve MPI_Win_lock/MPI_Win_unlock requests.
+	g.serverOnce.Do(func() { go g.lockServer(p.World()) })
 
 	rank := p.Rank()
 	buf := p.Alloc(name+".win", size, opts...)
 	buf.winG = g
 	g.mems[rank] = buf
-	go g.receiver(rank, p.World())
+	// Idempotent: re-joining the window name (MPI_Win_free followed by
+	// a fresh create) must not stack a second receiver per rank.
+	g.eng.StartReceiver(rank)
+
+	// The engine's drained-notification counter is cumulative over the
+	// window name's whole lifetime, surviving MPI_Win_free and
+	// re-creation, so this generation's quiescence targets must start
+	// from the count already drained — otherwise a re-created window's
+	// first epoch would be satisfied by the previous generation's
+	// notifications and EpochEnd could clear the store before this
+	// epoch's events arrive. Read it BEFORE the creation barrier: every
+	// earlier generation was fully drained before its Free barrier and
+	// no rank can issue new accesses until the barrier below releases
+	// it, so the counter is stable here and only here.
+	expectedBase := g.eng.Received(rank)
 
 	if err := p.Barrier(); err != nil {
 		return nil, err
 	}
-	return &Win{p: p, g: g, buf: buf, sent: make([]int64, n), lockMode: make([]int, n)}, nil
-}
-
-// receiver is the paper's per-window analysis thread: it drains the
-// rank's notification channel, feeding each remote access to the
-// rank's analyzer and retiring sessions on exclusive-unlock releases.
-func (g *winGlobal) receiver(rank int, world *mpi.World) {
-	for {
-		select {
-		case m, ok := <-g.notifCh[rank]:
-			if !ok {
-				return
-			}
-			if m.sync {
-				if m.release {
-					g.anMu[rank].Lock()
-					g.analyzers[rank].Release(m.origin)
-					g.anMu[rank].Unlock()
-				}
-				if m.ack != nil {
-					close(m.ack)
-				}
-			} else {
-				m.ev.Acc.Epoch = atomic.LoadUint64(&g.epochs[rank])
-				g.analyse(rank, m.ev)
-			}
-			g.recvMu[rank].Lock()
-			g.received[rank]++
-			g.recvCond[rank].Broadcast()
-			g.recvMu[rank].Unlock()
-		case <-world.Aborted():
-			return
-		}
+	batch := s.cfg.NotifBatch
+	if batch <= 0 {
+		batch = DefaultNotifBatch
 	}
+	return &Win{
+		p:        p,
+		g:        g,
+		buf:      buf,
+		sent:     make([]int64, n),
+		pending:  make([][]detector.Event, n),
+		batchCap: batch,
+		lockMode: make([]int, n),
+		expected: expectedBase,
+	}, nil
 }
 
 // analyse runs one event through rank's analyzer, aborting the world on
 // a detected race. It returns the race as an error, or nil.
 func (g *winGlobal) analyse(rank int, ev detector.Event) error {
-	g.anMu[rank].Lock()
-	race := g.analyzers[rank].Access(ev)
-	g.anMu[rank].Unlock()
-	if race != nil {
-		g.s.abort(race)
+	if race := g.eng.Analyse(rank, ev); race != nil {
 		return race
 	}
 	return nil
@@ -223,6 +183,39 @@ func (w *Win) analyse(rank int, ev detector.Event) error {
 	return w.g.analyse(rank, ev)
 }
 
+// notify queues one target-side access for target's receiver,
+// coalescing it into the pending batch. The batch is sent when it
+// reaches batchCap; synchronisation calls flush the remainder.
+func (w *Win) notify(target int, ev detector.Event) error {
+	w.pending[target] = append(w.pending[target], ev)
+	w.countSent(target)
+	if len(w.pending[target]) >= w.batchCap {
+		return w.flushNotifs(target)
+	}
+	return nil
+}
+
+// flushNotifs hands target's pending notification batch to the engine.
+func (w *Win) flushNotifs(target int) error {
+	batch := w.pending[target]
+	if len(batch) == 0 {
+		return nil
+	}
+	w.pending[target] = make([]detector.Event, 0, w.batchCap)
+	return w.g.eng.Notify(target, batch)
+}
+
+// flushAllNotifs flushes every target's pending batch; every
+// synchronisation that publishes the sent counts calls it first.
+func (w *Win) flushAllNotifs() error {
+	for t := range w.pending {
+		if err := w.flushNotifs(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Free destroys this process's handle on the window (MPI_Win_free). It
 // is collective; every epoch must be closed and every per-target lock
 // released first. Further operations on the handle fail with ErrFreed.
@@ -237,6 +230,9 @@ func (w *Win) Free() error {
 		if mode != lockNone {
 			return fmt.Errorf("rma: MPI_Win_free while rank %d is still locked", target)
 		}
+	}
+	if err := w.flushAllNotifs(); err != nil {
+		return err
 	}
 	if err := w.p.Barrier(); err != nil {
 		return err
@@ -260,15 +256,19 @@ func (w *Win) LockAll() error {
 	return nil
 }
 
-// UnlockAll closes the epoch (MPI_Win_unlock_all): all ranks reduce the
-// number of remote accesses issued towards each window, wait for their
-// pending notifications, complete the epoch analysis and synchronise.
+// UnlockAll closes the epoch (MPI_Win_unlock_all): all ranks flush
+// their pending notification batches, reduce the number of remote
+// accesses issued towards each window, wait for their pending
+// notifications, complete the epoch analysis and synchronise.
 func (w *Win) UnlockAll() error {
 	if !w.epochOpen {
 		return ErrNoEpoch
 	}
 	rank := w.p.Rank()
 
+	if err := w.flushAllNotifs(); err != nil {
+		return err
+	}
 	counts, err := w.p.Allreduce(w.sent, mpi.OpSum)
 	if err != nil {
 		return err
@@ -276,20 +276,10 @@ func (w *Win) UnlockAll() error {
 	w.expected += counts[rank]
 
 	g := w.g
-	world := w.p.World()
-	g.recvMu[rank].Lock()
-	for g.received[rank] < w.expected && world.AbortErr() == nil {
-		g.recvCond[rank].Wait()
-	}
-	g.recvMu[rank].Unlock()
-	if err := world.AbortErr(); err != nil {
+	if err := g.eng.WaitReceived(rank, w.expected); err != nil {
 		return err
 	}
-
-	g.anMu[rank].Lock()
-	g.analyzers[rank].EpochEnd()
-	atomic.AddUint64(&g.epochs[rank], 1)
-	g.anMu[rank].Unlock()
+	g.eng.EpochEnd(rank)
 
 	if err := w.p.Barrier(); err != nil {
 		return err
@@ -362,7 +352,7 @@ func (w *Win) onesided(target, targetOff int, local *Buffer, localOff, n int, db
 	}
 
 	// Origin-side access, analysed locally.
-	originEpoch := atomic.LoadUint64(&g.epochs[origin])
+	originEpoch := g.eng.Epoch(origin)
 	if err := w.analyse(origin, rmaEvent(local, localOff, n, localType, origin, originEpoch, callTime, dbg)); err != nil {
 		return err
 	}
@@ -380,13 +370,7 @@ func (w *Win) onesided(target, targetOff int, local *Buffer, localOff, n int, db
 	// paper's MPI_Send on the hidden communicator). The receiver stamps
 	// the target's epoch.
 	ev := rmaEvent(tgtMem, targetOff, n, remoteType, origin, 0, callTime, dbg)
-	select {
-	case g.notifCh[target] <- notifMsg{ev: ev}:
-	case <-w.p.World().Aborted():
-		return w.p.World().AbortErr()
-	}
-	w.countSent(target)
-	return nil
+	return w.notify(target, ev)
 }
 
 // countSent attributes an issued notification to the synchronisation
@@ -401,17 +385,22 @@ func (w *Win) countSent(target int) {
 }
 
 // Flush completes this rank's outstanding operations towards target
-// (MPI_Win_flush). Following §6(2) it does not clear any analysis state
-// unless the session runs the unsafe ablation.
+// (MPI_Win_flush): the pending notification batch is pushed out.
+// Following §6(2) it does not clear any analysis state unless the
+// session runs the unsafe ablation.
 func (w *Win) Flush(target int) error {
 	if !w.epochOpen {
 		return ErrNoEpoch
 	}
-	_ = target // data movement is synchronous in the simulator
+	if target < 0 {
+		if err := w.flushAllNotifs(); err != nil {
+			return err
+		}
+	} else if err := w.flushNotifs(target); err != nil {
+		return err
+	}
 	rank := w.p.Rank()
-	w.g.anMu[rank].Lock()
-	w.g.analyzers[rank].Flush(rank)
-	w.g.anMu[rank].Unlock()
+	w.g.eng.Flush(rank)
 	return nil
 }
 
@@ -420,21 +409,17 @@ func (w *Win) Flush(target int) error {
 func (w *Win) FlushAll() error { return w.Flush(-1) }
 
 // Close releases the session's receiver goroutines. Call it after the
-// world has finished; it is not collective.
+// world has finished; it is not collective and safe to call more than
+// once, even while notifications are still in flight.
 func (s *Session) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	func() {
 		defer func() { recover() }() // tolerate double close
-		close(s.closed)              // stops the abort watchers
+		close(s.closed)
 	}()
 	for _, g := range s.wins {
-		for r := range g.notifCh {
-			func() {
-				defer func() { recover() }() // tolerate double close
-				close(g.notifCh[r])
-			}()
-		}
+		g.eng.Close()
 		func() {
 			defer func() { recover() }()
 			close(g.lockCh) // stops the lock server

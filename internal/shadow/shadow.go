@@ -213,6 +213,51 @@ func (c *cell) update(e Entry, m *Memory) {
 // Cells returns the number of shadow cells currently allocated.
 func (m *Memory) Cells() int { return len(m.cells) }
 
+// GranuleSize returns the cell width in bytes.
+func (m *Memory) GranuleSize() uint64 { return m.granule }
+
+// visitCell feeds every entry of one cell to fn.
+func (c *cell) visit(base uint64, fn func(base uint64, e Entry) bool) bool {
+	if w := c.lastWrite; w != nil && !fn(base, *w) {
+		return false
+	}
+	for i := range c.reads {
+		if !fn(base, c.reads[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// VisitRange calls fn for every stored entry whose granule intersects
+// [lo, hi], with the granule base address, stopping early if fn returns
+// false. It reports whether the visit ran to completion. Entries within
+// one granule are conflated to the granule interval, as in the tool.
+func (m *Memory) VisitRange(lo, hi uint64, fn func(base uint64, e Entry) bool) bool {
+	for base := lo &^ (m.granule - 1); base <= hi; base += m.granule {
+		if c := m.cells[base]; c != nil {
+			if !c.visit(base, fn) {
+				return false
+			}
+		}
+		if base > base+m.granule {
+			break // address-space wrap guard
+		}
+	}
+	return true
+}
+
+// VisitAll calls fn for every stored entry in arbitrary cell order,
+// stopping early if fn returns false.
+func (m *Memory) VisitAll(fn func(base uint64, e Entry) bool) bool {
+	for base, c := range m.cells {
+		if !c.visit(base, fn) {
+			return false
+		}
+	}
+	return true
+}
+
 // Clear empties the shadow memory, as happens when an epoch completes
 // and all its accesses become ordered with the future.
 func (m *Memory) Clear() {

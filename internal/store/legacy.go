@@ -1,0 +1,51 @@
+package store
+
+import (
+	"rmarace/internal/access"
+	"rmarace/internal/interval"
+	"rmarace/internal/legacybst"
+)
+
+// LegacyBST adapts the lower-bound BST of the original RMA-Analyzer to
+// the AccessStore interface, preserving its two published storage
+// defects: one node per access (no deletion, no coalescing) and a stab
+// that inspects only the lower-bound descent path, missing
+// intersections stored off-path (the Code 1 false negative).
+type LegacyBST struct {
+	tree legacybst.Tree
+}
+
+// NewLegacyBST returns an empty legacy-BST-backed store.
+func NewLegacyBST() *LegacyBST { return &LegacyBST{} }
+
+// Name implements AccessStore.
+func (*LegacyBST) Name() string { return "legacy" }
+
+// Insert implements AccessStore.
+func (s *LegacyBST) Insert(a access.Access) { s.tree.Insert(a) }
+
+// Delete implements AccessStore. The legacy multiset never removes
+// nodes; Delete reports false so callers fall back to plain insertion.
+func (s *LegacyBST) Delete(interval.Interval) bool { return false }
+
+// Stab implements AccessStore with the legacy path-limited search: only
+// the accesses the lower-bound descent of iv.Lo passes are visited.
+func (s *LegacyBST) Stab(iv interval.Interval, fn func(access.Access) bool) bool {
+	for _, a := range s.tree.SearchIntersecting(iv) {
+		if !fn(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Walk implements AccessStore in key (lower-bound) order.
+func (s *LegacyBST) Walk(fn func(access.Access) bool) { s.tree.InOrder(fn) }
+
+// Clear implements AccessStore.
+func (s *LegacyBST) Clear() { s.tree.Clear() }
+
+// Len implements AccessStore.
+func (s *LegacyBST) Len() int { return s.tree.Len() }
+
+var _ AccessStore = (*LegacyBST)(nil)

@@ -1,0 +1,240 @@
+package store
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/interval"
+)
+
+func acc(lo, hi uint64, tp access.Type, rank int, line int) access.Access {
+	return access.Access{
+		Interval: interval.New(lo, hi),
+		Type:     tp,
+		Rank:     rank,
+		Debug:    access.Debug{File: "store.c", Line: line},
+	}
+}
+
+func TestFactory(t *testing.T) {
+	for _, name := range Names() {
+		s, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if s, err := New(""); err != nil || s.Name() != "avl" {
+		t.Errorf("default store = %v, %v; want avl", s, err)
+	}
+	if _, err := New("btree"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestBasicContract exercises insert/stab/walk/clear/len on every
+// backend with disjoint accesses (the regime all backends store
+// losslessly, granule alignment aside).
+func TestBasicContract(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			s, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 8-byte-aligned, 8-byte-wide accesses: exact even at shadow
+			// granule resolution.
+			for i := 0; i < 16; i++ {
+				s.Insert(acc(uint64(i)*32, uint64(i)*32+7, access.RMAWrite, 1, i))
+			}
+			if s.Len() == 0 {
+				t.Fatal("Len() = 0 after 16 inserts")
+			}
+			var hits []access.Access
+			s.Stab(interval.New(64, 71), func(a access.Access) bool {
+				hits = append(hits, a)
+				return true
+			})
+			if len(hits) != 1 || hits[0].Lo != 64 {
+				t.Fatalf("stab [64,71] = %v, want the single covering access", hits)
+			}
+			count := 0
+			s.Walk(func(access.Access) bool { count++; return true })
+			if count != 16 {
+				t.Fatalf("walk visited %d accesses, want 16", count)
+			}
+			s.Clear()
+			if s.Len() != 0 {
+				t.Fatalf("Len() = %d after Clear", s.Len())
+			}
+		})
+	}
+}
+
+// TestStabNeighborsFallbackMatchesAVL checks the generic widened-stab
+// fallback against the AVL tree's native single-traversal capability on
+// random disjoint layouts.
+func TestStabNeighborsFallbackMatchesAVL(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		native := NewAVL()
+		// hide the capability to force the fallback on the same data
+		type plain struct{ AccessStore }
+		generic := plain{NewAVL()}
+		var lo uint64
+		for i := 0; i < 30; i++ {
+			lo += uint64(r.Intn(5)) // gaps of 0..4 between accesses
+			length := uint64(r.Intn(6) + 1)
+			a := acc(lo, lo+length-1, access.RMARead, 0, i)
+			native.Insert(a)
+			generic.Insert(a)
+			lo += length
+		}
+		for q := 0; q < 20; q++ {
+			qlo := uint64(r.Intn(int(lo) + 4))
+			iv := interval.Span(qlo, uint64(r.Intn(7)+1))
+			var di, df []access.Access
+			l1, r1, hl1, hr1 := StabNeighbors(native, iv, &di)
+			l2, r2, hl2, hr2 := StabNeighbors(generic, iv, &df)
+			if hl1 != hl2 || hr1 != hr2 || (hl1 && l1 != l2) || (hr1 && r1 != r2) {
+				t.Fatalf("trial %d query %v: neighbours differ: (%v,%v,%v,%v) vs (%v,%v,%v,%v)",
+					trial, iv, l1, r1, hl1, hr1, l2, r2, hl2, hr2)
+			}
+			if len(di) != len(df) {
+				t.Fatalf("trial %d query %v: intersections differ: %v vs %v", trial, iv, di, df)
+			}
+			for i := range di {
+				if di[i] != df[i] {
+					t.Fatalf("trial %d query %v: intersections differ at %d", trial, iv, i)
+				}
+			}
+		}
+	}
+}
+
+// TestExtendFallback checks delete+reinsert extension against the AVL
+// in-place capability.
+func TestExtendFallback(t *testing.T) {
+	type plain struct{ AccessStore }
+	for _, s := range []AccessStore{NewAVL(), plain{NewAVL()}} {
+		a := acc(10, 19, access.RMAWrite, 0, 1)
+		s.Insert(a)
+		if !ExtendHi(s, a, 29) {
+			t.Fatal("ExtendHi missed the stored access")
+		}
+		got := Items(s)
+		if len(got) != 1 || got[0].Interval != interval.New(10, 29) {
+			t.Fatalf("after ExtendHi: %v", got)
+		}
+		if !ExtendLo(s, got[0], 5) {
+			t.Fatal("ExtendLo missed the stored access")
+		}
+		got = Items(s)
+		if len(got) != 1 || got[0].Interval != interval.New(5, 29) {
+			t.Fatalf("after ExtendLo: %v", got)
+		}
+	}
+}
+
+func TestRemoveRank(t *testing.T) {
+	for _, name := range []string{"avl", "shadow", "strided"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				s.Insert(acc(uint64(i)*64, uint64(i)*64+7, access.RMAWrite, i%2, i))
+			}
+			RemoveRank(s, 0)
+			s.Walk(func(a access.Access) bool {
+				if a.Rank == 0 {
+					t.Fatalf("rank-0 access survived RemoveRank: %v", a)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// TestStridedCompression: a constant-stride run collapses to one
+// section while Stab still reports every element.
+func TestStridedCompression(t *testing.T) {
+	s := NewStrided()
+	for i := 0; i < 100; i++ {
+		s.Insert(acc(uint64(i)*24, uint64(i)*24+7, access.RMARead, 2, 9))
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len() = %d after 100-element run, want 1 section", s.Len())
+	}
+	count := 0
+	s.Stab(interval.New(0, 100*24), func(a access.Access) bool { count++; return true })
+	if count != 100 {
+		t.Fatalf("stab reported %d elements, want 100", count)
+	}
+}
+
+// TestStridedDeleteSplits: deleting one element of a section keeps the
+// remaining 99 visible (split into a section and re-materialised nodes).
+func TestStridedDeleteSplits(t *testing.T) {
+	s := NewStrided()
+	for i := 0; i < 100; i++ {
+		s.Insert(acc(uint64(i)*24, uint64(i)*24+7, access.RMARead, 2, 9))
+	}
+	victim := interval.New(50*24, 50*24+7)
+	if !s.Delete(victim) {
+		t.Fatal("Delete missed a section element")
+	}
+	var got []uint64
+	s.Walk(func(a access.Access) bool { got = append(got, a.Lo); return true })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 99 {
+		t.Fatalf("%d elements after delete, want 99", len(got))
+	}
+	for _, lo := range got {
+		if lo == victim.Lo {
+			t.Fatal("deleted element still visible")
+		}
+	}
+}
+
+// TestShadowGranularity: the shadow backend conflates to its granule,
+// the documented resolution loss of the real tool.
+func TestShadowGranularity(t *testing.T) {
+	s := NewShadow()
+	s.Insert(acc(3, 3, access.RMAWrite, 1, 1))
+	hit := false
+	s.Stab(interval.New(5, 5), func(a access.Access) bool { hit = true; return true })
+	if !hit {
+		t.Fatal("same-granule access not conflated")
+	}
+	hit = false
+	s.Stab(interval.New(8, 8), func(a access.Access) bool { hit = true; return true })
+	if hit {
+		t.Fatal("neighbouring granule reported")
+	}
+}
+
+// TestInsertBatchEquivalence: bulk insertion equals sequential
+// insertion on every backend.
+func TestInsertBatchEquivalence(t *testing.T) {
+	batch := make([]access.Access, 20)
+	for i := range batch {
+		batch[i] = acc(uint64(i)*16, uint64(i)*16+7, access.RMARead, 0, i)
+	}
+	for _, name := range Names() {
+		one, _ := New(name)
+		blk, _ := New(name)
+		for _, a := range batch {
+			one.Insert(a)
+		}
+		InsertBatch(blk, batch)
+		if one.Len() != blk.Len() {
+			t.Errorf("%s: Len %d (sequential) vs %d (batch)", name, one.Len(), blk.Len())
+		}
+	}
+}
