@@ -15,6 +15,7 @@ import (
 
 	"rmarace/internal/access"
 	"rmarace/internal/apps/cfdproxy"
+	"rmarace/internal/benchkit"
 	"rmarace/internal/apps/minivite"
 	"rmarace/internal/codes"
 	"rmarace/internal/core"
@@ -400,42 +401,49 @@ func BenchmarkAblationUnbalanced(b *testing.B) {
 // BenchmarkNotificationThroughput drives a CFD-Proxy-shaped stream of
 // adjacent target-side accesses through the analysis engine, unbatched
 // (one channel message per access, the pre-pipeline behaviour) versus
-// coalesced into DefaultNotifBatch-sized batches. Batching amortises
-// the channel, lock and condvar traffic and lets the analyzer's
-// frontier fast path elide the per-access neighbour search.
+// coalesced into DefaultNotifBatch-sized batches, and then — at batch
+// 64 — across shard counts, where the engine's per-shard worker pool
+// analyses the granule-striped sub-batches in parallel. Batching
+// amortises the channel, lock and condvar traffic and lets the
+// analyzer's frontier fast path elide the per-access neighbour search;
+// sharding spreads the analysis itself over cores.
 func BenchmarkNotificationThroughput(b *testing.B) {
-	stream := adjacentStream(1 << 14)
-	for _, batch := range []int{1, 64} {
-		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
-			e := engine.New(engine.Config{
-				Ranks:       1,
-				NewAnalyzer: func(int) detector.Analyzer { return core.New() },
-			})
-			e.StartReceiver(0)
-			defer e.Close()
-			b.ResetTimer()
-			var sent int64
-			for i := 0; i < b.N; {
-				// One analysis epoch per pass over the stream.
-				for off := 0; off < len(stream) && i < b.N; off += batch {
-					end := off + batch
-					if end > len(stream) {
-						end = len(stream)
-					}
-					evs := make([]detector.Event, end-off)
-					copy(evs, stream[off:end])
-					if err := e.Notify(0, evs); err != nil {
-						b.Fatal(err)
-					}
-					sent += int64(end - off)
-					i += end - off
+	stream := benchkit.AdjacentStream(1 << 14)
+	run := func(b *testing.B, batch, shards int) {
+		b.ReportAllocs()
+		e := engine.New(engine.Config{
+			Ranks:       1,
+			NewAnalyzer: func(int) detector.Analyzer { return core.Build(core.WithShards(shards)) },
+		})
+		e.StartReceiver(0)
+		defer e.Close()
+		b.ResetTimer()
+		var sent int64
+		for i := 0; i < b.N; {
+			// One analysis epoch per pass over the stream.
+			for off := 0; off < len(stream) && i < b.N; off += batch {
+				end := off + batch
+				if end > len(stream) {
+					end = len(stream)
 				}
-				if err := e.WaitReceived(0, sent); err != nil {
+				evs := append(e.GetEventBuf(), stream[off:end]...)
+				if err := e.Notify(0, evs); err != nil {
 					b.Fatal(err)
 				}
-				e.EpochEnd(0)
+				sent += int64(end - off)
+				i += end - off
 			}
-		})
+			if err := e.WaitReceived(0, sent); err != nil {
+				b.Fatal(err)
+			}
+			e.EpochEnd(0)
+		}
+	}
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) { run(b, batch, 1) })
+	}
+	for _, shards := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("batch64/shards%d", shards), func(b *testing.B) { run(b, 64, shards) })
 	}
 }
 
@@ -452,6 +460,7 @@ func BenchmarkInsert(b *testing.B) {
 	}
 	for _, pat := range patterns {
 		b.Run("ours/"+pat.name, func(b *testing.B) {
+			b.ReportAllocs()
 			z := core.New()
 			for i := 0; i < b.N; i++ {
 				if r := z.Access(pat.stream[i%len(pat.stream)]); r != nil {
@@ -463,6 +472,7 @@ func BenchmarkInsert(b *testing.B) {
 			}
 		})
 		b.Run("legacy/"+pat.name, func(b *testing.B) {
+			b.ReportAllocs()
 			z := detector.NewLegacy()
 			for i := 0; i < b.N; i++ {
 				if r := z.Access(pat.stream[i%len(pat.stream)]); r != nil {
@@ -477,35 +487,9 @@ func BenchmarkInsert(b *testing.B) {
 }
 
 // adjacentStream emits n adjacent same-line RMA writes (mergeable).
-func adjacentStream(n int) []detector.Event {
-	out := make([]detector.Event, n)
-	for i := range out {
-		out[i] = detector.Event{
-			Acc: access.Access{
-				Interval: interval.Span(uint64(i)*8, 8),
-				Type:     access.RMAWrite,
-				Rank:     0,
-				Debug:    access.Debug{File: "adj.c", Line: 7},
-			},
-			Time: uint64(i + 1), CallTime: uint64(i + 1),
-		}
-	}
-	return out
-}
+// Shared with the `rmarace bench` CLI suite so both measure identical
+// workloads.
+func adjacentStream(n int) []detector.Event { return benchkit.AdjacentStream(n) }
 
 // stridedStream emits n strided reads at distinct lines (unmergeable).
-func stridedStream(n int) []detector.Event {
-	out := make([]detector.Event, n)
-	for i := range out {
-		out[i] = detector.Event{
-			Acc: access.Access{
-				Interval: interval.Span(uint64(i)*24, 8),
-				Type:     access.RMARead,
-				Rank:     0,
-				Debug:    access.Debug{File: "strided.c", Line: 100 + i%4},
-			},
-			Time: uint64(i + 1), CallTime: uint64(i + 1),
-		}
-	}
-	return out
-}
+func stridedStream(n int) []detector.Event { return benchkit.StridedStream(n) }

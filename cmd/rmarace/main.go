@@ -6,8 +6,10 @@
 //
 //	rmarace replay -method our-contribution trace.jsonl
 //	rmarace replay -compare trace.jsonl
+//	rmarace replay -shards 8 trace.jsonl   # sharded contribution analyzer
 //	rmarace demo    # run the paper's Code 1 and print the report
 //	rmarace codes   # run every example program of the paper under all tools
+//	rmarace bench   # run the perf suite and write BENCH_PR2.json
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"rmarace"
+	"rmarace/internal/benchkit"
 	"rmarace/internal/codes"
 	"rmarace/internal/core"
 	"rmarace/internal/detector"
@@ -38,6 +41,8 @@ func main() {
 		demoCmd()
 	case "codes":
 		codesCmd()
+	case "bench":
+		benchCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -45,16 +50,18 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  rmarace replay [-method NAME] [-store NAME] [-compare] TRACE
+  rmarace replay [-method NAME] [-store NAME] [-shards K] [-compare] TRACE
   rmarace demo
   rmarace codes
+  rmarace bench [-o FILE] [-vertices N]
 
 methods: baseline, rma-analyzer, must-rma, our-contribution
-stores (tree-based methods): avl (default), legacy, shadow, strided`)
+stores (tree-based methods): avl (default), legacy, shadow, strided
+-shards splits the contribution analyzer into K address-space shards`)
 	os.Exit(2)
 }
 
-func newAnalyzer(method detector.Method, ranks int, storeName string) func(int) detector.Analyzer {
+func newAnalyzer(method detector.Method, ranks int, storeName string, shards int) func(int) detector.Analyzer {
 	var shared *detector.MustShared
 	if method == detector.MustRMAMethod {
 		shared = detector.NewMustShared(ranks)
@@ -79,15 +86,19 @@ func newAnalyzer(method detector.Method, ranks int, storeName string) func(int) 
 		case detector.MustRMAMethod:
 			return detector.NewMustRMA(shared, owner)
 		default:
+			var opts []core.Option
 			if storeName != "" {
-				return core.New(core.WithStore(newStore()))
+				opts = append(opts, core.WithStoreFactory(newStore))
 			}
-			return core.New()
+			if shards > 1 {
+				opts = append(opts, core.WithShards(shards))
+			}
+			return core.Build(opts...)
 		}
 	}
 }
 
-func replayOne(path string, method detector.Method, storeName string) error {
+func replayOne(path string, method detector.Method, storeName string, shards int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -98,7 +109,7 @@ func replayOne(path string, method detector.Method, storeName string) error {
 		return err
 	}
 	start := time.Now()
-	res, err := trace.Replay(r, newAnalyzer(method, r.Header.Ranks, storeName))
+	res, err := trace.Replay(r, newAnalyzer(method, r.Header.Ranks, storeName, shards))
 	if err != nil {
 		return err
 	}
@@ -115,6 +126,7 @@ func replayCmd(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	methodName := fs.String("method", "our-contribution", "analysis method")
 	storeName := fs.String("store", "", "storage backend for the tree-based methods (avl, legacy, shadow, strided)")
+	shards := fs.Int("shards", 1, "address-space shard count for the contribution analyzer (power of two; 1 = serial)")
 	compare := fs.Bool("compare", false, "replay under all four methods")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -127,7 +139,7 @@ func replayCmd(args []string) {
 
 	if *compare {
 		for _, m := range detector.Methods() {
-			if err := replayOne(path, m, *storeName); err != nil {
+			if err := replayOne(path, m, *storeName, *shards); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -137,9 +149,40 @@ func replayCmd(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := replayOne(path, method, *storeName); err != nil {
+	if err := replayOne(path, method, *storeName, *shards); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// benchCmd runs the perf suite (insert hot path, sharded notification
+// pipeline, Figure 10, Table 4) and writes the JSON snapshot.
+func benchCmd(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("o", "BENCH_PR2.json", "output JSON path")
+	vertices := fs.Int("vertices", 0, "MiniVite benchmark input size (0 = scaled default)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 0 {
+		usage()
+	}
+	rep := benchkit.Suite(benchkit.Options{Vertices: *vertices})
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-44s %12d  %10.1f ns/op  %6d B/op  %4d allocs/op", r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		for k, v := range r.Metrics {
+			fmt.Printf("  %s=%.1f", k, v)
+		}
+		fmt.Println()
+	}
+	log.Printf("wrote %s", *out)
 }
 
 func methodByName(name string) (detector.Method, error) {

@@ -21,17 +21,32 @@ import "sort"
 // Fragment never reports races; Algorithm 1 checks for those before
 // fragmenting.
 func Fragment(stored []Access, newAcc Access) []Access {
+	return AppendFragments(nil, stored, newAcc)
+}
+
+// AppendFragments is Fragment appending into dst (which may have spare
+// capacity from a previous insertion): the hot-path form used by
+// Algorithm 1's reusable scratch buffers. When the stored accesses are
+// already sorted by interval — as every tree backend's stab visit
+// returns them — no copy and no sort happen; an unsorted input (the
+// legacy-store ablation) falls back to sorting a copy. The appended
+// fragments are in ascending interval order.
+func AppendFragments(dst []Access, stored []Access, newAcc Access) []Access {
 	if len(stored) == 0 {
-		return []Access{newAcc}
+		return append(dst, newAcc)
 	}
 
-	sorted := make([]Access, len(stored))
-	copy(sorted, stored)
-	sort.Slice(sorted, func(i, j int) bool {
-		return sorted[i].Interval.Compare(sorted[j].Interval) < 0
-	})
+	sorted := stored
+	if !intervalsSorted(stored) {
+		cp := make([]Access, len(stored))
+		copy(cp, stored)
+		sort.Slice(cp, func(i, j int) bool {
+			return cp[i].Interval.Compare(cp[j].Interval) < 0
+		})
+		sorted = cp
+	}
 
-	frags := make([]Access, 0, 2*len(sorted)+1)
+	frags := dst
 	// cursor is the first address of newAcc not yet covered by an
 	// emitted fragment.
 	cursor := newAcc.Lo
@@ -85,10 +100,22 @@ func Fragment(stored []Access, newAcc Access) []Access {
 		frags = append(frags, frag)
 	}
 
-	sort.Slice(frags, func(i, j int) bool {
-		return frags[i].Interval.Compare(frags[j].Interval) < 0
-	})
+	// With sorted disjoint inputs the emission above is already in
+	// ascending interval order: the single possible left fragment and
+	// each gap end before their intersection, intersections follow the
+	// stored order, and a right fragment or trailing piece can only
+	// come from the last stored access.
 	return frags
+}
+
+// intervalsSorted reports whether accs is in ascending interval order.
+func intervalsSorted(accs []Access) bool {
+	for i := 1; i < len(accs); i++ {
+		if accs[i].Interval.Compare(accs[i-1].Interval) < 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Mergeable reports whether two accesses may be coalesced into one node:
@@ -128,4 +155,27 @@ func Merge(frags []Access) []Access {
 		cur = f
 	}
 	return append(out, cur)
+}
+
+// MergeInPlace is Merge compacting into frags' own backing array — the
+// hot-path form: merging only ever shrinks, so the write index never
+// overtakes the read index and no allocation happens. The returned
+// slice aliases frags.
+func MergeInPlace(frags []Access) []Access {
+	if len(frags) <= 1 {
+		return frags
+	}
+	w := 0
+	cur := frags[0]
+	for _, f := range frags[1:] {
+		if Mergeable(cur, f) {
+			cur.Interval = cur.Union(f.Interval)
+			continue
+		}
+		frags[w] = cur
+		w++
+		cur = f
+	}
+	frags[w] = cur
+	return frags[:w+1]
 }

@@ -1,0 +1,262 @@
+// Package benchkit runs the paper-figure performance suite from a
+// normal binary (the `rmarace bench` subcommand) by driving
+// testing.Benchmark directly, and serialises the measurements — ns/op,
+// allocs/op and the node-count metrics of Figure 10 and Table 4 — to
+// JSON so successive PRs can diff BENCH_PR2.json-style snapshots
+// without parsing `go test -bench` text output.
+//
+// The same stream generators back the package-level benchmarks in
+// bench_test.go, so the CLI numbers and `go test -bench` numbers are
+// measured on identical workloads.
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/apps/cfdproxy"
+	"rmarace/internal/apps/minivite"
+	"rmarace/internal/core"
+	"rmarace/internal/detector"
+	"rmarace/internal/engine"
+	"rmarace/internal/interval"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full suite output written to BENCH_PR2.json.
+type Report struct {
+	Suite   string   `json:"suite"`
+	Results []Result `json:"results"`
+}
+
+// Options scales the suite.
+type Options struct {
+	// Vertices is the MiniVite input size (Table 4); 0 selects a scaled
+	// default that keeps the whole suite under a minute.
+	Vertices int
+	// Shards lists the shard counts of the notification-throughput
+	// series; nil selects {1, 2, 4, 8}.
+	Shards []int
+}
+
+// Suite runs every benchmark and collects the report.
+func Suite(opts Options) Report {
+	if opts.Vertices <= 0 {
+		opts.Vertices = 16000
+	}
+	if len(opts.Shards) == 0 {
+		opts.Shards = []int{1, 2, 4, 8}
+	}
+	var out []Result
+	out = append(out, insertResults()...)
+	out = append(out, notificationResults(opts.Shards)...)
+	out = append(out, figure10Results()...)
+	out = append(out, table4Results(opts.Vertices)...)
+	return Report{Suite: "rmarace perf suite (insert hot path, sharded pipeline, Figure 10, Table 4)", Results: out}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func result(name string, r testing.BenchmarkResult, metrics map[string]float64) Result {
+	return Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Metrics:     metrics,
+	}
+}
+
+// insertResults measures per-access analyzer cost (the zero-allocation
+// hot path) on the two access patterns of the evaluation.
+func insertResults() []Result {
+	var out []Result
+	for _, pat := range []struct {
+		name   string
+		stream []detector.Event
+	}{
+		{"adjacent", AdjacentStream(4096)},
+		{"strided", StridedStream(4096)},
+	} {
+		pat := pat
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			z := core.New()
+			for i := 0; i < b.N; i++ {
+				if race := z.Access(pat.stream[i%len(pat.stream)]); race != nil {
+					b.Fatal(race)
+				}
+				if i%len(pat.stream) == len(pat.stream)-1 {
+					z.EpochEnd()
+				}
+			}
+		})
+		out = append(out, result("insert/ours/"+pat.name, r, nil))
+	}
+	return out
+}
+
+// notificationResults measures end-to-end engine throughput (one op =
+// one analysed event) across shard counts — the tentpole's ≥2× claim is
+// shards8 versus shards1 here.
+func notificationResults(shardCounts []int) []Result {
+	stream := AdjacentStream(1 << 14)
+	var out []Result
+	for _, shards := range shardCounts {
+		shards := shards
+		var nodes, maxShard float64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			e := engine.New(engine.Config{
+				Ranks:       1,
+				NewAnalyzer: func(int) detector.Analyzer { return core.Build(core.WithShards(shards)) },
+			})
+			e.StartReceiver(0)
+			defer e.Close()
+			b.ResetTimer()
+			var sent int64
+			const batch = 64
+			for i := 0; i < b.N; {
+				for off := 0; off < len(stream) && i < b.N; off += batch {
+					end := off + batch
+					if end > len(stream) {
+						end = len(stream)
+					}
+					evs := append(e.GetEventBuf(), stream[off:end]...)
+					if err := e.Notify(0, evs); err != nil {
+						b.Fatal(err)
+					}
+					sent += int64(end - off)
+					i += end - off
+				}
+				if err := e.WaitReceived(0, sent); err != nil {
+					b.Fatal(err)
+				}
+				e.EpochEnd(0)
+			}
+			b.StopTimer()
+			e.WithAnalyzer(0, func(a detector.Analyzer) {
+				nodes = float64(a.MaxNodes())
+				if s, ok := a.(interface{ MaxShardNodes() int }); ok {
+					maxShard = float64(s.MaxShardNodes())
+				}
+			})
+		})
+		out = append(out, result(fmt.Sprintf("notification-throughput/shards%d", shards), r, map[string]float64{
+			"max_nodes":       nodes,
+			"max_shard_nodes": maxShard,
+		}))
+	}
+	return out
+}
+
+// figure10Results runs the scaled CFD-Proxy workload per method and
+// records the epoch-time and node metrics of the figure's bars.
+func figure10Results() []Result {
+	cfg := cfdproxy.Config{Ranks: 12, Iters: 10, Points: 20, InteriorOps: 200}
+	var out []Result
+	for _, m := range detector.Methods() {
+		m := m
+		var res cfdproxy.Result
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = cfdproxy.Run(cfg, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, result("figure10-cfdproxy/"+m.String(), r, map[string]float64{
+			"epoch_ms": float64(res.EpochTime.Milliseconds()),
+			"nodes":    float64(res.MaxNodesPerProcess),
+		}))
+	}
+	return out
+}
+
+// table4Results reports the per-process node counts of the two
+// tree-based analyzers on MiniVite.
+func table4Results(vertices int) []Result {
+	var out []Result
+	for _, mm := range []struct {
+		name string
+		m    detector.Method
+	}{
+		{"rma-analyzer", detector.RMAAnalyzer},
+		{"our-contribution", detector.OurContribution},
+	} {
+		mm := mm
+		var res minivite.Result
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = minivite.Run(minivite.Default(8, vertices), mm.m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, result("table4-nodes/r8/"+mm.name, r, map[string]float64{
+			"nodes":   float64(res.MaxNodesPerProcess),
+			"proc_ms": float64(res.PerProcessTime.Microseconds()) / 1000,
+		}))
+	}
+	return out
+}
+
+// AdjacentStream emits n adjacent same-line RMA writes (mergeable): the
+// CFD-Proxy-shaped pattern.
+func AdjacentStream(n int) []detector.Event {
+	out := make([]detector.Event, n)
+	for i := range out {
+		out[i] = detector.Event{
+			Acc: access.Access{
+				Interval: interval.Span(uint64(i)*8, 8),
+				Type:     access.RMAWrite,
+				Rank:     0,
+				Debug:    access.Debug{File: "adj.c", Line: 7},
+			},
+			Time: uint64(i + 1), CallTime: uint64(i + 1),
+		}
+	}
+	return out
+}
+
+// StridedStream emits n strided reads at distinct lines (unmergeable):
+// the MiniVite-shaped pattern.
+func StridedStream(n int) []detector.Event {
+	out := make([]detector.Event, n)
+	for i := range out {
+		out[i] = detector.Event{
+			Acc: access.Access{
+				Interval: interval.Span(uint64(i)*24, 8),
+				Type:     access.RMARead,
+				Rank:     0,
+				Debug:    access.Debug{File: "strided.c", Line: 100 + i%4},
+			},
+			Time: uint64(i + 1), CallTime: uint64(i + 1),
+		}
+	}
+	return out
+}

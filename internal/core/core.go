@@ -52,9 +52,20 @@ type Analyzer struct {
 	stridedOn bool
 	sections  []strided.Section
 	open      map[runKey]*runState
-	// scratch is the reusable intersection buffer of Access; the
-	// analyzer is single-owner so reuse is safe.
-	scratch []access.Access
+	// scratch, fragScratch and delScratch are the reusable buffers of
+	// the insertion hot path (intersections, fragments, deletions); the
+	// analyzer is single-owner so reuse is safe and the steady state
+	// allocates nothing.
+	scratch     []access.Access
+	fragScratch []access.Access
+	delScratch  []access.Access
+	// stFactory builds the store when set (WithStoreFactory); required
+	// instead of WithStore under sharding so each shard owns its own.
+	stFactory func() store.AccessStore
+	// shardCount/shardGranule configure the sharded wrapper; consumed
+	// by Build and NewSharded, ignored by a plain Analyzer.
+	shardCount   int
+	shardGranule int
 }
 
 // Option configures an Analyzer.
@@ -84,11 +95,36 @@ func WithStore(s store.AccessStore) Option {
 	return func(a *Analyzer) { a.st = s }
 }
 
+// WithStoreFactory makes the analyzer build its backend with fn
+// instead of the default AVL tree. Unlike WithStore it hands every
+// analyzer (and, under sharding, every shard) its own instance, which
+// is what the single-owner serialisation discipline requires.
+func WithStoreFactory(fn func() store.AccessStore) Option {
+	return func(a *Analyzer) { a.stFactory = fn }
+}
+
+// WithShards partitions the address space into k contiguous interval
+// shards (power of two; ≤ 1 disables sharding), each an independent
+// analyzer + store. Honoured by Build and NewSharded; a plain New
+// ignores it.
+func WithShards(k int) Option {
+	return func(a *Analyzer) { a.shardCount = k }
+}
+
+// WithShardGranule sets the shard granule in bytes (power of two;
+// 0 selects shard.DefaultGranule). Only meaningful with WithShards.
+func WithShardGranule(bytes int) Option {
+	return func(a *Analyzer) { a.shardGranule = bytes }
+}
+
 // New returns a fresh analyzer for one window.
 func New(opts ...Option) *Analyzer {
 	a := &Analyzer{}
 	for _, o := range opts {
 		o(a)
+	}
+	if a.st == nil && a.stFactory != nil {
+		a.st = a.stFactory()
 	}
 	if a.st == nil {
 		a.st = store.NewAVL()
@@ -100,7 +136,11 @@ func New(opts ...Option) *Analyzer {
 // Analyzers.
 func (z *Analyzer) lazyStore() store.AccessStore {
 	if z.st == nil {
-		z.st = store.NewAVL()
+		if z.stFactory != nil {
+			z.st = z.stFactory()
+		} else {
+			z.st = store.NewAVL()
+		}
 	}
 	return z.st
 }
@@ -202,9 +242,9 @@ func (z *Analyzer) insert(a access.Access, raceCheck bool) *detector.Race {
 	// may coalesce with (e.g. the adjacent one-byte Gets of Code 2).
 	// Disjointness guarantees a neighbour touching a.Lo-1 ends exactly
 	// there.
-	inter := z.scratch[:0]
-	left, right, hasLeft, hasRight := store.StabNeighbors(st, a.Interval, &inter)
-	z.scratch = inter[:0]
+	z.scratch = z.scratch[:0]
+	left, right, hasLeft, hasRight := store.StabNeighbors(st, a.Interval, &z.scratch)
+	inter := z.scratch
 	var leftNb, rightNb *access.Access
 	if hasLeft {
 		leftNb = &left
@@ -254,23 +294,30 @@ func (z *Analyzer) insert(a access.Access, raceCheck bool) *detector.Race {
 	}
 
 	// (2)-(4) fragment and merge, pulling in the boundary neighbours
-	// only when they can actually coalesce with the edge fragments.
+	// only when they can actually coalesce with the edge fragments. All
+	// buffers are analyzer-owned scratch: slot 0 of the fragment buffer
+	// is reserved so a left neighbour can be prepended without shifting.
 	z.frontierOK = false
-	frags := access.Fragment(inter, a)
-	deletions := make([]access.Access, len(inter), len(inter)+2)
-	copy(deletions, inter)
-	merged := frags
+	frags := append(z.fragScratch[:0], access.Access{})
+	frags = access.AppendFragments(frags, inter, a)
+	deletions := append(z.delScratch[:0], inter...)
+	body := frags[1:]
+	merged := body
 	if !z.noMerge {
-		if leftNb != nil && access.Mergeable(*leftNb, frags[0]) {
-			frags = append([]access.Access{*leftNb}, frags...)
+		start := 1
+		if leftNb != nil && access.Mergeable(*leftNb, body[0]) {
+			frags[0] = *leftNb
 			deletions = append(deletions, *leftNb)
+			start = 0
 		}
-		if rightNb != nil && access.Mergeable(frags[len(frags)-1], *rightNb) {
+		if rightNb != nil && access.Mergeable(body[len(body)-1], *rightNb) {
 			frags = append(frags, *rightNb)
 			deletions = append(deletions, *rightNb)
 		}
-		merged = access.Merge(frags)
+		merged = access.MergeInPlace(frags[start:])
 	}
+	z.fragScratch = frags[:0]
+	z.delScratch = deletions[:0]
 
 	// (5) finish_insertion: replace the old accesses by the new ones.
 	for _, d := range deletions {

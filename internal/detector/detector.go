@@ -120,6 +120,26 @@ func AccessBatch(a Analyzer, evs []Event) *Race {
 	return nil
 }
 
+// Sharder is the optional sharding capability of an analyzer: the
+// address space is partitioned into NumShards contiguous interval
+// shards, each an independent Analyzer, and RouteEach splits an event
+// at shard boundaries. The analysis engine uses it to process one
+// window's notifications on a per-shard worker pool; splitting is
+// verdict-preserving because the race predicate is evaluated per
+// overlap and every overlap lies wholly inside one shard (see package
+// internal/shard).
+type Sharder interface {
+	Analyzer
+	// NumShards returns the shard count (≥ 1).
+	NumShards() int
+	// ShardAnalyzer returns shard i's independent analyzer. Callers are
+	// responsible for serialising access to it.
+	ShardAnalyzer(i int) Analyzer
+	// RouteEach splits ev at shard boundaries and calls emit once per
+	// piece, in ascending address order, with the owning shard.
+	RouteEach(ev Event, emit func(shard int, piece Event))
+}
+
 // Method enumerates the four compared approaches, in the order the
 // paper's figures present them.
 type Method int

@@ -90,6 +90,15 @@ type Engine struct {
 	// channel full and had to block (atomic). Nothing is dropped; the
 	// counter makes the backpressure visible in the stats.
 	overflows []int64
+	// sh holds the shard worker pool of each rank whose analyzer is a
+	// detector.Sharder (nil entries for serial ranks); see shardpool.go.
+	sh []*rankShards
+	// evFree and refFree are the engine's free lists for notification
+	// batch slices and split-batch completion records. Plain buffered
+	// channels: contention is two CAS-ish operations, and unlike a
+	// sync.Pool nothing is dropped on GC.
+	evFree  chan []detector.Event
+	refFree chan *batchRef
 
 	startMu sync.Mutex
 	started []bool
@@ -115,12 +124,18 @@ func New(cfg Config) *Engine {
 		epochs:    make([]uint64, cfg.Ranks),
 		overflows: make([]int64, cfg.Ranks),
 		started:   make([]bool, cfg.Ranks),
+		sh:        make([]*rankShards, cfg.Ranks),
+		evFree:    make(chan []detector.Event, cfg.ChannelCap+eventPoolSlack),
+		refFree:   make(chan *batchRef, batchRefPoolCap),
 		closed:    make(chan struct{}),
 	}
 	for r := 0; r < cfg.Ranks; r++ {
 		e.analyzers[r] = cfg.NewAnalyzer(r)
 		e.notifCh[r] = make(chan Batch, cfg.ChannelCap)
 		e.recvCond[r] = sync.NewCond(&e.recvMu[r])
+		if top, ok := e.analyzers[r].(detector.Sharder); ok && top.NumShards() > 1 {
+			e.sh[r] = e.newRankShards(top)
+		}
 	}
 	// Wake every count-waiter when the engine stops; exit when it
 	// closes so finished runs can be collected.
@@ -148,16 +163,26 @@ func (e *Engine) StartReceiver(rank int) {
 		return
 	}
 	e.started[rank] = true
+	if rs := e.sh[rank]; rs != nil {
+		for s := range rs.ch {
+			go e.shardWorker(rank, s)
+		}
+	}
 	go e.receive(rank)
 }
 
 // receive drains rank's notification channel until the engine stops or
 // closes.
 func (e *Engine) receive(rank int) {
+	rs := e.sh[rank]
 	for {
 		select {
 		case b := <-e.notifCh[rank]:
-			e.process(rank, b)
+			if rs != nil {
+				e.processSharded(rank, rs, b)
+			} else {
+				e.process(rank, b)
+			}
 		case <-e.cfg.Stop:
 			return
 		case <-e.closed:
@@ -192,7 +217,9 @@ func (e *Engine) process(rank int, b Batch) {
 	if race != nil && e.cfg.OnRace != nil {
 		e.cfg.OnRace(race)
 	}
-	e.addReceived(rank, int64(len(b.Evs)))
+	n := int64(len(b.Evs))
+	e.PutEventBuf(b.Evs)
+	e.addReceived(rank, n)
 }
 
 func (e *Engine) addReceived(rank int, n int64) {
@@ -306,6 +333,9 @@ func (e *Engine) WakeAll() {
 // analyzer under the serialisation lock and reports any race through
 // the callback as well as the return value.
 func (e *Engine) Analyse(rank int, ev detector.Event) *detector.Race {
+	if rs := e.sh[rank]; rs != nil {
+		return e.analyseSharded(rs, ev)
+	}
 	e.anMu[rank].Lock()
 	race := e.analyzers[rank].Access(ev)
 	e.anMu[rank].Unlock()
@@ -319,6 +349,13 @@ func (e *Engine) Analyse(rank int, ev detector.Event) *detector.Race {
 // state and the epoch counter future accesses are stamped with moves
 // on. Callers drain first (WaitReceived).
 func (e *Engine) EpochEnd(rank int) {
+	if rs := e.sh[rank]; rs != nil {
+		rs.lockAll()
+		rs.top.EpochEnd()
+		atomic.AddUint64(&e.epochs[rank], 1)
+		rs.unlockAll()
+		return
+	}
 	e.anMu[rank].Lock()
 	e.analyzers[rank].EpochEnd()
 	atomic.AddUint64(&e.epochs[rank], 1)
@@ -331,6 +368,12 @@ func (e *Engine) Epoch(rank int) uint64 { return atomic.LoadUint64(&e.epochs[ran
 
 // Flush observes an MPI_Win_flush by rank.
 func (e *Engine) Flush(rank int) {
+	if rs := e.sh[rank]; rs != nil {
+		rs.lockAll()
+		rs.top.Flush(rank)
+		rs.unlockAll()
+		return
+	}
 	e.anMu[rank].Lock()
 	e.analyzers[rank].Flush(rank)
 	e.anMu[rank].Unlock()
@@ -339,6 +382,12 @@ func (e *Engine) Flush(rank int) {
 // WithAnalyzer runs fn with rank's analyzer under the serialisation
 // lock, for statistics snapshots.
 func (e *Engine) WithAnalyzer(rank int, fn func(detector.Analyzer)) {
+	if rs := e.sh[rank]; rs != nil {
+		rs.lockAll()
+		fn(rs.top)
+		rs.unlockAll()
+		return
+	}
 	e.anMu[rank].Lock()
 	fn(e.analyzers[rank])
 	e.anMu[rank].Unlock()

@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rmarace/internal/access"
+	"rmarace/internal/core"
+	"rmarace/internal/detector"
+	"rmarace/internal/interval"
+)
+
+// shardEvs generates a reproducible random read-only stream over a tiny
+// granule so batches constantly straddle shard boundaries.
+func shardEvs(seed int64, n int, ranks int) []detector.Event {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]detector.Event, n)
+	for i := range evs {
+		lo := uint64(rng.Intn(64 * 64))
+		ln := uint64(1 + rng.Intn(3*64))
+		evs[i] = detector.Event{
+			Acc: access.Access{
+				Interval: interval.Interval{Lo: lo, Hi: lo + ln - 1},
+				Type:     access.RMARead,
+				Rank:     rng.Intn(ranks),
+				Debug:    access.Debug{File: "shard.c", Line: 1 + rng.Intn(4)},
+			},
+			Time:     uint64(i + 1),
+			CallTime: uint64(i + 1),
+		}
+	}
+	return evs
+}
+
+func newShardedEngine(shards int, onRace func(*detector.Race)) *Engine {
+	return New(Config{
+		Ranks: 1,
+		NewAnalyzer: func(int) detector.Analyzer {
+			return core.Build(core.WithShards(shards), core.WithShardGranule(64))
+		},
+		ChannelCap: 64,
+		OnRace:     onRace,
+	})
+}
+
+// TestShardedPipelineEquivalence pushes the same stream through a
+// serial engine and an 8-shard engine and compares the canonicalised
+// stored sets after the drain — the end-to-end form of the core
+// equivalence tests, covering routing, the credit accounting and the
+// worker pool.
+func TestShardedPipelineEquivalence(t *testing.T) {
+	evs := shardEvs(11, 2048, 1)
+	run := func(shards int) []access.Access {
+		e := newShardedEngine(shards, nil)
+		e.StartReceiver(0)
+		defer e.Close()
+		var sent int64
+		for off := 0; off < len(evs); off += 32 {
+			batch := append(e.GetEventBuf(), evs[off:off+32]...)
+			if err := e.Notify(0, batch); err != nil {
+				t.Fatal(err)
+			}
+			sent += 32
+		}
+		if err := e.WaitReceived(0, sent); err != nil {
+			t.Fatal(err)
+		}
+		var items []access.Access
+		e.WithAnalyzer(0, func(a detector.Analyzer) {
+			items = a.(interface{ Items() []access.Access }).Items()
+		})
+		return access.Merge(items)
+	}
+	serial, sharded := run(1), run(8)
+	if len(serial) == 0 {
+		t.Fatal("serial run stored nothing")
+	}
+	if len(serial) != len(sharded) {
+		t.Fatalf("stored sets diverge: serial %d items, sharded %d", len(serial), len(sharded))
+	}
+	for i := range serial {
+		if serial[i] != sharded[i] {
+			t.Fatalf("item %d: serial %v, sharded %v", i, serial[i], sharded[i])
+		}
+	}
+}
+
+// TestShardedSyncBarrier proves the flush-token barrier: a sync marker
+// with Release must not acknowledge before every previously notified
+// event has been analysed, and the release must retire the origin's
+// accesses across all shards.
+func TestShardedSyncBarrier(t *testing.T) {
+	e := newShardedEngine(8, nil)
+	e.StartReceiver(0)
+	defer e.Close()
+
+	evs := shardEvs(23, 512, 1)
+	var sent int64
+	for off := 0; off < len(evs); off += 16 {
+		batch := append(e.GetEventBuf(), evs[off:off+16]...)
+		if err := e.Notify(0, batch); err != nil {
+			t.Fatal(err)
+		}
+		sent += 16
+	}
+	ack := make(chan struct{})
+	if err := e.SendSync(0, 0, true, ack); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ack:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sync marker never acknowledged")
+	}
+	// The ack implies the barrier completed: every event before the
+	// marker must already be credited (events + 1 marker)...
+	if got := e.Received(0); got != sent+1 {
+		t.Fatalf("Received = %d at ack, want %d", got, sent+1)
+	}
+	// ...and the release must have emptied every shard (all accesses
+	// came from rank 0).
+	e.WithAnalyzer(0, func(a detector.Analyzer) {
+		if n := a.Nodes(); n != 0 {
+			t.Fatalf("release left %d nodes across shards", n)
+		}
+	})
+}
+
+// TestShardedRaceCallback plants a write-write conflict and checks the
+// race surfaces through OnRace from a shard worker.
+func TestShardedRaceCallback(t *testing.T) {
+	var got atomic.Pointer[detector.Race]
+	e := newShardedEngine(4, func(r *detector.Race) { got.CompareAndSwap(nil, r) })
+	e.StartReceiver(0)
+	defer e.Close()
+
+	mk := func(rank int, time uint64, line int) detector.Event {
+		return detector.Event{
+			Acc: access.Access{
+				// Straddles a granule boundary: the conflict lands in a
+				// split piece.
+				Interval: interval.Interval{Lo: 60, Hi: 70},
+				Type:     access.RMAWrite,
+				Rank:     rank,
+				Debug:    access.Debug{File: "race.c", Line: line},
+			},
+			Time: time, CallTime: time,
+		}
+	}
+	_ = e.Notify(0, append(e.GetEventBuf(), mk(0, 1, 1)))
+	_ = e.Notify(0, append(e.GetEventBuf(), mk(1, 2, 2)))
+	if err := e.WaitReceived(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() == nil {
+		t.Fatal("planted write-write race not reported")
+	}
+}
+
+// TestShardedCloseNoGoroutineLeak closes an engine with in-flight
+// sharded notifications and verifies the receiver, the stop-watcher and
+// all shard workers exit.
+func TestShardedCloseNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := newShardedEngine(8, nil)
+	e.StartReceiver(0)
+	evs := shardEvs(31, 256, 1)
+	for off := 0; off < len(evs); off += 16 {
+		batch := append(e.GetEventBuf(), evs[off:off+16]...)
+		if err := e.Notify(0, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	e.Close() // double close stays harmless
+
+	deadline := time.After(10 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("goroutines leaked after Close: %d before, %d after", before, runtime.NumGoroutine())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestShardedEpochStamping checks the router stamps events with the
+// owner's epoch before splitting, exactly like the serial path.
+func TestShardedEpochStamping(t *testing.T) {
+	e := newShardedEngine(4, nil)
+	e.StartReceiver(0)
+	defer e.Close()
+
+	send := func(lo uint64, tm uint64) {
+		ev := detector.Event{
+			Acc: access.Access{
+				Interval: interval.Interval{Lo: lo, Hi: lo + 200}, // straddles granules
+				Type:     access.RMARead,
+				Rank:     0,
+				Debug:    access.Debug{File: "epoch.c", Line: 1},
+			},
+			Time: tm, CallTime: tm,
+		}
+		if err := e.Notify(0, append(e.GetEventBuf(), ev)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(0, 1)
+	if err := e.WaitReceived(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	e.EpochEnd(0)
+	send(4096, 2)
+	if err := e.WaitReceived(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	e.WithAnalyzer(0, func(a detector.Analyzer) {
+		for _, it := range a.(interface{ Items() []access.Access }).Items() {
+			if it.Epoch != 1 {
+				t.Fatalf("post-EpochEnd access stamped epoch %d, want 1 (item %v)", it.Epoch, it)
+			}
+		}
+	})
+}

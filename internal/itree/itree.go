@@ -29,9 +29,64 @@ type node struct {
 // empty tree ready to use. Tree is not safe for concurrent use; in the
 // detector each window's tree is owned by a single receiver goroutine,
 // matching the paper's per-window analysis thread.
+//
+// Deleted and cleared nodes are kept on a per-tree free list (chained
+// through their left pointers) and reused by later insertions, so the
+// steady-state insert/delete cycle of Algorithm 1 — and the per-epoch
+// Clear — allocates nothing once the tree has reached its high-water
+// size. A plain free list beats a sync.Pool here: the tree is single-
+// owner, so there is no synchronisation to pay for, and nodes never
+// migrate between analyzers.
 type Tree struct {
 	root *node
 	size int
+	// free heads the recycled-node list; freeN bounds its length so a
+	// one-off spike does not pin memory forever.
+	free  *node
+	freeN int
+	// nb is StabNeighbors' reusable query state. Keeping it on the
+	// (heap-resident, single-owner) tree instead of in locals whose
+	// addresses are passed down the recursion keeps the hot path free
+	// of escape-forced allocations.
+	nb nbQuery
+}
+
+// nbQuery carries one StabNeighbors traversal's inputs and results.
+type nbQuery struct {
+	iv, wide    interval.Interval
+	dst         *[]access.Access
+	left, right access.Access
+	hasLeft     bool
+	hasRight    bool
+}
+
+// maxFree caps the free list; beyond it nodes are released to the GC.
+const maxFree = 1 << 16
+
+// newNode takes a node from the free list, or allocates one.
+func (t *Tree) newNode(acc access.Access) *node {
+	n := t.free
+	if n == nil {
+		n = &node{}
+	} else {
+		t.free = n.left
+		t.freeN--
+		n.left, n.right = nil, nil
+	}
+	n.acc = acc
+	n.update()
+	return n
+}
+
+// recycle pushes an unlinked node onto the free list.
+func (t *Tree) recycle(n *node) {
+	if t.freeN >= maxFree {
+		return
+	}
+	n.left, n.right = t.free, nil
+	n.acc = access.Access{}
+	t.free = n
+	t.freeN++
 }
 
 // Len returns the number of stored accesses — the "number of nodes in
@@ -106,20 +161,18 @@ func balance(n *node) *node {
 // uses); the detector's disjointness invariant makes this case
 // unreachable in normal operation.
 func (t *Tree) Insert(acc access.Access) {
-	t.root = insert(t.root, acc)
+	t.root = t.insert(t.root, acc)
 	t.size++
 }
 
-func insert(n *node, acc access.Access) *node {
+func (t *Tree) insert(n *node, acc access.Access) *node {
 	if n == nil {
-		nn := &node{acc: acc}
-		nn.update()
-		return nn
+		return t.newNode(acc)
 	}
 	if acc.Interval.Compare(n.acc.Interval) < 0 {
-		n.left = insert(n.left, acc)
+		n.left = t.insert(n.left, acc)
 	} else {
-		n.right = insert(n.right, acc)
+		n.right = t.insert(n.right, acc)
 	}
 	return balance(n)
 }
@@ -129,38 +182,43 @@ func insert(n *node, acc access.Access) *node {
 // interval an arbitrary one is removed.
 func (t *Tree) Delete(iv interval.Interval) bool {
 	var deleted bool
-	t.root, deleted = remove(t.root, iv)
+	t.root, deleted = t.remove(t.root, iv)
 	if deleted {
 		t.size--
 	}
 	return deleted
 }
 
-func remove(n *node, iv interval.Interval) (*node, bool) {
+func (t *Tree) remove(n *node, iv interval.Interval) (*node, bool) {
 	if n == nil {
 		return nil, false
 	}
 	var deleted bool
 	switch cmp := iv.Compare(n.acc.Interval); {
 	case cmp < 0:
-		n.left, deleted = remove(n.left, iv)
+		n.left, deleted = t.remove(n.left, iv)
 	case cmp > 0:
-		n.right, deleted = remove(n.right, iv)
+		n.right, deleted = t.remove(n.right, iv)
 	default:
 		deleted = true
 		if n.left == nil {
-			return n.right, true
+			r := n.right
+			t.recycle(n)
+			return r, true
 		}
 		if n.right == nil {
-			return n.left, true
+			l := n.left
+			t.recycle(n)
+			return l, true
 		}
-		// Replace with the in-order successor.
+		// Replace with the in-order successor; the successor's physical
+		// node is unlinked (and recycled) by the inner removal.
 		succ := n.right
 		for succ.left != nil {
 			succ = succ.left
 		}
 		n.acc = succ.acc
-		n.right, _ = remove(n.right, succ.acc.Interval)
+		n.right, _ = t.remove(n.right, succ.acc.Interval)
 	}
 	return balance(n), deleted
 }
@@ -263,31 +321,35 @@ func (t *Tree) StabNeighbors(iv interval.Interval, dst *[]access.Access) (left, 
 	if wide.Hi+1 != 0 {
 		wide.Hi++
 	}
-	t.stabNeighbors(t.root, iv, wide, dst, &left, &right, &hasLeft, &hasRight)
-	return left, right, hasLeft, hasRight
+	q := &t.nb
+	q.iv, q.wide, q.dst = iv, wide, dst
+	q.hasLeft, q.hasRight = false, false
+	t.stabNeighbors(t.root, q)
+	q.dst = nil
+	return q.left, q.right, q.hasLeft, q.hasRight
 }
 
-func (t *Tree) stabNeighbors(n *node, iv, wide interval.Interval, dst *[]access.Access, left, right *access.Access, hasLeft, hasRight *bool) {
-	if n == nil || n.maxHi < wide.Lo {
+func (t *Tree) stabNeighbors(n *node, q *nbQuery) {
+	if n == nil || n.maxHi < q.wide.Lo {
 		return
 	}
-	t.stabNeighbors(n.left, iv, wide, dst, left, right, hasLeft, hasRight)
-	if n.acc.Intersects(wide) {
+	t.stabNeighbors(n.left, q)
+	if n.acc.Intersects(q.wide) {
 		switch {
-		case n.acc.Hi < iv.Lo:
-			*left = n.acc
-			*hasLeft = true
-		case n.acc.Lo > iv.Hi:
-			*right = n.acc
-			*hasRight = true
+		case n.acc.Hi < q.iv.Lo:
+			q.left = n.acc
+			q.hasLeft = true
+		case n.acc.Lo > q.iv.Hi:
+			q.right = n.acc
+			q.hasRight = true
 		default:
-			*dst = append(*dst, n.acc)
+			*q.dst = append(*q.dst, n.acc)
 		}
 	}
-	if n.acc.Lo > wide.Hi {
+	if n.acc.Lo > q.wide.Hi {
 		return
 	}
-	t.stabNeighbors(n.right, iv, wide, dst, left, right, hasLeft, hasRight)
+	t.stabNeighbors(n.right, q)
 }
 
 // FindAt returns the stored access covering addr, if any. Under the
@@ -324,10 +386,22 @@ func (t *Tree) Items() []access.Access {
 	return out
 }
 
-// Clear empties the tree, as RMA-Analyzer does at the end of an epoch.
+// Clear empties the tree, as RMA-Analyzer does at the end of an epoch,
+// reclaiming every node onto the free list so the next epoch's
+// insertions allocate nothing.
 func (t *Tree) Clear() {
+	t.reclaim(t.root)
 	t.root = nil
 	t.size = 0
+}
+
+func (t *Tree) reclaim(n *node) {
+	if n == nil {
+		return
+	}
+	t.reclaim(n.left)
+	t.reclaim(n.right)
+	t.recycle(n)
 }
 
 func max(a, b int) int {

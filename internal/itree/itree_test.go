@@ -413,3 +413,38 @@ func TestDuplicateLowerBounds(t *testing.T) {
 		t.Fatalf("after delete, Stab([9]) = %v", got)
 	}
 }
+
+// TestFreeListReuse pins the zero-allocation contract: once the tree
+// has grown, delete/insert and Clear/refill cycles must run entirely
+// off the per-tree free list.
+func TestFreeListReuse(t *testing.T) {
+	var tr Tree
+	const n = 64
+	fill := func() {
+		for i := 0; i < n; i++ {
+			tr.Insert(acc(uint64(i*10), uint64(i*10+5)))
+		}
+	}
+	fill() // warm-up: grow the tree once, paying its allocations
+
+	if got := testing.AllocsPerRun(50, func() {
+		for i := 0; i < n; i++ {
+			if !tr.Delete(interval.New(uint64(i*10), uint64(i*10+5))) {
+				t.Fatal("warm interval missing")
+			}
+		}
+		fill()
+	}); got != 0 {
+		t.Fatalf("delete/insert cycle allocated %.1f per run, want 0", got)
+	}
+
+	if got := testing.AllocsPerRun(50, func() {
+		tr.Clear()
+		fill()
+	}); got != 0 {
+		t.Fatalf("Clear/refill cycle allocated %.1f per run, want 0", got)
+	}
+	if tr.Len() != n {
+		t.Fatalf("tree ended with %d nodes, want %d", tr.Len(), n)
+	}
+}

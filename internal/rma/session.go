@@ -60,6 +60,13 @@ type Config struct {
 	// internal/store). Empty means the default AVL interval tree. Only
 	// meaningful for OurContribution.
 	Store string
+	// Shards splits each (rank, window) analyzer into this many
+	// granule-striped shards (power of two), each driven by its own
+	// engine worker goroutine; see internal/shard. Zero or one keeps the
+	// serial analyzer. Verdicts are shard-count-independent (the
+	// internal/core equivalence tests). Only meaningful for
+	// OurContribution.
+	Shards int
 	// NotifBatch bounds how many consecutive target-side notifications
 	// to the same target coalesce into one channel message
 	// (DefaultNotifBatch when zero; 1 disables batching). Batches are
@@ -122,13 +129,24 @@ func (s *Session) newAnalyzer(rank int) detector.Analyzer {
 			opts = append(opts, core.WithStridedMerging())
 		}
 		if s.cfg.Store != "" {
-			st, err := store.New(s.cfg.Store)
-			if err != nil {
+			// Validate the name once, then install a factory: with
+			// sharding every shard must own an independent store instance.
+			name := s.cfg.Store
+			if _, err := store.New(name); err != nil {
 				panic(fmt.Sprintf("rma: %v", err))
 			}
-			opts = append(opts, core.WithStore(st))
+			opts = append(opts, core.WithStoreFactory(func() store.AccessStore {
+				st, err := store.New(name)
+				if err != nil {
+					panic(fmt.Sprintf("rma: %v", err))
+				}
+				return st
+			}))
 		}
-		return core.New(opts...)
+		if s.cfg.Shards > 1 {
+			opts = append(opts, core.WithShards(s.cfg.Shards))
+		}
+		return core.Build(opts...)
 	}
 	panic(fmt.Sprintf("rma: unknown method %v", s.cfg.Method))
 }
@@ -167,6 +185,14 @@ type WindowStats struct {
 	TotalMaxNodes int
 	// Accesses sums processed accesses over ranks.
 	Accesses uint64
+	// PerRankShardMaxNodes is, for sharded runs, each rank's per-shard
+	// node high-water marks (nil when the analyzer is unsharded).
+	// TotalMaxNodes stays the sum over ranks of the per-rank aggregates,
+	// keeping the Table 4 number comparable at any shard count.
+	PerRankShardMaxNodes [][]int
+	// MaxShardNodes is the largest single-shard high-water mark across
+	// the window — the hottest shard's footprint.
+	MaxShardNodes int
 	// Overflows counts notification sends that found a rank's channel
 	// full and had to block (engine backpressure; nothing is dropped).
 	Overflows int64
@@ -183,6 +209,17 @@ func (s *Session) Stats() []WindowStats {
 			g.eng.WithAnalyzer(r, func(a detector.Analyzer) {
 				ws.PerRankMaxNodes[r] = a.MaxNodes()
 				ws.Accesses += a.Accesses()
+				if sm, ok := a.(interface{ ShardMaxNodes() []int }); ok {
+					if ws.PerRankShardMaxNodes == nil {
+						ws.PerRankShardMaxNodes = make([][]int, g.ranks)
+					}
+					ws.PerRankShardMaxNodes[r] = sm.ShardMaxNodes()
+					for _, n := range ws.PerRankShardMaxNodes[r] {
+						if n > ws.MaxShardNodes {
+							ws.MaxShardNodes = n
+						}
+					}
+				}
 			})
 			ws.TotalMaxNodes += ws.PerRankMaxNodes[r]
 		}

@@ -187,6 +187,12 @@ func (w *Win) analyse(rank int, ev detector.Event) error {
 // coalescing it into the pending batch. The batch is sent when it
 // reaches batchCap; synchronisation calls flush the remainder.
 func (w *Win) notify(target int, ev detector.Event) error {
+	if w.pending[target] == nil {
+		// Batch slices come from the engine's pool and are recycled by
+		// the receiver after analysis, so the steady-state notification
+		// pipeline allocates nothing.
+		w.pending[target] = w.g.eng.GetEventBuf()
+	}
 	w.pending[target] = append(w.pending[target], ev)
 	w.countSent(target)
 	if len(w.pending[target]) >= w.batchCap {
@@ -201,7 +207,7 @@ func (w *Win) flushNotifs(target int) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	w.pending[target] = make([]detector.Event, 0, w.batchCap)
+	w.pending[target] = nil // next notify takes a fresh pooled slice
 	return w.g.eng.Notify(target, batch)
 }
 

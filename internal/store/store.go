@@ -92,6 +92,12 @@ func StabNeighbors(s AccessStore, iv interval.Interval, dst *[]access.Access) (l
 	if ns, ok := s.(NeighborStabber); ok {
 		return ns.StabNeighbors(iv, dst)
 	}
+	// The closure-based fallback lives in its own function so its
+	// captures do not force this hot function's results onto the heap.
+	return stabNeighborsGeneric(s, iv, dst)
+}
+
+func stabNeighborsGeneric(s AccessStore, iv interval.Interval, dst *[]access.Access) (left, right access.Access, hasLeft, hasRight bool) {
 	wide := iv
 	if wide.Lo > 0 {
 		wide.Lo--
