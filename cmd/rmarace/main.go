@@ -7,6 +7,8 @@
 //	rmarace replay -method our-contribution trace.jsonl
 //	rmarace replay -compare trace.jsonl
 //	rmarace replay -shards 8 trace.jsonl   # sharded contribution analyzer
+//	rmarace replay -report out.json trace.jsonl   # write a structured run report
+//	rmarace stats out.json   # summarise a run report
 //	rmarace demo    # run the paper's Code 1 and print the report
 //	rmarace codes   # run every example program of the paper under all tools
 //	rmarace bench   # run the perf suite and write BENCH_PR2.json
@@ -24,6 +26,8 @@ import (
 	"rmarace/internal/codes"
 	"rmarace/internal/core"
 	"rmarace/internal/detector"
+	"rmarace/internal/obs"
+	"rmarace/internal/rma"
 	"rmarace/internal/store"
 	"rmarace/internal/trace"
 )
@@ -37,6 +41,8 @@ func main() {
 	switch os.Args[1] {
 	case "replay":
 		replayCmd(os.Args[2:])
+	case "stats":
+		statsCmd(os.Args[2:])
 	case "demo":
 		demoCmd()
 	case "codes":
@@ -50,27 +56,34 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  rmarace replay [-method NAME] [-store NAME] [-shards K] [-compare] TRACE
+  rmarace replay [-method NAME] [-store NAME] [-shards K] [-compare] [-report FILE] TRACE
+  rmarace stats REPORT
   rmarace demo
   rmarace codes
   rmarace bench [-o FILE] [-vertices N]
 
 methods: baseline, rma-analyzer, must-rma, our-contribution
 stores (tree-based methods): avl (default), legacy, shadow, strided
--shards splits the contribution analyzer into K address-space shards`)
+-shards splits the contribution analyzer into K address-space shards
+-report records analysis metrics and writes a structured run report
+        (schema rmarace/run-report/v1); summarise it with rmarace stats`)
 	os.Exit(2)
 }
 
-func newAnalyzer(method detector.Method, ranks int, storeName string, shards int) func(int) detector.Analyzer {
+func newAnalyzer(method detector.Method, ranks int, storeName string, shards int, rec obs.Recorder) func(int) detector.Analyzer {
 	var shared *detector.MustShared
 	if method == detector.MustRMAMethod {
 		shared = detector.NewMustShared(ranks)
 	}
+	recording := rec != nil && rec.Enabled()
 	// Each analyzer owns its backend, so one is built per owner.
-	newStore := func() store.AccessStore {
+	newStore := func(owner int) store.AccessStore {
 		st, err := store.New(storeName)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if recording {
+			st = store.Instrument(st, rec, owner)
 		}
 		return st
 	}
@@ -80,7 +93,7 @@ func newAnalyzer(method detector.Method, ranks int, storeName string, shards int
 			return detector.NewBaseline()
 		case detector.RMAAnalyzer:
 			if storeName != "" {
-				return detector.NewLegacyWithStore(newStore())
+				return detector.NewLegacyWithStore(newStore(owner))
 			}
 			return detector.NewLegacy()
 		case detector.MustRMAMethod:
@@ -88,17 +101,20 @@ func newAnalyzer(method detector.Method, ranks int, storeName string, shards int
 		default:
 			var opts []core.Option
 			if storeName != "" {
-				opts = append(opts, core.WithStoreFactory(newStore))
+				opts = append(opts, core.WithStoreFactory(func() store.AccessStore { return newStore(owner) }))
 			}
 			if shards > 1 {
 				opts = append(opts, core.WithShards(shards))
+			}
+			if recording {
+				opts = append(opts, core.WithRecorder(rec, owner))
 			}
 			return core.Build(opts...)
 		}
 	}
 }
 
-func replayOne(path string, method detector.Method, storeName string, shards int) error {
+func replayOne(path string, method detector.Method, storeName string, shards int, reportPath string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -108,8 +124,12 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 	if err != nil {
 		return err
 	}
+	var reg *obs.Registry
+	if reportPath != "" {
+		reg = obs.NewRegistry()
+	}
 	start := time.Now()
-	res, err := trace.Replay(r, newAnalyzer(method, r.Header.Ranks, storeName, shards))
+	res, err := trace.Replay(r, newAnalyzer(method, r.Header.Ranks, storeName, shards, obs.OrDisabled(reg)))
 	if err != nil {
 		return err
 	}
@@ -119,7 +139,73 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 		fmt.Printf("\n  RACE: %s", res.Race.Message())
 	}
 	fmt.Println()
+	if reportPath != "" {
+		rep := replayReport(r.Header, method, res, reg)
+		out, err := os.Create(reportPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", reportPath)
+	}
 	return nil
+}
+
+// replayReport converts a replay result plus the metrics registry into
+// the structured run report written by -report.
+func replayReport(h trace.Header, method detector.Method, res trace.ReplayResult, reg *obs.Registry) *obs.RunReport {
+	rep := &obs.RunReport{
+		Schema:   obs.ReportSchema,
+		Source:   "replay",
+		Method:   method.String(),
+		Ranks:    h.Ranks,
+		Events:   int64(res.Events),
+		Epochs:   int64(res.Epochs),
+		MaxNodes: int64(res.MaxNodes),
+	}
+	// Older traces may omit the window name; the schema rejects
+	// anonymous windows, so only emit the section when named.
+	if h.Window != "" {
+		rep.Windows = []obs.WindowReport{{
+			Name:          h.Window,
+			TotalMaxNodes: res.MaxNodes,
+			Accesses:      uint64(res.Events),
+		}}
+	}
+	if reg != nil {
+		rep.EpochLatency = obs.EpochLatencyFromRegistry(reg)
+		rep.Metrics = reg.Snapshot()
+	}
+	if res.Race != nil {
+		rep.Races = append(rep.Races, rma.RaceReport(res.Race))
+	}
+	return rep
+}
+
+// statsCmd reads a run report written by `replay -report`, `bench` or
+// the library and prints its human summary.
+func statsCmd(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := obs.ReadReport(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Summary(os.Stdout)
 }
 
 func replayCmd(args []string) {
@@ -128,6 +214,7 @@ func replayCmd(args []string) {
 	storeName := fs.String("store", "", "storage backend for the tree-based methods (avl, legacy, shadow, strided)")
 	shards := fs.Int("shards", 1, "address-space shard count for the contribution analyzer (power of two; 1 = serial)")
 	compare := fs.Bool("compare", false, "replay under all four methods")
+	report := fs.String("report", "", "write a structured run report (JSON) to this path")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -138,8 +225,11 @@ func replayCmd(args []string) {
 	}
 
 	if *compare {
+		if *report != "" {
+			log.Fatal("-report and -compare are mutually exclusive (one report per replay)")
+		}
 		for _, m := range detector.Methods() {
-			if err := replayOne(path, m, *storeName, *shards); err != nil {
+			if err := replayOne(path, m, *storeName, *shards, ""); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -149,7 +239,7 @@ func replayCmd(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := replayOne(path, method, *storeName, *shards); err != nil {
+	if err := replayOne(path, method, *storeName, *shards, *report); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -131,11 +131,13 @@ type Debug struct {
 // String renders the location as "file:line".
 func (d Debug) String() string { return fmt.Sprintf("%s:%d", d.File, d.Line) }
 
-// Access is one instrumented memory access.
+// Access is one instrumented memory access. Field order is layout-
+// conscious: the struct is copied through every stab and insert of the
+// hot path, so the three byte-wide fields share one word of padding
+// and the whole struct stays at 72 bytes (the pre-Frames size).
 type Access struct {
 	interval.Interval
 
-	Type Type
 	// Rank is the MPI rank that issued the operation this access
 	// belongs to. For the target side of a Put/Get this is still the
 	// origin rank: the target process did not issue any instruction.
@@ -143,6 +145,16 @@ type Access struct {
 	// Epoch numbers the passive-target epoch (LockAll..UnlockAll) the
 	// access was observed in. Accesses of different epochs never race.
 	Epoch uint64
+	// Frames points to the rendered call stack of the instruction that
+	// issued the access, captured only when the session runs with stack
+	// capture enabled (rma.Config.CaptureStacks); nil otherwise. It
+	// rides along into race reports so both sides of a verdict carry
+	// their origin. A pointer rather than an inline string keeps the
+	// struct size unchanged in the common uncaptured case. Frames is
+	// deliberately excluded from Mergeable: coalesced accesses keep
+	// the surviving node's stack.
+	Frames *string
+	Type   Type
 	// Stack marks accesses to stack-allocated buffers. The contribution
 	// and the legacy analyzer treat them like any other access; the
 	// MUST-RMA simulator ignores local accesses to stack buffers
@@ -152,6 +164,15 @@ type Access struct {
 	// AccumNone otherwise.
 	AccumOp AccumOp
 	Debug   Debug
+}
+
+// FrameString returns the captured call stack, or "" when none was
+// captured.
+func (a Access) FrameString() string {
+	if a.Frames == nil {
+		return ""
+	}
+	return *a.Frames
 }
 
 // String renders the access in the paper's node notation, e.g.

@@ -26,6 +26,7 @@ import (
 	"rmarace/internal/access"
 	"rmarace/internal/detector"
 	"rmarace/internal/mpi"
+	"rmarace/internal/obs"
 	"rmarace/internal/rma"
 )
 
@@ -73,24 +74,34 @@ type Result struct {
 	TotalAccesses uint64
 	// Race is non-nil if the run aborted on a (would-be) data race.
 	Race *detector.Race
+	// Report is the structured run report, built when the session was
+	// configured with a Recorder (RunOpts); nil otherwise.
+	Report *obs.RunReport
 }
 
 func dbg(line int) access.Debug { return access.Debug{File: "./cfdproxy/exchange.c", Line: line} }
 
 // Run executes the simulated CFD-Proxy under the given analysis method.
 func Run(cfg Config, method detector.Method) (Result, error) {
+	return RunOpts(cfg, rma.Config{Method: method})
+}
+
+// RunOpts executes CFD-Proxy under a full analysis configuration, e.g.
+// with a metrics Recorder attached; a configured Recorder additionally
+// fills Result.Report.
+func RunOpts(cfg Config, rmaCfg rma.Config) (Result, error) {
 	if cfg.Ranks < 2 {
 		return Result{}, fmt.Errorf("cfdproxy: need at least 2 ranks, got %d", cfg.Ranks)
 	}
 	world := mpi.NewWorld(cfg.Ranks)
-	session := rma.NewSession(world, rma.Config{Method: method})
+	session := rma.NewSession(world, rmaCfg)
 
 	runErr := world.Run(func(mp *mpi.Proc) error {
 		return rank(session.Proc(mp), cfg)
 	})
 	session.Close()
 
-	res := Result{Method: method, Race: session.Race()}
+	res := Result{Method: rmaCfg.Method, Race: session.Race()}
 	if runErr != nil && res.Race == nil {
 		return res, runErr
 	}
@@ -99,6 +110,9 @@ func Run(cfg Config, method detector.Method) (Result, error) {
 		res.TotalAccesses += ws.Accesses
 	}
 	res.MaxNodesPerProcess = maxPerProcessNodes(session)
+	if rmaCfg.Recorder != nil {
+		res.Report = session.Report("run")
+	}
 	return res, nil
 }
 

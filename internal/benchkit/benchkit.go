@@ -23,6 +23,8 @@ import (
 	"rmarace/internal/detector"
 	"rmarace/internal/engine"
 	"rmarace/internal/interval"
+	"rmarace/internal/obs"
+	"rmarace/internal/rma"
 )
 
 // Result is one benchmark's measurement.
@@ -39,6 +41,11 @@ type Result struct {
 type Report struct {
 	Suite   string   `json:"suite"`
 	Results []Result `json:"results"`
+	// Runs carries structured run reports (the same
+	// "rmarace/run-report/v1" schema as `rmarace replay -report`) from
+	// fully instrumented application runs, so the benchmark snapshot
+	// records the pipeline metrics alongside the timings.
+	Runs []*obs.RunReport `json:"runs,omitempty"`
 }
 
 // Options scales the suite.
@@ -64,7 +71,26 @@ func Suite(opts Options) Report {
 	out = append(out, notificationResults(opts.Shards)...)
 	out = append(out, figure10Results()...)
 	out = append(out, table4Results(opts.Vertices)...)
-	return Report{Suite: "rmarace perf suite (insert hot path, sharded pipeline, Figure 10, Table 4)", Results: out}
+	return Report{
+		Suite:   "rmarace perf suite (insert hot path, sharded pipeline, Figure 10, Table 4)",
+		Results: out,
+		Runs:    runReports(),
+	}
+}
+
+// runReports executes one instrumented CFD-Proxy run under the
+// contribution and returns its structured run report.
+func runReports() []*obs.RunReport {
+	cfg := cfdproxy.Config{Ranks: 8, Iters: 6, Points: 16, InteriorOps: 64}
+	res, err := cfdproxy.RunOpts(cfg, rma.Config{
+		Method:   detector.OurContribution,
+		Recorder: obs.NewRegistry(),
+	})
+	if err != nil || res.Report == nil {
+		return nil
+	}
+	res.Report.Source = "bench"
+	return []*obs.RunReport{res.Report}
 }
 
 // WriteJSON writes the report as indented JSON.

@@ -1,0 +1,47 @@
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rmarace/internal/obs"
+)
+
+// TestRunReportsSchema: the bench snapshot's `runs` section carries a
+// valid rmarace/run-report/v1 document that survives a JSON round
+// trip, so BENCH_*.json consumers can rely on the same schema as
+// `rmarace replay -report`.
+func TestRunReportsSchema(t *testing.T) {
+	runs := runReports()
+	if len(runs) != 1 {
+		t.Fatalf("runReports() returned %d reports, want 1", len(runs))
+	}
+	rep := runs[0]
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("bench run report invalid: %v", err)
+	}
+	if rep.Source != "bench" {
+		t.Errorf("source = %q, want bench", rep.Source)
+	}
+	if rep.Events == 0 || len(rep.Windows) == 0 || len(rep.Metrics) == 0 {
+		t.Errorf("bench run report is empty: %+v", rep)
+	}
+
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(Report{Suite: "t", Runs: runs}); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Runs []json.RawMessage `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != 1 {
+		t.Fatalf("runs section lost in serialisation: %s", buf.Bytes())
+	}
+	if _, err := obs.ReadReport(bytes.NewReader(back.Runs[0])); err != nil {
+		t.Fatalf("embedded run report does not re-read: %v", err)
+	}
+}

@@ -26,6 +26,7 @@ package core
 import (
 	"rmarace/internal/access"
 	"rmarace/internal/detector"
+	"rmarace/internal/obs"
 	"rmarace/internal/store"
 	"rmarace/internal/strided"
 )
@@ -66,6 +67,12 @@ type Analyzer struct {
 	// by Build and NewSharded, ignored by a plain Analyzer.
 	shardCount   int
 	shardGranule int
+	// rec is the metrics sink (WithRecorder); recOn caches Enabled() so
+	// a disabled recorder costs one branch per site, and recLabel is the
+	// owning rank the analyzer's metrics are labelled with.
+	rec      obs.Recorder
+	recOn    bool
+	recLabel int
 }
 
 // Option configures an Analyzer.
@@ -117,6 +124,19 @@ func WithShardGranule(bytes int) Option {
 	return func(a *Analyzer) { a.shardGranule = bytes }
 }
 
+// WithRecorder makes the analyzer record its metrics — node high-water
+// marks, fragment/merge counts, store traffic and stab-query depths —
+// against rec, labelled with the owning rank. The store backend is
+// wrapped with store.Instrument; a nil or disabled recorder leaves the
+// analyzer (and its hot path) exactly as without the option.
+func WithRecorder(rec obs.Recorder, rank int) Option {
+	return func(a *Analyzer) {
+		a.rec = obs.OrDisabled(rec)
+		a.recOn = a.rec.Enabled()
+		a.recLabel = rank
+	}
+}
+
 // New returns a fresh analyzer for one window.
 func New(opts ...Option) *Analyzer {
 	a := &Analyzer{}
@@ -129,6 +149,9 @@ func New(opts ...Option) *Analyzer {
 	if a.st == nil {
 		a.st = store.NewAVL()
 	}
+	if a.recOn {
+		a.st = store.Instrument(a.st, a.rec, a.recLabel)
+	}
 	return a
 }
 
@@ -140,6 +163,9 @@ func (z *Analyzer) lazyStore() store.AccessStore {
 			z.st = z.stFactory()
 		} else {
 			z.st = store.NewAVL()
+		}
+		if z.recOn {
+			z.st = store.Instrument(z.st, z.rec, z.recLabel)
 		}
 	}
 	return z.st
@@ -220,6 +246,9 @@ func (z *Analyzer) AccessBatch(evs []detector.Event) *detector.Race {
 				z.accesses++
 				store.ExtendHi(st, z.frontier, a.Hi)
 				z.frontier.Hi = a.Hi
+				if z.recOn {
+					z.rec.Add(obs.Merges, z.recLabel, 1)
+				}
 				z.bumpMaxNodes()
 				continue
 			}
@@ -288,6 +317,13 @@ func (z *Analyzer) insert(a access.Access, raceCheck bool) *detector.Race {
 			st.Insert(a)
 			z.frontier = a
 		}
+		if z.recOn && (mergeL || mergeR) {
+			merges := int64(1)
+			if mergeL && mergeR {
+				merges = 2
+			}
+			z.rec.Add(obs.Merges, z.recLabel, merges)
+		}
 		z.frontierOK = true
 		z.bumpMaxNodes()
 		return nil
@@ -302,6 +338,9 @@ func (z *Analyzer) insert(a access.Access, raceCheck bool) *detector.Race {
 	frags = access.AppendFragments(frags, inter, a)
 	deletions := append(z.delScratch[:0], inter...)
 	body := frags[1:]
+	if z.recOn {
+		z.rec.Add(obs.Fragments, z.recLabel, int64(len(body)))
+	}
 	merged := body
 	if !z.noMerge {
 		start := 1
@@ -314,7 +353,11 @@ func (z *Analyzer) insert(a access.Access, raceCheck bool) *detector.Race {
 			frags = append(frags, *rightNb)
 			deletions = append(deletions, *rightNb)
 		}
+		before := len(frags) - start
 		merged = access.MergeInPlace(frags[start:])
+		if z.recOn {
+			z.rec.Add(obs.Merges, z.recLabel, int64(before-len(merged)))
+		}
 	}
 	z.fragScratch = frags[:0]
 	z.delScratch = deletions[:0]
@@ -379,8 +422,12 @@ func (z *Analyzer) Release(rank int) {
 func (z *Analyzer) Nodes() int { return z.lazyStore().Len() + z.sectionCount() }
 
 func (z *Analyzer) bumpMaxNodes() {
-	if n := z.Nodes(); n > z.maxNodes {
+	n := z.Nodes()
+	if n > z.maxNodes {
 		z.maxNodes = n
+	}
+	if z.recOn {
+		z.rec.SetMax(obs.StoreNodes, z.recLabel, int64(n))
 	}
 }
 

@@ -110,6 +110,9 @@ func (s *Sharded) Access(ev detector.Event) *detector.Race {
 		piece := ev
 		piece.Acc.Lo, piece.Acc.Hi = lo, hi
 		race = s.subs[sh].Access(piece)
+		if race != nil {
+			race.EnsureProv().Shard = sh
+		}
 	})
 	return race
 }
@@ -133,6 +136,7 @@ func (s *Sharded) AccessBatch(evs []detector.Event) *detector.Race {
 			continue
 		}
 		if race := sub.AccessBatch(s.route[sh]); race != nil {
+			race.EnsureProv().Shard = sh
 			return race
 		}
 	}

@@ -44,17 +44,69 @@ type Event struct {
 
 // Race is a detected data race. It reproduces the report of Fig. 9:
 // the access being inserted, the conflicting stored access, and their
-// debug information.
+// debug information — plus, beyond the paper, structured provenance
+// (Prov) identifying where in the pipeline the conflict surfaced.
 type Race struct {
 	Prev, Cur access.Access
+	// Prov carries the race's provenance. It is filled in by the layers
+	// that know each fact — the sharded analyzer stamps the shard, the
+	// engine the owning rank and window — and may be nil for races
+	// produced by a bare analyzer outside any pipeline.
+	Prov *Provenance
+}
+
+// Provenance locates a race within the analysis pipeline: which
+// window's analyzer held the conflicting access, which rank owns that
+// analyzer, and which address-space shard the overlap fell in.
+type Provenance struct {
+	// Window is the window name, when known.
+	Window string
+	// Owner is the rank whose per-window analyzer detected the race
+	// (the exposed region's owner, not necessarily either issuer).
+	Owner int
+	// Shard is the address-space shard holding the conflict, or -1 for
+	// an unsharded analyzer.
+	Shard int
+}
+
+// EnsureProv returns the race's provenance, attaching a fresh one
+// (Shard -1) first when none is set. Callers fill in only the fields
+// they know; already-set values are preserved across layers.
+func (r *Race) EnsureProv() *Provenance {
+	if r.Prov == nil {
+		r.Prov = &Provenance{Shard: -1}
+	}
+	return r.Prov
 }
 
 // Message formats the race exactly like the paper's Fig. 9 output.
+// Provenance never appears here: the line stays byte-identical to the
+// original tool's report.
 func (r *Race) Message() string {
 	return fmt.Sprintf(
 		"Error when inserting memory access of type %s from file %s with already inserted interval of type %s from file %s. The program will be exiting now with MPI_Abort.",
 		strings.ToUpper(r.Cur.Type.String()), r.Cur.Debug,
 		strings.ToUpper(r.Prev.Type.String()), r.Prev.Debug)
+}
+
+// Detail renders the extended report: the Fig. 9 line first, then the
+// structured provenance of both accesses (ranks, epochs, intervals,
+// window, shard, captured stacks).
+func (r *Race) Detail() string {
+	var b strings.Builder
+	b.WriteString(r.Message())
+	if p := r.Prov; p != nil {
+		fmt.Fprintf(&b, "\n  window=%s owner=%d shard=%d", p.Window, p.Owner, p.Shard)
+	}
+	writeSide := func(side string, a access.Access) {
+		fmt.Fprintf(&b, "\n  %s: %s [%d..%d] rank=%d epoch=%d at %s", side, a.Type, a.Lo, a.Hi, a.Rank, a.Epoch, a.Debug)
+		if st := a.FrameString(); st != "" {
+			fmt.Fprintf(&b, "\n    stack: %s", st)
+		}
+	}
+	writeSide("stored", r.Prev)
+	writeSide("inserted", r.Cur)
+	return b.String()
 }
 
 // Error implements the error interface so a Race can abort a simulated

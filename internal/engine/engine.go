@@ -19,8 +19,10 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rmarace/internal/detector"
+	"rmarace/internal/obs"
 )
 
 // DefaultChannelCap is the per-rank notification channel capacity when
@@ -65,6 +67,13 @@ type Config struct {
 	Stop <-chan struct{}
 	// StopErr reports why Stop fired. May be nil.
 	StopErr func() error
+	// Recorder receives the engine's metrics (received counts, overflow
+	// backpressure, queue depths, shard busy time). Nil means disabled;
+	// the hot path then pays one cached-bool branch per record site.
+	Recorder obs.Recorder
+	// Window names the window this engine serves; it is stamped into
+	// the provenance of every race the engine surfaces.
+	Window string
 }
 
 // Engine is the analysis state machine of one window across all ranks.
@@ -100,6 +109,12 @@ type Engine struct {
 	evFree  chan []detector.Event
 	refFree chan *batchRef
 
+	// rec is the metrics sink (never nil: obs.Disabled when the config
+	// leaves it unset); recOn caches rec.Enabled() so disabled record
+	// sites cost one branch.
+	rec   obs.Recorder
+	recOn bool
+
 	startMu sync.Mutex
 	started []bool
 
@@ -128,7 +143,9 @@ func New(cfg Config) *Engine {
 		evFree:    make(chan []detector.Event, cfg.ChannelCap+eventPoolSlack),
 		refFree:   make(chan *batchRef, batchRefPoolCap),
 		closed:    make(chan struct{}),
+		rec:       obs.OrDisabled(cfg.Recorder),
 	}
+	e.recOn = e.rec.Enabled()
 	for r := 0; r < cfg.Ranks; r++ {
 		e.analyzers[r] = cfg.NewAnalyzer(r)
 		e.notifCh[r] = make(chan Batch, cfg.ChannelCap)
@@ -214,12 +231,29 @@ func (e *Engine) process(rank int, b Batch) {
 	e.anMu[rank].Lock()
 	race := detector.AccessBatch(e.analyzers[rank], b.Evs)
 	e.anMu[rank].Unlock()
-	if race != nil && e.cfg.OnRace != nil {
-		e.cfg.OnRace(race)
+	if race != nil {
+		e.raceFound(rank, race)
 	}
 	n := int64(len(b.Evs))
 	e.PutEventBuf(b.Evs)
 	e.addReceived(rank, n)
+}
+
+// raceFound stamps the engine's share of the race provenance — the
+// owning rank and the window name, leaving an already-stamped shard
+// alone — then counts it and hands it to the race callback.
+func (e *Engine) raceFound(rank int, race *detector.Race) {
+	p := race.EnsureProv()
+	p.Owner = rank
+	if p.Window == "" {
+		p.Window = e.cfg.Window
+	}
+	if e.recOn {
+		e.rec.Add(obs.Races, rank, 1)
+	}
+	if e.cfg.OnRace != nil {
+		e.cfg.OnRace(race)
+	}
 }
 
 func (e *Engine) addReceived(rank int, n int64) {
@@ -227,6 +261,9 @@ func (e *Engine) addReceived(rank int, n int64) {
 	e.received[rank] += n
 	e.recvCond[rank].Broadcast()
 	e.recvMu[rank].Unlock()
+	if e.recOn {
+		e.rec.Add(obs.EngineReceived, rank, n)
+	}
 }
 
 // Notify enqueues a batch of remote accesses for rank's receiver. The
@@ -237,6 +274,9 @@ func (e *Engine) addReceived(rank int, n int64) {
 func (e *Engine) Notify(rank int, evs []detector.Event) error {
 	if len(evs) == 0 {
 		return nil
+	}
+	if e.recOn {
+		e.rec.Observe(obs.NotifBatchLen, rank, int64(len(evs)))
 	}
 	return e.send(rank, Batch{Evs: evs})
 }
@@ -251,10 +291,19 @@ func (e *Engine) SendSync(rank, origin int, release bool, ack chan struct{}) err
 func (e *Engine) send(rank int, b Batch) error {
 	select {
 	case e.notifCh[rank] <- b:
+		if e.recOn {
+			e.rec.SetMax(obs.EngineQueueDepth, rank, int64(len(e.notifCh[rank])))
+		}
 		return nil
 	default:
 	}
 	atomic.AddInt64(&e.overflows[rank], 1)
+	if e.recOn {
+		e.rec.Add(obs.EngineOverflows, rank, 1)
+		e.rec.SetMax(obs.EngineQueueDepth, rank, int64(cap(e.notifCh[rank])))
+		start := time.Now()
+		defer func() { e.rec.Add(obs.EngineBlockNanos, rank, int64(time.Since(start))) }()
+	}
 	select {
 	case e.notifCh[rank] <- b:
 		return nil
@@ -334,13 +383,13 @@ func (e *Engine) WakeAll() {
 // the callback as well as the return value.
 func (e *Engine) Analyse(rank int, ev detector.Event) *detector.Race {
 	if rs := e.sh[rank]; rs != nil {
-		return e.analyseSharded(rs, ev)
+		return e.analyseSharded(rank, rs, ev)
 	}
 	e.anMu[rank].Lock()
 	race := e.analyzers[rank].Access(ev)
 	e.anMu[rank].Unlock()
-	if race != nil && e.cfg.OnRace != nil {
-		e.cfg.OnRace(race)
+	if race != nil {
+		e.raceFound(rank, race)
 	}
 	return race
 }

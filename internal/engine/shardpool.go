@@ -27,8 +27,10 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rmarace/internal/detector"
+	"rmarace/internal/obs"
 )
 
 // rankShards is one sharded rank's pool state.
@@ -175,10 +177,19 @@ func (e *Engine) processSharded(rank int, rs *rankShards, b Batch) {
 func (e *Engine) dispatch(rank int, rs *rankShards, s int, m shardMsg) {
 	select {
 	case rs.ch[s] <- m:
+		if e.recOn {
+			e.rec.SetMax(obs.ShardQueueDepth, s, int64(len(rs.ch[s])))
+		}
 		return
 	default:
 	}
 	atomic.AddInt64(&e.overflows[rank], 1)
+	if e.recOn {
+		e.rec.Add(obs.EngineOverflows, rank, 1)
+		e.rec.SetMax(obs.ShardQueueDepth, s, int64(cap(rs.ch[s])))
+		start := time.Now()
+		defer func() { e.rec.Add(obs.EngineBlockNanos, rank, int64(time.Since(start))) }()
+	}
 	select {
 	case rs.ch[s] <- m:
 	case <-e.cfg.Stop:
@@ -233,11 +244,20 @@ func (e *Engine) runShardMsg(rank int, rs *rankShards, s int, m shardMsg) {
 		m.flush <- struct{}{} // buffered to pool size; never blocks
 		return
 	}
+	var start time.Time
+	if e.recOn {
+		start = time.Now()
+	}
 	rs.mu[s].Lock()
 	race := detector.AccessBatch(rs.subs[s], m.evs)
 	rs.mu[s].Unlock()
-	if race != nil && e.cfg.OnRace != nil {
-		e.cfg.OnRace(race)
+	if e.recOn {
+		e.rec.Add(obs.ShardBusyNanos, s, int64(time.Since(start)))
+		e.rec.Add(obs.ShardBatches, s, 1)
+	}
+	if race != nil {
+		race.EnsureProv().Shard = s
+		e.raceFound(rank, race)
 	}
 	e.PutEventBuf(m.evs)
 	if m.ref != nil {
@@ -254,7 +274,7 @@ func (e *Engine) runShardMsg(rank int, rs *rankShards, s int, m shardMsg) {
 // analyseSharded is the origin-side Analyse for a sharded rank: pieces
 // go straight to their sub-analyzers under the per-shard locks (workers
 // may be running concurrently on other shards); the first race wins.
-func (e *Engine) analyseSharded(rs *rankShards, ev detector.Event) *detector.Race {
+func (e *Engine) analyseSharded(rank int, rs *rankShards, ev detector.Event) *detector.Race {
 	var race *detector.Race
 	rs.top.RouteEach(ev, func(s int, piece detector.Event) {
 		if race != nil {
@@ -263,9 +283,12 @@ func (e *Engine) analyseSharded(rs *rankShards, ev detector.Event) *detector.Rac
 		rs.mu[s].Lock()
 		race = rs.subs[s].Access(piece)
 		rs.mu[s].Unlock()
+		if race != nil {
+			race.EnsureProv().Shard = s
+		}
 	})
-	if race != nil && e.cfg.OnRace != nil {
-		e.cfg.OnRace(race)
+	if race != nil {
+		e.raceFound(rank, race)
 	}
 	return race
 }

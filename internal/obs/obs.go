@@ -1,0 +1,215 @@
+// Package obs is the observability layer of the detector stack: a
+// zero-allocation-on-hot-path metrics registry (counters, gauges,
+// high-water marks and lightweight power-of-two latency histograms)
+// plus the structured run-report schema every surface of the
+// reproduction emits — `rmarace replay -report`, `rmarace stats`,
+// BENCH_*.json snapshots and the library's RunConfig.
+//
+// The pipeline packages (internal/engine, internal/rma, internal/core,
+// internal/store) record through the Recorder interface. The default
+// recorder is Disabled, whose methods do nothing: instrumented hot
+// paths stay allocation-free and branch on a cached Enabled() bool so
+// an un-instrumented run pays one predictable branch per record site.
+// A *Registry records for real; every update is a handful of atomic
+// operations on pre-grown series, so recording itself allocates only
+// when a metric sees a new label (rank, shard or target index) for the
+// first time.
+//
+// The metric inventory is a closed enum rather than a string namespace:
+// the hot path indexes a fixed array, the report schema can validate
+// names, and a PR adding a metric extends the enum in one place.
+package obs
+
+// Kind classifies how a metric's value is updated and reported.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing sum (Add).
+	KindCounter Kind = iota
+	// KindGauge is a last-write-wins level (Set).
+	KindGauge
+	// KindHighWater is a maximum over the run (SetMax).
+	KindHighWater
+	// KindHistogram is a power-of-two bucketed distribution with count,
+	// sum and max (Observe).
+	KindHistogram
+)
+
+// String returns the wire name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHighWater:
+		return "high_water"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Metric enumerates every instrumented quantity of the pipeline. Each
+// metric carries one integer label dimension (a rank, shard or target
+// index); the label of a metric whose dimension does not apply is 0.
+type Metric uint8
+
+const (
+	// EngineReceived counts notifications processed per rank (events
+	// and sync markers alike) — the quiescence counter, exported.
+	EngineReceived Metric = iota
+	// EngineOverflows counts sends that found a rank's notification
+	// channel full and had to block (backpressure; nothing is dropped).
+	EngineOverflows
+	// EngineBlockNanos accumulates wall-clock time senders spent
+	// blocked on a full notification channel, per rank.
+	EngineBlockNanos
+	// EngineQueueDepth is the high-water mark of a rank's notification
+	// channel depth.
+	EngineQueueDepth
+	// ShardQueueDepth is the high-water mark of a shard worker channel's
+	// depth (labelled by shard index, aggregated over ranks).
+	ShardQueueDepth
+	// ShardBusyNanos accumulates time shard workers spent analysing
+	// sub-batches, per shard.
+	ShardBusyNanos
+	// ShardBatches counts sub-batches analysed per shard.
+	ShardBatches
+	// EpochNanos is the distribution of epoch durations per rank:
+	// passive-target LockAll..UnlockAll epochs and the PSCW access
+	// (Start..Complete) and exposure (Post..Wait) epochs.
+	EpochNanos
+	// NotifBatchLen is the distribution of notification batch fill
+	// levels at flush time, per target rank.
+	NotifBatchLen
+	// LockWaitNanos is the distribution of MPI_Win_lock wait times per
+	// target rank.
+	LockWaitNanos
+	// StoreNodes is the high-water mark of stored entries (BST nodes)
+	// per rank.
+	StoreNodes
+	// StoreInserts counts store insertions per rank (fragment and merge
+	// churn included).
+	StoreInserts
+	// StoreDeletes counts store deletions per rank.
+	StoreDeletes
+	// StabVisited is the distribution of entries visited per stabbing
+	// query, per rank — the measured query depth of Algorithm 1.
+	StabVisited
+	// Fragments counts fragment pieces produced by the §4.1
+	// fragmentation pass, per rank.
+	Fragments
+	// Merges counts node coalescings applied by the §4.2 merging pass
+	// (fast-path boundary merges included), per rank.
+	Merges
+	// Races counts detected data races per owning rank.
+	Races
+
+	// NumMetrics bounds the enum; it is not a metric.
+	NumMetrics
+)
+
+// metricInfo is the static metadata of one metric.
+type metricInfo struct {
+	name  string
+	kind  Kind
+	label string
+}
+
+var metricInfos = [NumMetrics]metricInfo{
+	EngineReceived:   {"engine_received", KindCounter, "rank"},
+	EngineOverflows:  {"engine_overflows", KindCounter, "rank"},
+	EngineBlockNanos: {"engine_block_nanos", KindCounter, "rank"},
+	EngineQueueDepth: {"engine_queue_depth", KindHighWater, "rank"},
+	ShardQueueDepth:  {"shard_queue_depth", KindHighWater, "shard"},
+	ShardBusyNanos:   {"shard_busy_nanos", KindCounter, "shard"},
+	ShardBatches:     {"shard_batches", KindCounter, "shard"},
+	EpochNanos:       {"epoch_nanos", KindHistogram, "rank"},
+	NotifBatchLen:    {"notif_batch_len", KindHistogram, "target"},
+	LockWaitNanos:    {"lock_wait_nanos", KindHistogram, "target"},
+	StoreNodes:       {"store_nodes", KindHighWater, "rank"},
+	StoreInserts:     {"store_inserts", KindCounter, "rank"},
+	StoreDeletes:     {"store_deletes", KindCounter, "rank"},
+	StabVisited:      {"stab_visited", KindHistogram, "rank"},
+	Fragments:        {"fragments", KindCounter, "rank"},
+	Merges:           {"merges", KindCounter, "rank"},
+	Races:            {"races", KindCounter, "rank"},
+}
+
+// Name returns the metric's wire name (snake_case, stable).
+func (m Metric) Name() string {
+	if m < NumMetrics {
+		return metricInfos[m].name
+	}
+	return "unknown"
+}
+
+// Kind returns how the metric is updated.
+func (m Metric) Kind() Kind {
+	if m < NumMetrics {
+		return metricInfos[m].kind
+	}
+	return KindCounter
+}
+
+// LabelDim names the metric's label dimension ("rank", "shard",
+// "target").
+func (m Metric) LabelDim() string {
+	if m < NumMetrics {
+		return metricInfos[m].label
+	}
+	return ""
+}
+
+// MetricByName resolves a wire name back to its enum value; ok is
+// false for unknown names.
+func MetricByName(name string) (Metric, bool) {
+	for m := Metric(0); m < NumMetrics; m++ {
+		if metricInfos[m].name == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// Recorder is the hot-path recording interface. Implementations must
+// be safe for concurrent use; arguments are plain integers so calls
+// never box or escape. Call sites cache Enabled() and skip the call
+// entirely when recording is off.
+type Recorder interface {
+	// Add increments a counter (or moves a gauge by delta).
+	Add(m Metric, label int, delta int64)
+	// Set overwrites a gauge's level.
+	Set(m Metric, label int, v int64)
+	// SetMax raises a high-water mark to v if v is larger.
+	SetMax(m Metric, label int, v int64)
+	// Observe records one histogram sample.
+	Observe(m Metric, label int, v int64)
+	// Enabled reports whether recording does anything; call sites guard
+	// their instrumentation with it so a disabled recorder costs one
+	// branch, not an interface call per metric.
+	Enabled() bool
+}
+
+// nop is the disabled recorder.
+type nop struct{}
+
+func (nop) Add(Metric, int, int64)     {}
+func (nop) Set(Metric, int, int64)     {}
+func (nop) SetMax(Metric, int, int64)  {}
+func (nop) Observe(Metric, int, int64) {}
+func (nop) Enabled() bool              { return false }
+
+// Disabled is the no-op default recorder: every method does nothing
+// and Enabled reports false.
+var Disabled Recorder = nop{}
+
+// OrDisabled returns r, or Disabled when r is nil, so config structs
+// can leave the recorder unset.
+func OrDisabled(r Recorder) Recorder {
+	if r == nil {
+		return Disabled
+	}
+	return r
+}

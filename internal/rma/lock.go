@@ -2,8 +2,10 @@ package rma
 
 import (
 	"fmt"
+	"time"
 
 	"rmarace/internal/mpi"
+	"rmarace/internal/obs"
 )
 
 // Lock modes of MPI_Win_lock.
@@ -108,6 +110,11 @@ func (w *Win) Lock(mode, target int) error {
 	if w.lockMode[target] != lockNone {
 		return fmt.Errorf("rma: window %q rank %d already locked by this process", w.g.name, target)
 	}
+	s := w.p.s
+	var start time.Time
+	if s.recOn {
+		start = time.Now()
+	}
 	reply := make(chan struct{}, 1)
 	select {
 	case w.g.lockCh <- lockReq{target: target, mode: mode, reply: reply}:
@@ -121,6 +128,9 @@ func (w *Win) Lock(mode, target int) error {
 		}
 	case <-w.p.World().Aborted():
 		return w.p.World().AbortErr()
+	}
+	if s.recOn {
+		s.rec.Observe(obs.LockWaitNanos, target, int64(time.Since(start)))
 	}
 	w.lockMode[target] = mode
 	return nil

@@ -3,6 +3,7 @@ package rma
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 )
 
 // General Active Target Synchronisation (PSCW): MPI_Win_post /
@@ -50,6 +51,7 @@ func (w *Win) Start(targets ...int) error {
 		w.pscwTargets[t] = true
 	}
 	w.pscwSent = make(map[int]int64, len(targets))
+	w.pscwStart = time.Now()
 	return nil
 }
 
@@ -75,6 +77,10 @@ func (w *Win) Complete() error {
 	}
 	w.pscwTargets = nil
 	w.pscwSent = nil
+	// The access epoch Start opened ends here: it contributes to the
+	// per-rank epoch-time accounting exactly like a LockAll..UnlockAll
+	// epoch (previously only passive-target epochs were counted).
+	w.p.s.recordEpoch(w.p.Rank(), time.Since(w.pscwStart))
 	return nil
 }
 
@@ -101,6 +107,7 @@ func (w *Win) Post(origins ...int) error {
 		}
 	}
 	w.pscwPosted = origins
+	w.postStart = time.Now()
 	return nil
 }
 
@@ -128,5 +135,8 @@ func (w *Win) Wait() error {
 	w.g.eng.EpochEnd(rank)
 
 	w.pscwPosted = nil
+	// The exposure epoch is an epoch too: Post..Wait brackets the
+	// target-side analysis the same way LockAll..UnlockAll does.
+	w.p.s.recordEpoch(rank, time.Since(w.postStart))
 	return nil
 }

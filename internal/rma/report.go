@@ -1,0 +1,84 @@
+package rma
+
+import (
+	"sort"
+
+	"rmarace/internal/access"
+	"rmarace/internal/detector"
+	"rmarace/internal/obs"
+)
+
+// Report assembles the structured run report of the session: the
+// per-window analysis footprint, the full metrics snapshot when the
+// session recorded into a *obs.Registry, and every detected race with
+// its provenance. source labels what produced the report ("run",
+// "replay", "bench"). Call it after the world has finished; it only
+// reads analyzer state, so before or after Close both work.
+func (s *Session) Report(source string) *obs.RunReport {
+	rep := &obs.RunReport{
+		Schema: obs.ReportSchema,
+		Source: source,
+		Method: s.cfg.Method.String(),
+		Ranks:  s.world.Size(),
+	}
+	for _, ws := range s.Stats() {
+		rep.Events += int64(ws.Accesses)
+		rep.MaxNodes += int64(ws.TotalMaxNodes)
+		rep.Windows = append(rep.Windows, obs.WindowReport{
+			Name:                 ws.Name,
+			PerRankMaxNodes:      ws.PerRankMaxNodes,
+			TotalMaxNodes:        ws.TotalMaxNodes,
+			Accesses:             ws.Accesses,
+			PerRankReceived:      ws.PerRankReceived,
+			PerRankOverflows:     ws.PerRankOverflows,
+			PerRankShardMaxNodes: ws.PerRankShardMaxNodes,
+			MaxShardNodes:        ws.MaxShardNodes,
+		})
+	}
+	// Stats iterates the window map; fix the order for stable output.
+	sort.Slice(rep.Windows, func(i, j int) bool { return rep.Windows[i].Name < rep.Windows[j].Name })
+
+	s.mu.Lock()
+	for _, g := range s.wins {
+		for r := 0; r < g.ranks; r++ {
+			rep.Epochs += int64(g.eng.Epoch(r))
+		}
+	}
+	s.mu.Unlock()
+
+	if reg, ok := s.rec.(*obs.Registry); ok {
+		rep.EpochLatency = obs.EpochLatencyFromRegistry(reg)
+		rep.Metrics = reg.Snapshot()
+	}
+	if r := s.Race(); r != nil {
+		rep.Races = append(rep.Races, RaceReport(r))
+	}
+	return rep
+}
+
+// RaceReport converts a detected race into its report form: the
+// paper-exact Fig. 9 message plus the structured provenance.
+func RaceReport(r *detector.Race) obs.RaceReport {
+	rr := obs.RaceReport{
+		Message: r.Message(),
+		Shard:   -1,
+		Prev:    accessReport(r.Prev),
+		Cur:     accessReport(r.Cur),
+	}
+	if p := r.Prov; p != nil {
+		rr.Window, rr.Owner, rr.Shard = p.Window, p.Owner, p.Shard
+	}
+	return rr
+}
+
+func accessReport(a access.Access) obs.AccessReport {
+	return obs.AccessReport{
+		Rank:     a.Rank,
+		Epoch:    a.Epoch,
+		Type:     a.Type.String(),
+		Lo:       a.Lo,
+		Hi:       a.Hi,
+		Location: a.Debug.String(),
+		Stack:    a.FrameString(),
+	}
+}

@@ -30,6 +30,9 @@ package rma
 
 import (
 	"fmt"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +40,7 @@ import (
 	"rmarace/internal/core"
 	"rmarace/internal/detector"
 	"rmarace/internal/mpi"
+	"rmarace/internal/obs"
 	"rmarace/internal/store"
 )
 
@@ -74,6 +78,17 @@ type Config struct {
 	// drains the access counts, so detection semantics do not depend on
 	// the setting.
 	NotifBatch int
+	// Recorder receives the session's metrics (package internal/obs):
+	// per-rank received/overflow counts, queue depths, epoch and lock
+	// latencies, store traffic. Nil disables recording; every
+	// instrumented hot path then costs one cached-bool branch and zero
+	// allocations, so verdicts and performance match an un-instrumented
+	// run.
+	Recorder obs.Recorder
+	// CaptureStacks makes every instrumented access carry a rendered
+	// call stack into race reports (Access.Frames). Off by default: the
+	// capture allocates, so it is reserved for diagnosis runs.
+	CaptureStacks bool
 }
 
 // Session owns the analysis state of one simulated job: one analyzer
@@ -89,6 +104,11 @@ type Session struct {
 
 	epochNanos []int64 // per-rank cumulative time inside epochs (atomic)
 
+	// rec is the metrics sink (never nil: obs.Disabled when the config
+	// leaves it unset); recOn caches rec.Enabled().
+	rec   obs.Recorder
+	recOn bool
+
 	race atomic.Pointer[detector.Race]
 }
 
@@ -100,12 +120,18 @@ func NewSession(world *mpi.World, cfg Config) *Session {
 		wins:       make(map[string]*winGlobal),
 		closed:     make(chan struct{}),
 		epochNanos: make([]int64, world.Size()),
+		rec:        obs.OrDisabled(cfg.Recorder),
 	}
+	s.recOn = s.rec.Enabled()
 	if cfg.Method == detector.MustRMAMethod {
 		s.must = detector.NewMustShared(world.Size())
 	}
 	return s
 }
+
+// Recorder returns the session's metrics sink (obs.Disabled when the
+// config left it unset).
+func (s *Session) Recorder() obs.Recorder { return s.rec }
 
 // Method returns the session's analysis method.
 func (s *Session) Method() detector.Method { return s.cfg.Method }
@@ -146,6 +172,9 @@ func (s *Session) newAnalyzer(rank int) detector.Analyzer {
 		if s.cfg.Shards > 1 {
 			opts = append(opts, core.WithShards(s.cfg.Shards))
 		}
+		if s.recOn {
+			opts = append(opts, core.WithRecorder(s.rec, rank))
+		}
 		return core.Build(opts...)
 	}
 	panic(fmt.Sprintf("rma: unknown method %v", s.cfg.Method))
@@ -161,6 +190,47 @@ func (s *Session) abort(r *detector.Race) {
 
 // Race returns the first detected race, or nil.
 func (s *Session) Race() *detector.Race { return s.race.Load() }
+
+// recordEpoch credits one completed epoch's duration to rank: the
+// cumulative Fig. 10 counter always, the EpochNanos latency histogram
+// when recording. Every epoch-closing synchronisation goes through it —
+// UnlockAll, PSCW Complete (access side) and Wait (exposure side) — so
+// the accounting no longer undercounts active-target epochs.
+func (s *Session) recordEpoch(rank int, d time.Duration) {
+	atomic.AddInt64(&s.epochNanos[rank], int64(d))
+	if s.recOn {
+		s.rec.Observe(obs.EpochNanos, rank, int64(d))
+	}
+}
+
+// stackFrames renders the call stack of an instrumented access when
+// the session captures stacks (Config.CaptureStacks), nil otherwise.
+// The skip count drops runtime.Callers and stackFrames itself; the
+// instrumentation wrappers above remain visible, which is what a
+// PMPI-based tool's backtraces look like too.
+func (s *Session) stackFrames() *string {
+	if !s.cfg.CaptureStacks {
+		return nil
+	}
+	var pcs [24]uintptr
+	n := runtime.Callers(2, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	var b strings.Builder
+	for {
+		f, more := frames.Next()
+		if f.Function != "" {
+			if b.Len() > 0 {
+				b.WriteString(" <- ")
+			}
+			fmt.Fprintf(&b, "%s (%s:%d)", f.Function, filepath.Base(f.File), f.Line)
+		}
+		if !more {
+			break
+		}
+	}
+	out := b.String()
+	return &out
+}
 
 // EpochTime returns the cumulative wall-clock time all ranks spent
 // inside epochs (the metric of Fig. 10) and the per-rank breakdown.
@@ -196,6 +266,11 @@ type WindowStats struct {
 	// Overflows counts notification sends that found a rank's channel
 	// full and had to block (engine backpressure; nothing is dropped).
 	Overflows int64
+	// PerRankReceived is each rank's processed-notification count (the
+	// engine's quiescence counter, cumulative over the window's life).
+	PerRankReceived []int64
+	// PerRankOverflows is the per-rank breakdown of Overflows.
+	PerRankOverflows []int64
 }
 
 // Stats snapshots all windows' analysis statistics.
@@ -204,8 +279,15 @@ func (s *Session) Stats() []WindowStats {
 	defer s.mu.Unlock()
 	out := make([]WindowStats, 0, len(s.wins))
 	for _, g := range s.wins {
-		ws := WindowStats{Name: g.name, PerRankMaxNodes: make([]int, g.ranks)}
+		ws := WindowStats{
+			Name:             g.name,
+			PerRankMaxNodes:  make([]int, g.ranks),
+			PerRankReceived:  make([]int64, g.ranks),
+			PerRankOverflows: make([]int64, g.ranks),
+		}
 		for r := 0; r < g.ranks; r++ {
+			ws.PerRankReceived[r] = g.eng.Received(r)
+			ws.PerRankOverflows[r] = g.eng.Overflows(r)
 			g.eng.WithAnalyzer(r, func(a detector.Analyzer) {
 				ws.PerRankMaxNodes[r] = a.MaxNodes()
 				ws.Accesses += a.Accesses()

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"rmarace/internal/access"
@@ -82,6 +81,11 @@ type Win struct {
 	pscwTargets map[int]bool
 	pscwSent    map[int]int64
 	pscwPosted  []int
+	// pscwStart/postStart time the open PSCW access and exposure epochs
+	// so Complete and Wait contribute to the Fig. 10 epoch accounting
+	// like UnlockAll does.
+	pscwStart time.Time
+	postStart time.Time
 }
 
 // WinCreate collectively creates (or joins) the window named name with
@@ -112,6 +116,8 @@ func (p *Proc) WinCreate(name string, size int, opts ...BufOpt) (*Win, error) {
 			OnRace:      s.abort,
 			Stop:        p.World().Aborted(),
 			StopErr:     p.World().AbortErr,
+			Recorder:    s.rec,
+			Window:      name,
 		})
 		s.wins[name] = g
 	} else if g.size != size {
@@ -232,6 +238,12 @@ func (w *Win) Free() error {
 	if w.epochOpen {
 		return errors.New("rma: MPI_Win_free with an open access epoch")
 	}
+	if w.pscwTargets != nil {
+		return errors.New("rma: MPI_Win_free with an open PSCW access epoch (missing MPI_Win_complete)")
+	}
+	if w.pscwPosted != nil {
+		return errors.New("rma: MPI_Win_free with an open PSCW exposure epoch (missing MPI_Win_wait)")
+	}
 	for target, mode := range w.lockMode {
 		if mode != lockNone {
 			return fmt.Errorf("rma: MPI_Win_free while rank %d is still locked", target)
@@ -295,7 +307,7 @@ func (w *Win) UnlockAll() error {
 		w.sent[i] = 0
 	}
 	w.epochOpen = false
-	atomic.AddInt64(&w.p.s.epochNanos[rank], int64(time.Since(w.epochStart)))
+	w.p.s.recordEpoch(rank, time.Since(w.epochStart))
 	for i, o := range w.p.open {
 		if o == w {
 			w.p.open = append(w.p.open[:i], w.p.open[i+1:]...)
@@ -317,6 +329,7 @@ func rmaEvent(b *Buffer, off, n int, tp access.Type, origin int, epoch, callTime
 			Epoch:    epoch,
 			Stack:    b.stack,
 			Debug:    dbg,
+			Frames:   b.p.s.stackFrames(),
 		},
 		Time:     callTime,
 		CallTime: callTime,
@@ -394,20 +407,50 @@ func (w *Win) countSent(target int) {
 // (MPI_Win_flush): the pending notification batch is pushed out.
 // Following §6(2) it does not clear any analysis state unless the
 // session runs the unsafe ablation.
+//
+// MPI_Win_flush is legal within any passive-target epoch, so the call
+// is accepted under a LockAll epoch, a per-target Lock(target), or an
+// open PSCW access epoch towards target — the same set of states that
+// permits a one-sided operation. A negative target flushes every
+// pending batch (FlushAll); a target at or beyond the communicator
+// size is a descriptive error instead of an index panic.
 func (w *Win) Flush(target int) error {
-	if !w.epochOpen {
-		return ErrNoEpoch
+	if w.freed {
+		return ErrFreed
+	}
+	if target >= w.p.Size() {
+		return fmt.Errorf("rma: flush of invalid rank %d (communicator size %d)", target, w.p.Size())
 	}
 	if target < 0 {
+		if !w.epochOpen && !w.anyTargetEpoch() {
+			return ErrNoEpoch
+		}
 		if err := w.flushAllNotifs(); err != nil {
 			return err
 		}
-	} else if err := w.flushNotifs(target); err != nil {
-		return err
+	} else {
+		if !w.epochOpen && !w.lockedFor(target) && !w.pscwTargets[target] {
+			return ErrNoEpoch
+		}
+		if err := w.flushNotifs(target); err != nil {
+			return err
+		}
 	}
 	rank := w.p.Rank()
 	w.g.eng.Flush(rank)
 	return nil
+}
+
+// anyTargetEpoch reports whether any per-target synchronisation that
+// permits one-sided operations is open: a held Lock or a PSCW access
+// epoch towards at least one target.
+func (w *Win) anyTargetEpoch() bool {
+	for _, mode := range w.lockMode {
+		if mode != lockNone {
+			return true
+		}
+	}
+	return len(w.pscwTargets) > 0
 }
 
 // FlushAll completes this rank's outstanding operations towards every

@@ -205,6 +205,15 @@ func Replay(r *Reader, newAnalyzer func(owner int) detector.Analyzer) (ReplayRes
 			}
 			res.Events++
 			if race := get(rec.Owner).Access(ev); race != nil {
+				// The replay loop is the layer that knows which owner's
+				// analyzer held the conflict and which window was traced;
+				// stamp them like the live engine does (a sharded analyzer
+				// has already stamped its shard).
+				p := race.EnsureProv()
+				p.Owner = rec.Owner
+				if p.Window == "" {
+					p.Window = r.Header.Window
+				}
 				res.Race = race
 				return res, nil
 			}

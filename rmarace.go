@@ -54,6 +54,7 @@ import (
 	"rmarace/internal/core"
 	"rmarace/internal/detector"
 	"rmarace/internal/mpi"
+	"rmarace/internal/obs"
 	"rmarace/internal/rma"
 )
 
@@ -146,6 +147,23 @@ const (
 	OpMin = mpi.OpMin
 )
 
+// Observability surface (package internal/obs): a session configured
+// with a Recorder records pipeline metrics; a *Registry recorder
+// additionally yields the full metrics snapshot in the run report.
+type (
+	// Recorder is the metrics sink of Config.Recorder.
+	Recorder = obs.Recorder
+	// Registry is the concrete lock-free metrics registry.
+	Registry = obs.Registry
+	// RunReport is the structured run report
+	// (schema "rmarace/run-report/v1").
+	RunReport = obs.RunReport
+)
+
+// NewRegistry returns a fresh metrics registry to pass as
+// Config.Recorder.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
 // NewWorld creates a simulated MPI job of n ranks.
 func NewWorld(n int) *World { return mpi.NewWorld(n) }
 
@@ -161,6 +179,10 @@ type Report struct {
 	// MaxNodes is the total BST high-water mark over all ranks and
 	// windows.
 	MaxNodes int
+	// Run is the structured run report, built when the session was
+	// configured with a Recorder (nil otherwise). With a *Registry
+	// recorder it carries the full metrics snapshot.
+	Run *RunReport
 	// Err is the non-race error that ended the run, if any.
 	Err error
 }
@@ -183,6 +205,9 @@ func RunConfig(ranks int, cfg Config, body func(*Proc) error) (Report, error) {
 	rep.Race = session.Race()
 	rep.EpochTime, _ = session.EpochTime()
 	rep.MaxNodes = session.TotalMaxNodes()
+	if cfg.Recorder != nil {
+		rep.Run = session.Report("run")
+	}
 	if rep.Race == nil && err != nil {
 		rep.Err = err
 		return rep, err
