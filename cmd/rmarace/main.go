@@ -8,13 +8,18 @@
 //	rmarace replay -compare trace.jsonl
 //	rmarace replay -shards 8 trace.jsonl   # sharded contribution analyzer
 //	rmarace replay -report out.json trace.jsonl   # write a structured run report
+//	rmarace replay -telemetry :9090 -spans spans.json -flight 64 trace.jsonl
 //	rmarace stats out.json   # summarise a run report
+//	rmarace stats -format prom out.json   # Prometheus text exposition
+//	rmarace postmortem out.json   # render a race's flight-recorder dump
 //	rmarace demo    # run the paper's Code 1 and print the report
 //	rmarace codes   # run every example program of the paper under all tools
 //	rmarace bench   # run the perf suite and write BENCH_PR2.json
+//	rmarace bench -telemetry :9090 -spans spans.json
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +32,8 @@ import (
 	"rmarace/internal/core"
 	"rmarace/internal/detector"
 	"rmarace/internal/obs"
+	"rmarace/internal/obs/span"
+	"rmarace/internal/obs/telemetry"
 	"rmarace/internal/rma"
 	"rmarace/internal/store"
 	"rmarace/internal/trace"
@@ -43,6 +50,8 @@ func main() {
 		replayCmd(os.Args[2:])
 	case "stats":
 		statsCmd(os.Args[2:])
+	case "postmortem":
+		postmortemCmd(os.Args[2:])
 	case "demo":
 		demoCmd()
 	case "codes":
@@ -56,17 +65,25 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  rmarace replay [-method NAME] [-store NAME] [-shards K] [-compare] [-report FILE] TRACE
-  rmarace stats REPORT
+  rmarace replay [-method NAME] [-store NAME] [-shards K] [-compare] [-report FILE]
+                 [-telemetry ADDR] [-spans FILE] [-flight N] TRACE
+  rmarace stats [-format text|prom] REPORT
+  rmarace postmortem [-method NAME] [-flight N] REPORT|TRACE
   rmarace demo
   rmarace codes
-  rmarace bench [-o FILE] [-vertices N]
+  rmarace bench [-o FILE] [-vertices N] [-telemetry ADDR] [-spans FILE]
 
 methods: baseline, rma-analyzer, must-rma, our-contribution
 stores (tree-based methods): avl (default), legacy, shadow, strided
 -shards splits the contribution analyzer into K address-space shards
 -report records analysis metrics and writes a structured run report
-        (schema rmarace/run-report/v1); summarise it with rmarace stats`)
+        (schema rmarace/run-report/v1); summarise it with rmarace stats
+-telemetry serves live /metrics, /report, /healthz and /debug/pprof
+        on ADDR for the duration of the run
+-spans exports a causal span timeline as Chrome trace-event JSON
+        (open it in Perfetto or chrome://tracing)
+-flight keeps a flight recorder of the last N events per window owner;
+        a detected race carries the snapshot (render with postmortem)`)
 	os.Exit(2)
 }
 
@@ -114,7 +131,15 @@ func newAnalyzer(method detector.Method, ranks int, storeName string, shards int
 	}
 }
 
-func replayOne(path string, method detector.Method, storeName string, shards int, reportPath string) error {
+// replayObs selects the replay command's observability extras.
+type replayObs struct {
+	report    string // run-report JSON output path
+	telemetry string // live HTTP server address
+	spans     string // Chrome trace-event JSON output path
+	flight    int    // flight-recorder depth per window owner
+}
+
+func replayOne(path string, method detector.Method, storeName string, shards int, o replayObs) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -125,11 +150,31 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 		return err
 	}
 	var reg *obs.Registry
-	if reportPath != "" {
+	if o.report != "" || o.telemetry != "" {
 		reg = obs.NewRegistry()
 	}
+	if o.telemetry != "" {
+		srv, err := telemetry.Serve(o.telemetry, telemetry.Sources{
+			Registry: reg,
+			// A mid-replay /report serves whatever the registry has seen
+			// so far; the counters are live, the totals fill in at the end.
+			Report: func() *obs.RunReport {
+				return replayReport(r.Header, method, trace.ReplayResult{}, reg)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		log.Printf("telemetry at %s (metrics, report, healthz, debug/pprof)", srv.URL())
+	}
+	var tr *span.Tracer
+	if o.spans != "" {
+		tr = span.NewLogicalTracer(r.Header.Ranks, 0)
+	}
 	start := time.Now()
-	res, err := trace.Replay(r, newAnalyzer(method, r.Header.Ranks, storeName, shards, obs.OrDisabled(reg)))
+	res, err := trace.ReplayWith(r, newAnalyzer(method, r.Header.Ranks, storeName, shards, obs.OrDisabled(reg)),
+		trace.ReplayOpts{Spans: tr, FlightN: o.flight})
 	if err != nil {
 		return err
 	}
@@ -137,11 +182,28 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 	fmt.Printf("%-16s %8d events  %3d epochs  %8d max nodes  %10v", method, res.Events, res.Epochs, res.MaxNodes, elapsed)
 	if res.Race != nil {
 		fmt.Printf("\n  RACE: %s", res.Race.Message())
+		if n := len(res.Race.FlightLog); n > 0 {
+			fmt.Printf("\n  flight recorder captured %d events (rmarace postmortem renders them)", n)
+		}
 	}
 	fmt.Println()
-	if reportPath != "" {
+	if o.spans != "" {
+		out, err := os.Create(o.spans)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		log.Printf("wrote %s (%d spans; open in Perfetto)", o.spans, tr.Len())
+	}
+	if o.report != "" {
 		rep := replayReport(r.Header, method, res, reg)
-		out, err := os.Create(reportPath)
+		out, err := os.Create(o.report)
 		if err != nil {
 			return err
 		}
@@ -152,7 +214,7 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 		if err := out.Close(); err != nil {
 			return err
 		}
-		log.Printf("wrote %s", reportPath)
+		log.Printf("wrote %s", o.report)
 	}
 	return nil
 }
@@ -192,6 +254,7 @@ func replayReport(h trace.Header, method detector.Method, res trace.ReplayResult
 // the library and prints its human summary.
 func statsCmd(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	format := fs.String("format", "text", "output format: text (human summary) or prom (Prometheus text exposition, the live /metrics renderer)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -205,7 +268,77 @@ func statsCmd(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep.Summary(os.Stdout)
+	switch *format {
+	case "text":
+		rep.Summary(os.Stdout)
+	case "prom":
+		if err := obs.WriteProm(os.Stdout, rep.Metrics); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown format %q (want text or prom)", *format)
+	}
+}
+
+// postmortemCmd renders a race's flight-recorder dump: the last N
+// accesses and synchronisations the detecting analyzer saw, with the
+// two conflicting accesses marked. It reads either a run report written
+// by `replay -report` (using its recorded flight section) or a raw
+// trace, which it replays with the flight recorder on.
+func postmortemCmd(args []string) {
+	fs := flag.NewFlagSet("postmortem", flag.ExitOnError)
+	methodName := fs.String("method", "our-contribution", "analysis method when replaying a trace")
+	flight := fs.Int("flight", 64, "flight-recorder depth when replaying a trace")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A run report is a single schema-tagged JSON document; anything
+	// else is treated as a trace stream.
+	if rep, err := obs.ReadReport(bytes.NewReader(data)); err == nil {
+		dumped := 0
+		for i, rc := range rep.Races {
+			if len(rc.Flight) == 0 {
+				continue
+			}
+			fmt.Printf("RACE %d: %s\n", i, rc.Message)
+			fmt.Printf("  window=%s owner=%d shard=%d\n", rc.Window, rc.Owner, rc.Shard)
+			rc.WriteFlight(os.Stdout)
+			dumped++
+		}
+		if dumped == 0 {
+			log.Fatal("report carries no flight recording (replay with -flight N -report FILE)")
+		}
+		return
+	}
+
+	method, err := methodByName(*methodName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reg *obs.Registry
+	res, err := trace.ReplayWith(r, newAnalyzer(method, r.Header.Ranks, "", 1, obs.OrDisabled(reg)),
+		trace.ReplayOpts{FlightN: *flight})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Race == nil {
+		log.Fatalf("no race detected in %d events; nothing to dissect", res.Events)
+	}
+	fmt.Printf("RACE: %s\n", res.Race.Message())
+	if p := res.Race.Prov; p != nil {
+		fmt.Printf("  window=%s owner=%d shard=%d\n", p.Window, p.Owner, p.Shard)
+	}
+	detector.WriteFlight(os.Stdout, res.Race.FlightLog, res.Race)
 }
 
 func replayCmd(args []string) {
@@ -215,6 +348,9 @@ func replayCmd(args []string) {
 	shards := fs.Int("shards", 1, "address-space shard count for the contribution analyzer (power of two; 1 = serial)")
 	compare := fs.Bool("compare", false, "replay under all four methods")
 	report := fs.String("report", "", "write a structured run report (JSON) to this path")
+	telAddr := fs.String("telemetry", "", "serve live /metrics, /report, /healthz and /debug/pprof on this address during the replay")
+	spansPath := fs.String("spans", "", "write the replay's causal spans (Chrome trace-event JSON) to this path")
+	flight := fs.Int("flight", 0, "flight-recorder depth per window owner (0 disables)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -223,13 +359,14 @@ func replayCmd(args []string) {
 	if _, err := store.New(*storeName); err != nil {
 		log.Fatal(err)
 	}
+	o := replayObs{report: *report, telemetry: *telAddr, spans: *spansPath, flight: *flight}
 
 	if *compare {
-		if *report != "" {
-			log.Fatal("-report and -compare are mutually exclusive (one report per replay)")
+		if *report != "" || *telAddr != "" || *spansPath != "" {
+			log.Fatal("-compare replays four times; -report, -telemetry and -spans attach to a single replay")
 		}
 		for _, m := range detector.Methods() {
-			if err := replayOne(path, m, *storeName, *shards, ""); err != nil {
+			if err := replayOne(path, m, *storeName, *shards, replayObs{flight: *flight}); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -239,7 +376,7 @@ func replayCmd(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := replayOne(path, method, *storeName, *shards, *report); err != nil {
+	if err := replayOne(path, method, *storeName, *shards, o); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -250,11 +387,42 @@ func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	out := fs.String("o", "BENCH_PR2.json", "output JSON path")
 	vertices := fs.Int("vertices", 0, "MiniVite benchmark input size (0 = scaled default)")
+	telAddr := fs.String("telemetry", "", "serve live /metrics, /report, /healthz and /debug/pprof on this address during the suite")
+	spansPath := fs.String("spans", "", "write the instrumented run's causal spans (Chrome trace-event JSON) to this path")
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
 		usage()
 	}
-	rep := benchkit.Suite(benchkit.Options{Vertices: *vertices})
+	opts := benchkit.Options{Vertices: *vertices}
+	if *telAddr != "" {
+		reg := obs.NewRegistry()
+		opts.Registry = reg
+		srv, err := telemetry.Serve(*telAddr, telemetry.Sources{
+			Registry: reg,
+			Report: func() *obs.RunReport {
+				return &obs.RunReport{Schema: obs.ReportSchema, Source: "bench", Metrics: reg.Snapshot()}
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("telemetry at %s (metrics, report, healthz, debug/pprof)", srv.URL())
+	}
+	if *spansPath != "" {
+		sf, err := os.Create(*spansPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := sf.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s (open in Perfetto)", *spansPath)
+		}()
+		opts.SpanSink = sf
+	}
+	rep := benchkit.Suite(opts)
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)

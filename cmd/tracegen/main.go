@@ -4,6 +4,7 @@
 // Usage:
 //
 //	tracegen -o trace.jsonl -ranks 8 -events 100000 -epochs 4 -adjacency 0.8
+//	tracegen -o racy.jsonl -ranks 2 -events 100 -racy   # plant a deterministic race
 package main
 
 import (
@@ -25,6 +26,7 @@ func main() {
 	flag.Float64Var(&cfg.Adjacency, "adjacency", 0.5, "fraction of adjacent (mergeable) accesses")
 	flag.Float64Var(&cfg.WriteFraction, "writes", 0.5, "fraction of strided RMA accesses that write")
 	flag.BoolVar(&cfg.SafeOnly, "safe", true, "partition the address space so the trace is race-free")
+	flag.BoolVar(&cfg.PlantRace, "racy", false, "plant one deterministic racing write pair in the last epoch (for postmortem/flight-recorder demos)")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	flag.Parse()
 

@@ -27,6 +27,7 @@ import (
 	"rmarace/internal/detector"
 	"rmarace/internal/mpi"
 	"rmarace/internal/obs"
+	"rmarace/internal/obs/span"
 	"rmarace/internal/rma"
 )
 
@@ -77,6 +78,9 @@ type Result struct {
 	// Report is the structured run report, built when the session was
 	// configured with a Recorder (RunOpts); nil otherwise.
 	Report *obs.RunReport
+	// Spans is the session's causal span tracer, non-nil when the run
+	// was configured with Config.Spans; export it with WriteChromeTrace.
+	Spans *span.Tracer
 }
 
 func dbg(line int) access.Debug { return access.Debug{File: "./cfdproxy/exchange.c", Line: line} }
@@ -113,6 +117,7 @@ func RunOpts(cfg Config, rmaCfg rma.Config) (Result, error) {
 	if rmaCfg.Recorder != nil {
 		res.Report = session.Report("run")
 	}
+	res.Spans = session.Spans()
 	return res, nil
 }
 

@@ -56,6 +56,13 @@ type Options struct {
 	// Shards lists the shard counts of the notification-throughput
 	// series; nil selects {1, 2, 4, 8}.
 	Shards []int
+	// Registry, when non-nil, is attached as the instrumented run's
+	// metrics recorder instead of a private one — the hook that lets
+	// `rmarace bench -telemetry` serve the suite's live /metrics.
+	Registry *obs.Registry
+	// SpanSink, when non-nil, receives the instrumented CFD-Proxy run's
+	// causal spans as Chrome trace-event JSON (`rmarace bench -spans`).
+	SpanSink io.Writer
 }
 
 // Suite runs every benchmark and collects the report.
@@ -74,20 +81,30 @@ func Suite(opts Options) Report {
 	return Report{
 		Suite:   "rmarace perf suite (insert hot path, sharded pipeline, Figure 10, Table 4)",
 		Results: out,
-		Runs:    runReports(),
+		Runs:    runReports(opts),
 	}
 }
 
 // runReports executes one instrumented CFD-Proxy run under the
 // contribution and returns its structured run report.
-func runReports() []*obs.RunReport {
+func runReports(opts Options) []*obs.RunReport {
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	cfg := cfdproxy.Config{Ranks: 8, Iters: 6, Points: 16, InteriorOps: 64}
 	res, err := cfdproxy.RunOpts(cfg, rma.Config{
 		Method:   detector.OurContribution,
-		Recorder: obs.NewRegistry(),
+		Recorder: reg,
+		Spans:    opts.SpanSink != nil,
 	})
 	if err != nil || res.Report == nil {
 		return nil
+	}
+	if opts.SpanSink != nil && res.Spans != nil {
+		// A failed span export must not discard the suite's measurements;
+		// the caller notices the truncated sink.
+		_ = res.Spans.WriteChromeTrace(opts.SpanSink)
 	}
 	res.Report.Source = "bench"
 	return []*obs.RunReport{res.Report}

@@ -13,7 +13,7 @@ import (
 // trip, so BENCH_*.json consumers can rely on the same schema as
 // `rmarace replay -report`.
 func TestRunReportsSchema(t *testing.T) {
-	runs := runReports()
+	runs := runReports(Options{})
 	if len(runs) != 1 {
 		t.Fatalf("runReports() returned %d reports, want 1", len(runs))
 	}

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"rmarace/internal/access"
+	"rmarace/internal/vc"
 )
 
 // Event is one instrumented access as observed by the PMPI layer.
@@ -35,6 +36,13 @@ type Event struct {
 	// issuing rank's counter at the MPI call site. Zero for local
 	// accesses.
 	CallTime uint64
+	// Clock is the issuing rank's vector clock captured at the MPI call
+	// site, piggybacked on the event the way real MUST-RMA attaches
+	// clocks to messages (§5.3). Only the MUST-RMA analyzer reads it;
+	// without it the analyzer falls back to snapshotting at
+	// notification-processing time, whose result depends on how far the
+	// target's receiver has drained — i.e. on scheduling.
+	Clock vc.Clock
 	// Filtered marks accesses the compile-time alias analysis proved
 	// irrelevant to any RMA region. RMA-Analyzer and the contribution
 	// skip them; MUST-RMA's ThreadSanitizer instruments them anyway
@@ -53,6 +61,11 @@ type Race struct {
 	// engine the owning rank and window — and may be nil for races
 	// produced by a bare analyzer outside any pipeline.
 	Prov *Provenance
+	// FlightLog is the owning analyzer's flight-recorder snapshot at the
+	// moment of detection — the last N accesses and synchronisations
+	// that led up to the verdict, oldest first. Nil unless the run
+	// enabled the flight recorder.
+	FlightLog []FlightEntry
 }
 
 // Provenance locates a race within the analysis pipeline: which

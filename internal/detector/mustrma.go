@@ -27,9 +27,13 @@ func NewMustShared(n int) *MustShared {
 	return s
 }
 
-// snapshot copies rank's clock with its own component forced to
-// callTime, the logical time of the MPI call site.
-func (s *MustShared) snapshot(rank int, callTime uint64) vc.Clock {
+// Snapshot copies rank's clock with its own component forced to
+// callTime, the logical time of the MPI call site. The instrumentation
+// layer calls it at the call site and piggybacks the result on the
+// event (Event.Clock), so the happens-before verdict is fixed when the
+// operation is issued — not when the target's receiver happens to
+// process the notification.
+func (s *MustShared) Snapshot(rank int, callTime uint64) vc.Clock {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c := s.clocks[rank].Copy()
@@ -100,7 +104,11 @@ func (m *MustAnalyzer) Access(ev Event) *Race {
 	entry := shadow.Entry{Rank: a.Rank, Time: ev.Time}
 	if a.Type.IsRMA() {
 		entry.IsRMA = true
-		entry.Snapshot = m.shared.snapshot(a.Rank, ev.CallTime)
+		if ev.Clock != nil {
+			entry.Snapshot = ev.Clock
+		} else {
+			entry.Snapshot = m.shared.Snapshot(a.Rank, ev.CallTime)
+		}
 	} else {
 		m.shared.advance(a.Rank, ev.Time)
 	}

@@ -11,13 +11,13 @@ import (
 func TestMustSharedSnapshotIsolated(t *testing.T) {
 	s := NewMustShared(3)
 	s.advance(1, 7)
-	snap := s.snapshot(1, 9)
+	snap := s.Snapshot(1, 9)
 	if snap.At(1) != 9 {
 		t.Fatalf("snapshot own component = %d, want the call time 9", snap.At(1))
 	}
 	// The snapshot is a copy: mutating it must not touch shared state.
 	snap[0] = 99
-	snap2 := s.snapshot(1, 10)
+	snap2 := s.Snapshot(1, 10)
 	if snap2.At(0) != 0 {
 		t.Fatalf("snapshot aliased shared clocks: %v", snap2)
 	}
@@ -30,7 +30,7 @@ func TestMustSharedJoinAll(t *testing.T) {
 	s.joinAll()
 	// After the epoch join every rank has observed every component.
 	for r := 0; r < 3; r++ {
-		snap := s.snapshot(r, 100)
+		snap := s.Snapshot(r, 100)
 		if snap.At(0) < 5 || snap.At(2) < 9 {
 			t.Fatalf("rank %d clock %v did not absorb the join", r, snap)
 		}
@@ -46,7 +46,7 @@ func TestMustSharedConcurrentUse(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				s.advance(rank, uint64(i))
-				_ = s.snapshot(rank, uint64(i))
+				_ = s.Snapshot(rank, uint64(i))
 				if i%50 == 0 {
 					s.joinAll()
 				}

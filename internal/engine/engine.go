@@ -23,6 +23,7 @@ import (
 
 	"rmarace/internal/detector"
 	"rmarace/internal/obs"
+	"rmarace/internal/obs/span"
 )
 
 // DefaultChannelCap is the per-rank notification channel capacity when
@@ -46,6 +47,11 @@ type Batch struct {
 	Release bool
 	Origin  int
 	Ack     chan struct{}
+	// Flow is the causal-edge id the origin's span tracer attached when
+	// it sent the batch (0 when tracing is off); the receiver closes the
+	// edge on its notif-batch span, binding the send to the analysis in
+	// the exported timeline.
+	Flow uint64
 }
 
 // Config assembles an Engine.
@@ -74,6 +80,14 @@ type Config struct {
 	// Window names the window this engine serves; it is stamped into
 	// the provenance of every race the engine surfaces.
 	Window string
+	// Spans receives the engine's causal spans (notification batches,
+	// shard-pool drains) when non-nil; the instrumentation layer shares
+	// the same tracer for its call-site spans so flows line up.
+	Spans *span.Tracer
+	// FlightN, when positive, keeps a per-rank flight recorder of the
+	// last FlightN analysed accesses and synchronisations; a detected
+	// race carries the owner's snapshot (Race.FlightLog).
+	FlightN int
 }
 
 // Engine is the analysis state machine of one window across all ranks.
@@ -114,6 +128,12 @@ type Engine struct {
 	// sites cost one branch.
 	rec   obs.Recorder
 	recOn bool
+	// spans/spanOn follow the same discipline for the span tracer, and
+	// flight holds the per-rank flight recorders (all nil when
+	// Config.FlightN is zero — the nil *FlightLog is inert).
+	spans  *span.Tracer
+	spanOn bool
+	flight []*detector.FlightLog
 
 	startMu sync.Mutex
 	started []bool
@@ -144,9 +164,15 @@ func New(cfg Config) *Engine {
 		refFree:   make(chan *batchRef, batchRefPoolCap),
 		closed:    make(chan struct{}),
 		rec:       obs.OrDisabled(cfg.Recorder),
+		spans:     cfg.Spans,
+		flight:    make([]*detector.FlightLog, cfg.Ranks),
 	}
 	e.recOn = e.rec.Enabled()
+	e.spanOn = e.spans.Enabled()
 	for r := 0; r < cfg.Ranks; r++ {
+		if cfg.FlightN > 0 {
+			e.flight[r] = detector.NewFlightLog(cfg.FlightN)
+		}
 		e.analyzers[r] = cfg.NewAnalyzer(r)
 		e.notifCh[r] = make(chan Batch, cfg.ChannelCap)
 		e.recvCond[r] = sync.NewCond(&e.recvMu[r])
@@ -217,6 +243,9 @@ func (e *Engine) process(rank int, b Batch) {
 			e.anMu[rank].Lock()
 			e.analyzers[rank].Release(b.Origin)
 			e.anMu[rank].Unlock()
+			e.flight[rank].Mark(detector.FlightRelease, b.Origin)
+		} else {
+			e.flight[rank].Mark(detector.FlightSync, b.Origin)
 		}
 		if b.Ack != nil {
 			close(b.Ack)
@@ -228,15 +257,41 @@ func (e *Engine) process(rank int, b Batch) {
 	for i := range b.Evs {
 		b.Evs[i].Acc.Epoch = epoch
 	}
+	if e.flight[rank] != nil {
+		for i := range b.Evs {
+			e.flight[rank].Access(b.Evs[i].Acc)
+		}
+	}
+	var spanStart int64
+	if e.spanOn {
+		spanStart = e.spans.Now()
+	}
 	e.anMu[rank].Lock()
 	race := detector.AccessBatch(e.analyzers[rank], b.Evs)
 	e.anMu[rank].Unlock()
+	if e.spanOn {
+		e.recordBatchSpan(rank, spanStart, int64(len(b.Evs)), int64(epoch), b.Flow)
+	}
 	if race != nil {
 		e.raceFound(rank, race)
 	}
 	n := int64(len(b.Evs))
 	e.PutEventBuf(b.Evs)
 	e.addReceived(rank, n)
+}
+
+// recordBatchSpan emits the engine-side notif-batch span, closing the
+// batch's causal flow when the origin opened one.
+func (e *Engine) recordBatchSpan(rank int, start, events, epoch int64, flow uint64) {
+	rec := span.Record{
+		Kind: span.KindNotifBatch, Tid: span.TidEngine,
+		Start: start, Dur: e.spans.Now() - start,
+		A: events, B: epoch,
+	}
+	if flow != 0 {
+		rec.Flow, rec.Phase = flow, span.FlowFinish
+	}
+	e.spans.Record(rank, rec)
 }
 
 // raceFound stamps the engine's share of the race provenance — the
@@ -247,6 +302,9 @@ func (e *Engine) raceFound(rank int, race *detector.Race) {
 	p.Owner = rank
 	if p.Window == "" {
 		p.Window = e.cfg.Window
+	}
+	if race.FlightLog == nil {
+		race.FlightLog = e.flight[rank].Snapshot()
 	}
 	if e.recOn {
 		e.rec.Add(obs.Races, rank, 1)
@@ -272,13 +330,20 @@ func (e *Engine) addReceived(rank int, n int64) {
 // (backpressure) until the receiver drains, the engine stops, or it
 // closes — a notification is never silently dropped.
 func (e *Engine) Notify(rank int, evs []detector.Event) error {
+	return e.NotifyFlow(rank, evs, 0)
+}
+
+// NotifyFlow is Notify carrying the origin's causal-flow id, so the
+// receiver's notif-batch span closes the edge the origin's notif-send
+// span opened. Flow 0 means no tracing.
+func (e *Engine) NotifyFlow(rank int, evs []detector.Event, flow uint64) error {
 	if len(evs) == 0 {
 		return nil
 	}
 	if e.recOn {
 		e.rec.Observe(obs.NotifBatchLen, rank, int64(len(evs)))
 	}
-	return e.send(rank, Batch{Evs: evs})
+	return e.send(rank, Batch{Evs: evs, Flow: flow})
 }
 
 // SendSync enqueues a synchronisation marker behind everything already
@@ -382,6 +447,7 @@ func (e *Engine) WakeAll() {
 // analyzer under the serialisation lock and reports any race through
 // the callback as well as the return value.
 func (e *Engine) Analyse(rank int, ev detector.Event) *detector.Race {
+	e.flight[rank].Access(ev.Acc)
 	if rs := e.sh[rank]; rs != nil {
 		return e.analyseSharded(rank, rs, ev)
 	}
@@ -398,6 +464,7 @@ func (e *Engine) Analyse(rank int, ev detector.Event) *detector.Race {
 // state and the epoch counter future accesses are stamped with moves
 // on. Callers drain first (WaitReceived).
 func (e *Engine) EpochEnd(rank int) {
+	e.flight[rank].Mark(detector.FlightEpochEnd, rank)
 	if rs := e.sh[rank]; rs != nil {
 		rs.lockAll()
 		rs.top.EpochEnd()
@@ -417,6 +484,7 @@ func (e *Engine) Epoch(rank int) uint64 { return atomic.LoadUint64(&e.epochs[ran
 
 // Flush observes an MPI_Win_flush by rank.
 func (e *Engine) Flush(rank int) {
+	e.flight[rank].Mark(detector.FlightFlush, rank)
 	if rs := e.sh[rank]; rs != nil {
 		rs.lockAll()
 		rs.top.Flush(rank)

@@ -31,6 +31,7 @@ import (
 
 	"rmarace/internal/detector"
 	"rmarace/internal/obs"
+	"rmarace/internal/obs/span"
 )
 
 // rankShards is one sharded rank's pool state.
@@ -116,13 +117,16 @@ func (rs *rankShards) unlockAll() {
 // barriers.
 func (e *Engine) processSharded(rank int, rs *rankShards, b Batch) {
 	if b.Sync {
-		if !e.drainShards(rs) {
+		if !e.drainShards(rank, rs) {
 			return // stopping or closed; waiters are woken elsewhere
 		}
 		if b.Release {
 			rs.lockAll()
 			rs.top.Release(b.Origin)
 			rs.unlockAll()
+			e.flight[rank].Mark(detector.FlightRelease, b.Origin)
+		} else {
+			e.flight[rank].Mark(detector.FlightSync, b.Origin)
 		}
 		if b.Ack != nil {
 			close(b.Ack)
@@ -134,8 +138,24 @@ func (e *Engine) processSharded(rank int, rs *rankShards, b Batch) {
 	for i := range b.Evs {
 		b.Evs[i].Acc.Epoch = epoch
 	}
+	if e.flight[rank] != nil {
+		for i := range b.Evs {
+			e.flight[rank].Access(b.Evs[i].Acc)
+		}
+	}
+	var spanStart int64
+	if e.spanOn {
+		spanStart = e.spans.Now()
+	}
 	for i := range b.Evs {
 		rs.top.RouteEach(b.Evs[i], rs.emit)
+	}
+	// The sharded notif-batch span covers the router's work (the
+	// analysis itself runs asynchronously in the shard workers); it
+	// still closes the origin's causal flow, which is what binds the
+	// send to its processing in the timeline.
+	if e.spanOn {
+		defer e.recordBatchSpan(rank, spanStart, int64(len(b.Evs)), int64(epoch), b.Flow)
 	}
 	credit := int64(len(b.Evs))
 	e.PutEventBuf(b.Evs)
@@ -201,7 +221,18 @@ func (e *Engine) dispatch(rank int, rs *rankShards, s int, m shardMsg) {
 // all of them to bounce back, proving every previously enqueued piece
 // has been analysed. It reports false if the engine stopped or closed
 // before the barrier completed.
-func (e *Engine) drainShards(rs *rankShards) bool {
+func (e *Engine) drainShards(rank int, rs *rankShards) bool {
+	var spanStart int64
+	if e.spanOn {
+		spanStart = e.spans.Now()
+		defer func() {
+			e.spans.Record(rank, span.Record{
+				Kind: span.KindShardDrain, Tid: span.TidEngine,
+				Start: spanStart, Dur: e.spans.Now() - spanStart,
+				A: int64(len(rs.ch)),
+			})
+		}()
+	}
 	done := make(chan struct{}, len(rs.ch))
 	for s := range rs.ch {
 		select {

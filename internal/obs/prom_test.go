@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden: the exposition of a known registry is
+// byte-stable — counters, high-water gauges and cumulative
+// power-of-two histogram buckets all render as documented.
+func TestWritePromGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add(EngineReceived, 0, 5)
+	reg.Add(EngineReceived, 2, 7)
+	reg.SetMax(EngineQueueDepth, 1, 9)
+	reg.Observe(EpochNanos, 0, 1) // bucket [1,2) -> le="1"
+	reg.Observe(EpochNanos, 0, 6) // bucket [4,8) -> le="7"
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP rmarace_engine_received rmarace metric engine_received (per rank)
+# TYPE rmarace_engine_received counter
+rmarace_engine_received{rank="0"} 5
+rmarace_engine_received{rank="2"} 7
+# HELP rmarace_engine_queue_depth rmarace metric engine_queue_depth (per rank)
+# TYPE rmarace_engine_queue_depth gauge
+rmarace_engine_queue_depth{rank="1"} 9
+# HELP rmarace_epoch_nanos rmarace metric epoch_nanos (per rank)
+# TYPE rmarace_epoch_nanos histogram
+rmarace_epoch_nanos_bucket{rank="0",le="1"} 1
+rmarace_epoch_nanos_bucket{rank="0",le="7"} 2
+rmarace_epoch_nanos_bucket{rank="0",le="+Inf"} 2
+rmarace_epoch_nanos_sum{rank="0"} 7
+rmarace_epoch_nanos_count{rank="0"} 2
+rmarace_epoch_nanos_max{rank="0"} 6
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePromFromReport: a report read back from disk renders the
+// same exposition as the live registry it came from — the shared
+// renderer contract between `stats -format prom` and /metrics.
+func TestWritePromFromReport(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add(StoreInserts, 0, 41)
+	reg.Observe(StabVisited, 0, 3)
+
+	var live bytes.Buffer
+	if err := WriteProm(&live, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := &RunReport{Schema: ReportSchema, Source: "run", Metrics: reg.Snapshot()}
+	var ser bytes.Buffer
+	if err := rep.WriteJSON(&ser); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromReport bytes.Buffer
+	if err := WriteProm(&fromReport, back.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != fromReport.String() {
+		t.Fatalf("report-derived exposition diverged:\n--- live ---\n%s--- report ---\n%s", live.String(), fromReport.String())
+	}
+	if !strings.Contains(live.String(), `rmarace_store_inserts{rank="0"} 41`) {
+		t.Fatalf("counter missing:\n%s", live.String())
+	}
+}

@@ -102,6 +102,21 @@ type RaceReport struct {
 	Shard int          `json:"shard"`
 	Prev  AccessReport `json:"prev"`
 	Cur   AccessReport `json:"cur"`
+	// Flight is the owning analyzer's flight-recorder snapshot at the
+	// moment of detection, oldest first — the last N accesses and
+	// synchronisations that led up to the verdict. Present only when
+	// the run enabled the flight recorder.
+	Flight []FlightEntryReport `json:"flight,omitempty"`
+}
+
+// FlightEntryReport is one flight-recorder event in a race report: an
+// analysed access (Acc set) or a synchronisation marker
+// (epoch_end/flush/release/sync, Origin set).
+type FlightEntryReport struct {
+	Seq    uint64        `json:"seq"`
+	Kind   string        `json:"kind"`
+	Origin int           `json:"origin,omitempty"`
+	Acc    *AccessReport `json:"acc,omitempty"`
 }
 
 // AccessReport is one side of a race: the access's identity and its
@@ -198,6 +213,14 @@ func (r *RunReport) Validate() error {
 		if rc.Prev.Type == "" || rc.Cur.Type == "" {
 			return fmt.Errorf("obs: race %d is missing an access type", i)
 		}
+		for j, fe := range rc.Flight {
+			if fe.Kind == "" {
+				return fmt.Errorf("obs: race %d flight entry %d has no kind", i, j)
+			}
+			if fe.Kind == "access" && fe.Acc == nil {
+				return fmt.Errorf("obs: race %d flight entry %d is an access without one", i, j)
+			}
+		}
 	}
 	for _, w := range r.Windows {
 		if w.Name == "" {
@@ -250,6 +273,30 @@ func (r *RunReport) Summary(w io.Writer) {
 		fmt.Fprintf(w, "    window=%s owner=%d shard=%d\n", orDash(rc.Window), rc.Owner, rc.Shard)
 		writeAccess(w, "prev", rc.Prev)
 		writeAccess(w, "cur ", rc.Cur)
+		if len(rc.Flight) > 0 {
+			fmt.Fprintf(w, "    flight recorder: %d events leading up to the verdict (render with `rmarace postmortem`)\n", len(rc.Flight))
+		}
+	}
+}
+
+// WriteFlight renders the race's flight-recorder snapshot as the human
+// postmortem dump — one line per retained event, oldest first, with the
+// two conflicting accesses marked ">>". It mirrors detector.WriteFlight
+// but reads the serialised report form, so `rmarace postmortem` can
+// dissect a report file long after the run is gone.
+func (rc *RaceReport) WriteFlight(w io.Writer) {
+	for _, fe := range rc.Flight {
+		marker := "  "
+		if fe.Acc != nil && (*fe.Acc == rc.Prev || *fe.Acc == rc.Cur) {
+			marker = ">>"
+		}
+		if fe.Acc != nil {
+			a := fe.Acc
+			fmt.Fprintf(w, "%s %6d  %-11s %-11s [%d..%d] rank=%d epoch=%d at %s\n",
+				marker, fe.Seq, fe.Kind, a.Type, a.Lo, a.Hi, a.Rank, a.Epoch, a.Location)
+			continue
+		}
+		fmt.Fprintf(w, "%s %6d  %-11s origin=%d\n", marker, fe.Seq, fe.Kind, fe.Origin)
 	}
 }
 

@@ -1,0 +1,153 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestChromeTraceFormat asserts the export is valid Chrome trace-event
+// JSON: an array of events each carrying ph/ts/pid/tid, with complete
+// spans as "X" and the causal edge as an "s"/"f" pair sharing an id.
+func TestChromeTraceFormat(t *testing.T) {
+	tr := NewTracer(2, 16)
+	flow := tr.NextFlow()
+	tr.Record(0, Record{Kind: KindPut, Start: 1000, Dur: 500, A: 1, B: 8})
+	tr.Record(0, Record{Kind: KindNotifSend, Start: 2000, Dur: 100, A: 1, B: 3, Flow: flow, Phase: FlowStart})
+	tr.Record(1, Record{Kind: KindNotifBatch, Start: 3000, Dur: 700, A: 3, B: 0, Flow: flow, Phase: FlowFinish, Tid: TidEngine})
+	tr.Record(1, Record{Kind: KindEpoch, Start: 500, Dur: 4000, A: 1, B: 2})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The whole export must decode as a JSON array of event objects.
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not a JSON array of events: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty export")
+	}
+	var xs, flowS, flowF int
+	for i, ev := range events {
+		for _, key := range []string{"ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			xs++
+			if d, ok := ev["dur"].(float64); !ok || d <= 0 {
+				t.Errorf("complete event %d without positive dur: %v", i, ev)
+			}
+		case "s":
+			flowS++
+		case "f":
+			flowF++
+		}
+	}
+	if xs != 4 {
+		t.Errorf("got %d complete spans, want 4", xs)
+	}
+	if flowS != 1 || flowF != 1 {
+		t.Errorf("got %d flow starts and %d finishes, want 1 each", flowS, flowF)
+	}
+}
+
+// TestExportOrderedByTimestamp: complete events appear in ascending ts
+// order, so the golden output is deterministic.
+func TestExportOrderedByTimestamp(t *testing.T) {
+	tr := NewTracer(1, 8)
+	tr.Record(0, Record{Kind: KindPut, Start: 300})
+	tr.Record(0, Record{Kind: KindPut, Start: 100})
+	tr.Record(0, Record{Kind: KindPut, Start: 200})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Ph string  `json:"ph"`
+		Ts float64 `json:"ts"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	last := -1.0
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Ts < last {
+			t.Fatalf("complete events out of order: %v after %v", ev.Ts, last)
+		}
+		last = ev.Ts
+	}
+}
+
+// TestRingBounded: a ring keeps only its most recent records.
+func TestRingBounded(t *testing.T) {
+	tr := NewTracer(1, 8)
+	for i := 0; i < 100; i++ {
+		tr.Record(0, Record{Kind: KindPut, Start: int64(i)})
+	}
+	recs := tr.snapshot()
+	if len(recs) != 8 {
+		t.Fatalf("ring holds %d records, want 8", len(recs))
+	}
+	for _, r := range recs {
+		if r.rec.Start < 92 {
+			t.Errorf("old record %d survived the wrap", r.rec.Start)
+		}
+	}
+}
+
+// TestNilTracerDisabled: the nil tracer is inert.
+func TestNilTracerDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Record(0, Record{Kind: KindPut}) // must not panic
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil tracer export succeeded")
+	}
+}
+
+// TestConcurrentRecord exercises the lock-free ring from many
+// goroutines under the race detector.
+func TestConcurrentRecord(t *testing.T) {
+	tr := NewTracer(4, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(g%4, Record{Kind: KindNotifBatch, Start: int64(i), A: int64(g)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkRecord measures the enabled record path (it must stay
+// allocation-free so tracing can run on production-scale runs).
+func BenchmarkRecord(b *testing.B) {
+	tr := NewTracer(1, 1<<12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(0, Record{Kind: KindPut, Start: int64(i), Dur: 10, A: 1, B: 8})
+	}
+}

@@ -1,0 +1,119 @@
+// Package telemetry is the live half of the observability layer: an
+// opt-in HTTP server exposing a running analysis as standard,
+// scrape-friendly endpoints. Nothing in the analysis pipeline depends
+// on it — the server only reads the metrics registry and a report
+// callback — so a run without a telemetry address pays nothing.
+//
+// Endpoints:
+//
+//	/metrics      Prometheus text exposition rendered from the live
+//	              *obs.Registry (the same renderer as
+//	              `rmarace stats -format prom`).
+//	/report       a live run-report snapshot (rmarace/run-report/v1
+//	              JSON), the same schema rmarace replay -report writes.
+//	/healthz      200 "ok" while the server is up; liveness probe.
+//	/debug/pprof  net/http/pprof, because a detector overhead question
+//	              usually becomes a profile question within minutes.
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"rmarace/internal/obs"
+)
+
+// Sources supplies the server's data. Registry feeds /metrics; Report,
+// when non-nil, is called per /report request and should return a
+// consistent snapshot of the run so far.
+type Sources struct {
+	Registry *obs.Registry
+	Report   func() *obs.RunReport
+}
+
+// Server is a running telemetry endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts a telemetry server on addr (e.g. ":9090" or
+// "127.0.0.1:0"; the OS picks the port when it is 0 — read it back
+// with Addr). The server runs until Close.
+func Serve(addr string, src Sources) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if src.Registry == nil {
+			return // no registry attached: an empty exposition is valid
+		}
+		_ = obs.WriteProm(w, src.Registry.Snapshot())
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, _ *http.Request) {
+		if src.Report == nil {
+			http.Error(w, "no report source attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = src.Report().WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// The run must never die because its telemetry socket did;
+			// the error surfaces on the next Close call instead.
+			_ = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the server's bound address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string {
+	if s == nil {
+		return ""
+	}
+	addr := s.ln.Addr().(*net.TCPAddr)
+	host := addr.IP.String()
+	if addr.IP.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return fmt.Sprintf("http://%s", net.JoinHostPort(host, fmt.Sprint(addr.Port)))
+}
+
+// Close shuts the server down, waiting briefly for in-flight scrapes.
+// Nil-safe so a run that never enabled telemetry can close blindly.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

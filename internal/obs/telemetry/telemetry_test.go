@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rmarace/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestServeEndpoints: /healthz answers, /metrics serves the shared
+// Prometheus renderer's exact output for the live registry, and
+// /report serves a valid run-report document.
+func TestServeEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Add(obs.EngineReceived, 0, 3)
+	srv, err := Serve("127.0.0.1:0", Sources{
+		Registry: reg,
+		Report: func() *obs.RunReport {
+			return &obs.RunReport{Schema: obs.ReportSchema, Source: "run", Metrics: reg.Snapshot()}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body, _ := get(t, srv.URL()+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body, hdr := get(t, srv.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var want bytes.Buffer
+	if err := obs.WriteProm(&want, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if body != want.String() {
+		t.Fatalf("/metrics diverged from WriteProm:\n--- got ---\n%s--- want ---\n%s", body, want.String())
+	}
+
+	code, body, hdr = get(t, srv.URL()+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("/report status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/report content type %q", ct)
+	}
+	rep, err := obs.ReadReport(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/report is not a valid run report: %v", err)
+	}
+	if rep.Source != "run" {
+		t.Fatalf("report source %q", rep.Source)
+	}
+}
+
+// TestScrapeTracksRegistry: successive scrapes see the registry's
+// live values — a mid-run scrape reads the run so far, and the final
+// scrape matches the final report's metrics exactly.
+func TestScrapeTracksRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := Serve("127.0.0.1:0", Sources{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg.Add(obs.StoreInserts, 1, 10) // "mid-run"
+	_, mid, _ := get(t, srv.URL()+"/metrics")
+	if !strings.Contains(mid, `rmarace_store_inserts{rank="1"} 10`) {
+		t.Fatalf("mid-run scrape missing counter:\n%s", mid)
+	}
+
+	reg.Add(obs.StoreInserts, 1, 5) // the run finishes
+	_, fin, _ := get(t, srv.URL()+"/metrics")
+	if !strings.Contains(fin, `rmarace_store_inserts{rank="1"} 15`) {
+		t.Fatalf("final scrape stale:\n%s", fin)
+	}
+	var fromReport bytes.Buffer
+	if err := obs.WriteProm(&fromReport, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if fin != fromReport.String() {
+		t.Fatalf("final scrape diverged from final report metrics:\n--- scrape ---\n%s--- report ---\n%s", fin, fromReport.String())
+	}
+}
+
+// TestReportWithoutSource: /report without a callback is a 404, and an
+// empty registry still serves a valid (empty) exposition.
+func TestReportWithoutSource(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Sources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, _, _ := get(t, srv.URL()+"/report")
+	if code != http.StatusNotFound {
+		t.Fatalf("/report without source = %d, want 404", code)
+	}
+	code, body, _ := get(t, srv.URL()+"/metrics")
+	if code != http.StatusOK || body != "" {
+		t.Fatalf("/metrics without registry = %d %q", code, body)
+	}
+}
+
+// TestCloseStopsServing: after Close the listener is gone; a nil
+// server closes without panicking.
+func TestCloseStopsServing(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Sources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := srv.URL()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("server still answering after Close")
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if nilSrv.Addr() != "" || nilSrv.URL() != "" {
+		t.Fatal("nil server has an address")
+	}
+}

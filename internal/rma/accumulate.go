@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rmarace/internal/access"
+	"rmarace/internal/obs/span"
 )
 
 // Accumulate performs an MPI_Accumulate: it combines n bytes of src at
@@ -33,10 +34,17 @@ func (w *Win) Accumulate(target, targetOff int, src *Buffer, srcOff, n int, op a
 	tgtMem := g.mems[target]
 	callTime := w.p.tick()
 	origin := w.p.Rank()
+	clk := w.callClock(origin, callTime)
+	var spanT0 int64
+	if w.spOn {
+		spanT0 = w.sp.Now()
+	}
 
 	// Origin side: the source buffer is read, exactly like a Put.
 	originEpoch := g.eng.Epoch(origin)
-	if err := w.analyse(origin, rmaEvent(src, srcOff, n, access.RMARead, origin, originEpoch, callTime, dbg)); err != nil {
+	evO := rmaEvent(src, srcOff, n, access.RMARead, origin, originEpoch, callTime, dbg)
+	evO.Clock = clk
+	if err := w.analyse(origin, evO); err != nil {
 		return err
 	}
 
@@ -53,7 +61,16 @@ func (w *Win) Accumulate(target, targetOff int, src *Buffer, srcOff, n int, op a
 	// Target side: an RMA_Accum access carrying the operation.
 	ev := rmaEvent(tgtMem, targetOff, n, access.RMAAccum, origin, 0, callTime, dbg)
 	ev.Acc.AccumOp = op
-	return w.notify(target, ev)
+	ev.Clock = clk
+	err := w.notify(target, ev)
+	if w.spOn {
+		w.sp.Record(origin, span.Record{
+			Kind:  span.KindAccum,
+			Start: spanT0, Dur: w.sp.Now() - spanT0,
+			A: int64(target), B: int64(n),
+		})
+	}
+	return err
 }
 
 // FetchAndOp performs an MPI_Fetch_and_op on one 8-byte element: it
@@ -74,6 +91,11 @@ func (w *Win) FetchAndOp(target, targetOff int, value uint64, op access.AccumOp,
 	tgtMem := g.mems[target]
 	callTime := w.p.tick()
 	origin := w.p.Rank()
+	clk := w.callClock(origin, callTime)
+	var spanT0 int64
+	if w.spOn {
+		spanT0 = w.sp.Now()
+	}
 
 	g.copyMu.Lock()
 	dst := tgtMem.data[targetOff : targetOff+8]
@@ -83,7 +105,16 @@ func (w *Win) FetchAndOp(target, targetOff int, value uint64, op access.AccumOp,
 
 	ev := rmaEvent(tgtMem, targetOff, 8, access.RMAAccum, origin, 0, callTime, dbg)
 	ev.Acc.AccumOp = op
-	if err := w.notify(target, ev); err != nil {
+	ev.Clock = clk
+	err := w.notify(target, ev)
+	if w.spOn {
+		w.sp.Record(origin, span.Record{
+			Kind:  span.KindAccum,
+			Start: spanT0, Dur: w.sp.Now() - spanT0,
+			A: int64(target), B: 8,
+		})
+	}
+	if err != nil {
 		return 0, err
 	}
 	return old, nil

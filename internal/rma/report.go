@@ -68,7 +68,27 @@ func RaceReport(r *detector.Race) obs.RaceReport {
 	if p := r.Prov; p != nil {
 		rr.Window, rr.Owner, rr.Shard = p.Window, p.Owner, p.Shard
 	}
+	rr.Flight = FlightReport(r.FlightLog)
 	return rr
+}
+
+// FlightReport converts a flight-recorder snapshot to its report form.
+func FlightReport(entries []detector.FlightEntry) []obs.FlightEntryReport {
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]obs.FlightEntryReport, len(entries))
+	for i, e := range entries {
+		fe := obs.FlightEntryReport{Seq: e.Seq, Kind: e.Kind.String()}
+		if e.Kind == detector.FlightAccess {
+			acc := accessReport(e.Acc)
+			fe.Acc = &acc
+		} else {
+			fe.Origin = e.Origin
+		}
+		out[i] = fe
+	}
+	return out
 }
 
 func accessReport(a access.Access) obs.AccessReport {

@@ -37,10 +37,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"io"
+
 	"rmarace/internal/core"
 	"rmarace/internal/detector"
 	"rmarace/internal/mpi"
 	"rmarace/internal/obs"
+	"rmarace/internal/obs/span"
+	"rmarace/internal/obs/telemetry"
 	"rmarace/internal/store"
 )
 
@@ -89,6 +93,26 @@ type Config struct {
 	// call stack into race reports (Access.Frames). Off by default: the
 	// capture allocates, so it is reserved for diagnosis runs.
 	CaptureStacks bool
+	// TelemetryAddr, when non-empty, starts an HTTP telemetry server on
+	// the address (package internal/obs/telemetry): Prometheus /metrics
+	// from the session's registry, a live /report snapshot, /healthz
+	// and pprof. A Registry is attached automatically when Recorder is
+	// unset. Use ":0" to let the OS pick a port (Session.Telemetry).
+	TelemetryAddr string
+	// Spans enables causal span tracing (package internal/obs/span):
+	// epochs, one-sided operations, flushes, notification batches and
+	// shard drains are recorded into per-rank ring buffers and exported
+	// as Chrome trace-event JSON by Session.WriteSpans. Off by default;
+	// the disabled path costs one cached-bool branch per site.
+	Spans bool
+	// SpanDepth overrides the per-rank span ring depth
+	// (span.DefaultDepth when zero). Only meaningful with Spans.
+	SpanDepth int
+	// FlightLog, when positive, keeps a flight recorder of the last
+	// FlightLog accesses and synchronisations per (rank, window); a
+	// detected race then carries the owner's snapshot
+	// (detector.Race.FlightLog, rendered by `rmarace postmortem`).
+	FlightLog int
 }
 
 // Session owns the analysis state of one simulated job: one analyzer
@@ -108,6 +132,13 @@ type Session struct {
 	// leaves it unset); recOn caches rec.Enabled().
 	rec   obs.Recorder
 	recOn bool
+	// spans is the causal span tracer (nil when Config.Spans is off;
+	// the nil tracer is inert).
+	spans *span.Tracer
+	// tel is the telemetry server when Config.TelemetryAddr is set;
+	// telErr holds the listen error when starting it failed.
+	tel    *telemetry.Server
+	telErr error
 
 	race atomic.Pointer[detector.Race]
 }
@@ -126,7 +157,42 @@ func NewSession(world *mpi.World, cfg Config) *Session {
 	if cfg.Method == detector.MustRMAMethod {
 		s.must = detector.NewMustShared(world.Size())
 	}
+	if cfg.Spans {
+		s.spans = span.NewTracer(world.Size(), cfg.SpanDepth)
+	}
+	if cfg.TelemetryAddr != "" {
+		// A telemetry server without a registry would scrape empty, so
+		// attach one when the config left the recorder unset.
+		reg, ok := s.rec.(*obs.Registry)
+		if !ok {
+			reg = obs.NewRegistry()
+			s.rec = reg
+			s.recOn = true
+		}
+		s.tel, s.telErr = telemetry.Serve(cfg.TelemetryAddr, telemetry.Sources{
+			Registry: reg,
+			Report:   func() *obs.RunReport { return s.Report("run") },
+		})
+	}
 	return s
+}
+
+// Telemetry returns the session's running telemetry server (nil when
+// Config.TelemetryAddr was empty) and the error starting it, if any.
+func (s *Session) Telemetry() (*telemetry.Server, error) { return s.tel, s.telErr }
+
+// Spans returns the session's causal span tracer; nil (the inert
+// tracer) unless Config.Spans enabled tracing.
+func (s *Session) Spans() *span.Tracer { return s.spans }
+
+// WriteSpans exports the session's recorded spans as Chrome
+// trace-event JSON, loadable by Perfetto (ui.perfetto.dev) and
+// chrome://tracing. It errors when the session ran without Spans.
+func (s *Session) WriteSpans(w io.Writer) error {
+	if s.spans == nil {
+		return fmt.Errorf("rma: session ran without span tracing (Config.Spans)")
+	}
+	return s.spans.WriteChromeTrace(w)
 }
 
 // Recorder returns the session's metrics sink (obs.Disabled when the

@@ -1,0 +1,223 @@
+package rma
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rmarace/internal/detector"
+	"rmarace/internal/mpi"
+	"rmarace/internal/obs"
+)
+
+func scrape(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestSessionTelemetryLiveScrape: a session with TelemetryAddr serves
+// live endpoints while the program runs — a mid-run /metrics scrape
+// sees counters the run has already produced, a mid-run /report is a
+// valid run-report document, and the final scrape renders exactly the
+// metrics section of the final Session.Report.
+func TestSessionTelemetryLiveScrape(t *testing.T) {
+	world := mpi.NewWorld(2)
+	s := NewSession(world, Config{Method: detector.OurContribution, TelemetryAddr: "127.0.0.1:0"})
+	srv, telErr := s.Telemetry()
+	if telErr != nil {
+		t.Fatal(telErr)
+	}
+	if srv == nil {
+		t.Fatal("TelemetryAddr set but no server started")
+	}
+
+	var midMetrics, midReport string
+	err := world.Run(func(mp *mpi.Proc) error {
+		p := s.Proc(mp)
+		w, err := p.WinCreate("X", 64)
+		if err != nil {
+			return err
+		}
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		src := p.Alloc("src", 8)
+		if err := w.Put(1-p.Rank(), 8*p.Rank(), src, 0, 8, dbg(400+p.Rank())); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			// Mid-run: the epoch is still open on every rank.
+			code, body := scrape(t, srv.URL()+"/metrics")
+			if code != http.StatusOK {
+				t.Errorf("/metrics status %d", code)
+			}
+			midMetrics = body
+			_, midReport = scrape(t, srv.URL()+"/report")
+			if code, body := scrape(t, srv.URL()+"/healthz"); code != http.StatusOK || body != "ok\n" {
+				t.Errorf("/healthz = %d %q", code, body)
+			}
+		}
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		return w.UnlockAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The origin-side Put analysis ran before the scrape, so the
+	// mid-run exposition already carries store traffic.
+	if !strings.Contains(midMetrics, "rmarace_store_inserts") {
+		t.Fatalf("mid-run scrape has no store counters:\n%s", midMetrics)
+	}
+	rep, err := obs.ReadReport(strings.NewReader(midReport))
+	if err != nil {
+		t.Fatalf("mid-run /report invalid: %v\n%s", err, midReport)
+	}
+	if rep.Ranks != 2 {
+		t.Fatalf("mid-run report ranks = %d", rep.Ranks)
+	}
+
+	// Quiescent now: the final scrape must equal the final report's
+	// metrics rendered through the same exposition writer.
+	_, final := scrape(t, srv.URL()+"/metrics")
+	var want bytes.Buffer
+	if err := obs.WriteProm(&want, s.Report("run").Metrics); err != nil {
+		t.Fatal(err)
+	}
+	if final != want.String() {
+		t.Fatalf("final scrape diverged from final report:\n--- scrape ---\n%s--- report ---\n%s", final, want.String())
+	}
+
+	url := srv.URL()
+	s.Close()
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("telemetry server survived Session.Close")
+	}
+}
+
+// TestSessionFlightLogOnRace: with Config.FlightLog the detected
+// race carries the owner's flight snapshot, including both conflicting
+// accesses.
+func TestSessionFlightLogOnRace(t *testing.T) {
+	body := func(p *Proc) error {
+		w, err := p.WinCreate("X", 64)
+		if err != nil {
+			return err
+		}
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		if p.Rank() == 1 || p.Rank() == 2 {
+			src := p.Alloc("src", 8)
+			if err := w.Put(0, 0, src, 0, 8, dbg(500+p.Rank())); err != nil {
+				return err
+			}
+		}
+		return w.UnlockAll()
+	}
+	_, s := run(t, 3, detector.OurContribution, Config{FlightLog: 32}, body)
+	race := s.Race()
+	if race == nil {
+		t.Fatal("two-origin Put/Put race not detected")
+	}
+	if len(race.FlightLog) == 0 {
+		t.Fatal("race carries no flight log despite Config.FlightLog")
+	}
+	both := 0
+	for _, e := range race.FlightLog {
+		if e.Kind != detector.FlightAccess {
+			continue
+		}
+		if a := e.Acc; a.Interval == race.Prev.Interval && (a.Debug == race.Prev.Debug || a.Debug == race.Cur.Debug) {
+			both++
+		}
+	}
+	if both < 2 {
+		t.Fatalf("flight log holds %d of the 2 conflicting accesses:\n%+v", both, race.FlightLog)
+	}
+}
+
+// TestSessionSpansExport: a spans-enabled run exports Chrome
+// trace-event JSON carrying epoch, put and notification spans plus at
+// least one complete causal flow ("s" matched by "f").
+func TestSessionSpansExport(t *testing.T) {
+	body := func(p *Proc) error {
+		w, err := p.WinCreate("X", 128)
+		if err != nil {
+			return err
+		}
+		if err := w.LockAll(); err != nil {
+			return err
+		}
+		src := p.Alloc("src", 32)
+		for i := 0; i < 4; i++ {
+			if err := w.Put(1-p.Rank(), 32*p.Rank()+8*i, src, 8*i, 8, dbg(600)); err != nil {
+				return err
+			}
+		}
+		return w.UnlockAll()
+	}
+	_, s := run(t, 2, detector.OurContribution, Config{Spans: true}, body)
+	if s.Race() != nil {
+		t.Fatalf("disjoint puts raced: %v", s.Race())
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSpans(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		ID   uint64 `json:"id"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("span export is not valid JSON: %v", err)
+	}
+	seen := map[string]int{}
+	starts := map[uint64]bool{}
+	finishes := map[uint64]bool{}
+	for _, ev := range events {
+		switch ev.Ph {
+		case "X":
+			seen[ev.Name]++
+		case "s":
+			starts[ev.ID] = true
+		case "f":
+			finishes[ev.ID] = true
+		}
+	}
+	flows := 0
+	for id := range starts {
+		if finishes[id] {
+			flows++
+		}
+	}
+	for _, name := range []string{"epoch", "put", "notif-send", "notif-batch"} {
+		if seen[name] == 0 {
+			t.Errorf("no %q span exported; spans seen: %v", name, seen)
+		}
+	}
+	if flows == 0 {
+		t.Error("no complete causal flow (s/f pair) exported")
+	}
+
+	// A session without Config.Spans refuses to export.
+	_, plain := run(t, 2, detector.OurContribution, Config{}, body)
+	if err := plain.WriteSpans(io.Discard); err == nil {
+		t.Error("WriteSpans succeeded without span tracing enabled")
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"rmarace/internal/detector"
 	"rmarace/internal/engine"
 	"rmarace/internal/mpi"
+	"rmarace/internal/obs/span"
+	"rmarace/internal/vc"
 )
 
 // ErrNoEpoch is returned when a one-sided operation is issued outside a
@@ -74,6 +76,12 @@ type Win struct {
 	// first, so the quiescence protocol is unchanged.
 	pending  [][]detector.Event
 	batchCap int
+	// sp/spOn cache the session's span tracer so every instrumentation
+	// site pays one branch when tracing is off; epochT0 is the open
+	// epoch's start on the tracer clock.
+	sp      *span.Tracer
+	spOn    bool
+	epochT0 int64
 	// lockMode tracks this process's per-target MPI_Win_lock state.
 	lockMode []int
 	// PSCW state: open access-epoch targets and per-target access
@@ -118,6 +126,8 @@ func (p *Proc) WinCreate(name string, size int, opts ...BufOpt) (*Win, error) {
 			StopErr:     p.World().AbortErr,
 			Recorder:    s.rec,
 			Window:      name,
+			Spans:       s.spans,
+			FlightN:     s.cfg.FlightLog,
 		})
 		s.wins[name] = g
 	} else if g.size != size {
@@ -163,6 +173,8 @@ func (p *Proc) WinCreate(name string, size int, opts ...BufOpt) (*Win, error) {
 		sent:     make([]int64, n),
 		pending:  make([][]detector.Event, n),
 		batchCap: batch,
+		sp:       s.spans,
+		spOn:     s.spans.Enabled(),
 		lockMode: make([]int, n),
 		expected: expectedBase,
 	}, nil
@@ -208,13 +220,28 @@ func (w *Win) notify(target int, ev detector.Event) error {
 }
 
 // flushNotifs hands target's pending notification batch to the engine.
+// With tracing on it opens the batch's causal flow: a notif-send span
+// here, closed by the engine's notif-batch span on the target, renders
+// the cross-rank edge in the exported timeline.
 func (w *Win) flushNotifs(target int) error {
 	batch := w.pending[target]
 	if len(batch) == 0 {
 		return nil
 	}
 	w.pending[target] = nil // next notify takes a fresh pooled slice
-	return w.g.eng.Notify(target, batch)
+	if !w.spOn {
+		return w.g.eng.Notify(target, batch)
+	}
+	flow := w.sp.NextFlow()
+	t0 := w.sp.Now()
+	err := w.g.eng.NotifyFlow(target, batch, flow)
+	w.sp.Record(w.p.Rank(), span.Record{
+		Kind:  span.KindNotifSend,
+		Start: t0, Dur: w.sp.Now() - t0,
+		A: int64(target), B: int64(len(batch)),
+		Flow: flow, Phase: span.FlowStart,
+	})
+	return err
 }
 
 // flushAllNotifs flushes every target's pending batch; every
@@ -270,6 +297,9 @@ func (w *Win) LockAll() error {
 	w.epoch++
 	w.epochOpen = true
 	w.epochStart = time.Now()
+	if w.spOn {
+		w.epochT0 = w.sp.Now()
+	}
 	w.p.open = append(w.p.open, w)
 	return nil
 }
@@ -308,6 +338,13 @@ func (w *Win) UnlockAll() error {
 	}
 	w.epochOpen = false
 	w.p.s.recordEpoch(rank, time.Since(w.epochStart))
+	if w.spOn {
+		w.sp.Record(rank, span.Record{
+			Kind:  span.KindEpoch,
+			Start: w.epochT0, Dur: w.sp.Now() - w.epochT0,
+			A: int64(w.epoch), B: int64(w.g.ranks),
+		})
+	}
 	for i, o := range w.p.open {
 		if o == w {
 			w.p.open = append(w.p.open[:i], w.p.open[i+1:]...)
@@ -364,6 +401,11 @@ func (w *Win) onesided(target, targetOff int, local *Buffer, localOff, n int, db
 	tgtMem := g.mems[target]
 	callTime := w.p.tick()
 	origin := w.p.Rank()
+	clk := w.callClock(origin, callTime)
+	var spanT0 int64
+	if w.spOn {
+		spanT0 = w.sp.Now()
+	}
 
 	localType, remoteType := access.RMAWrite, access.RMARead // Get
 	if isPut {
@@ -372,7 +414,9 @@ func (w *Win) onesided(target, targetOff int, local *Buffer, localOff, n int, db
 
 	// Origin-side access, analysed locally.
 	originEpoch := g.eng.Epoch(origin)
-	if err := w.analyse(origin, rmaEvent(local, localOff, n, localType, origin, originEpoch, callTime, dbg)); err != nil {
+	evO := rmaEvent(local, localOff, n, localType, origin, originEpoch, callTime, dbg)
+	evO.Clock = clk
+	if err := w.analyse(origin, evO); err != nil {
 		return err
 	}
 
@@ -389,7 +433,35 @@ func (w *Win) onesided(target, targetOff int, local *Buffer, localOff, n int, db
 	// paper's MPI_Send on the hidden communicator). The receiver stamps
 	// the target's epoch.
 	ev := rmaEvent(tgtMem, targetOff, n, remoteType, origin, 0, callTime, dbg)
-	return w.notify(target, ev)
+	ev.Clock = clk
+	err := w.notify(target, ev)
+	if w.spOn {
+		kind := span.KindGet
+		if isPut {
+			kind = span.KindPut
+		}
+		w.sp.Record(origin, span.Record{
+			Kind:  kind,
+			Start: spanT0, Dur: w.sp.Now() - spanT0,
+			A: int64(target), B: int64(n),
+		})
+	}
+	return err
+}
+
+// callClock captures the origin's MUST-RMA vector clock at the MPI
+// call site, piggybacked on both halves of the one-sided operation
+// (Event.Clock). Real MUST-RMA attaches the clock to the message —
+// the O(P) cost §5.3 charges it with — and the simulation must do the
+// same: snapshotting when the target's receiver processes the
+// notification instead would make the happens-before verdict depend on
+// how far concurrent epoch-closing joins had progressed, i.e. on
+// scheduling. Nil for the other methods.
+func (w *Win) callClock(origin int, callTime uint64) vc.Clock {
+	if s := w.p.s; s.must != nil {
+		return s.must.Snapshot(origin, callTime)
+	}
+	return nil
 }
 
 // countSent attributes an issued notification to the synchronisation
@@ -437,7 +509,18 @@ func (w *Win) Flush(target int) error {
 		}
 	}
 	rank := w.p.Rank()
+	var spanT0 int64
+	if w.spOn {
+		spanT0 = w.sp.Now()
+	}
 	w.g.eng.Flush(rank)
+	if w.spOn {
+		w.sp.Record(rank, span.Record{
+			Kind:  span.KindFlush,
+			Start: spanT0, Dur: w.sp.Now() - spanT0,
+			A: int64(target),
+		})
+	}
 	return nil
 }
 
@@ -474,4 +557,5 @@ func (s *Session) Close() {
 			close(g.lockCh) // stops the lock server
 		}()
 	}
+	s.tel.Close() // nil-safe; stops the telemetry server with the run
 }

@@ -28,8 +28,18 @@ type GenConfig struct {
 	// SafeOnly partitions the address space per rank so the trace
 	// replays race-free under a sound detector.
 	SafeOnly bool
-	Seed     int64
+	// PlantRace appends, in the last epoch, one deterministic pair of
+	// overlapping RMA writes from two ranks — a guaranteed race for any
+	// sound detector, placed at a fixed address no generated access can
+	// touch. Used to seed postmortem / flight-recorder demonstrations.
+	PlantRace bool
+	Seed      int64
 }
+
+// plantedLo is the planted race's interval base: far above both the
+// adjacent-cursor regions (rank << 30) and the SafeOnly unique region
+// (1 << 40).
+const plantedLo = uint64(1) << 50
 
 // Generate writes a synthetic trace. It returns the number of access
 // events written.
@@ -103,6 +113,30 @@ func Generate(w io.Writer, cfg GenConfig) (int, error) {
 				return written, err
 			}
 			written++
+		}
+		if cfg.PlantRace && epoch == cfg.Epochs-1 {
+			other := 0
+			if cfg.Ranks > 1 {
+				other = 1
+			}
+			for i, rank := range []int{0, other} {
+				times[rank]++
+				ev := detector.Event{
+					Acc: access.Access{
+						Interval: interval.Span(plantedLo, 8),
+						Type:     access.RMAWrite,
+						Rank:     rank,
+						Epoch:    uint64(epoch),
+						Debug:    access.Debug{File: "planted.c", Line: 666 + i},
+					},
+					Time:     times[rank],
+					CallTime: times[rank],
+				}
+				if err := tw.Access(0, ev); err != nil {
+					return written, err
+				}
+				written++
+			}
 		}
 		if err := tw.EpochEnd(0); err != nil {
 			return written, err

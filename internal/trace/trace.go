@@ -17,6 +17,7 @@ import (
 	"rmarace/internal/access"
 	"rmarace/internal/detector"
 	"rmarace/internal/interval"
+	"rmarace/internal/obs/span"
 )
 
 // Header opens a trace stream.
@@ -176,19 +177,57 @@ type ReplayResult struct {
 	Race     *detector.Race
 }
 
+// ReplayOpts selects the optional observability of a replay.
+type ReplayOpts struct {
+	// Spans, when non-nil, receives one logical-time span per replayed
+	// record — a timeline of the trace for Perfetto. Build it with
+	// span.NewLogicalTracer(header.Ranks, depth).
+	Spans *span.Tracer
+	// FlightN, when positive, keeps per-owner flight recorders of the
+	// last FlightN replayed events; a detected race carries the owner's
+	// snapshot like the live engine's does.
+	FlightN int
+}
+
 // Replay feeds a trace through per-owner analyzers built by
 // newAnalyzer and stops at the first race, like the on-the-fly tools.
 func Replay(r *Reader, newAnalyzer func(owner int) detector.Analyzer) (ReplayResult, error) {
+	return ReplayWith(r, newAnalyzer, ReplayOpts{})
+}
+
+// replayTick is the exported logical-time width of one replayed record
+// in nanoseconds: records render 1µs apart so Perfetto shows a readable
+// timeline regardless of the trace's own counters.
+const replayTick = 1000
+
+// ReplayWith is Replay with observability options.
+//
+// Replayed records get their timestamps normalised per issuing rank:
+// traces written without Time/CallTime (or with stale counters) would
+// otherwise give every access the same program-order time, collapsing
+// the happens-before information span export and the MUST-RMA replay
+// rely on. A record whose Time does not advance its rank's last seen
+// value is bumped to lastTime+1, and a zero CallTime inherits Time, so
+// per-rank timestamps are always strictly monotonic after replay.
+func ReplayWith(r *Reader, newAnalyzer func(owner int) detector.Analyzer, opts ReplayOpts) (ReplayResult, error) {
 	analyzers := make(map[int]detector.Analyzer)
+	flight := make(map[int]*detector.FlightLog)
 	get := func(owner int) detector.Analyzer {
 		a, ok := analyzers[owner]
 		if !ok {
 			a = newAnalyzer(owner)
 			analyzers[owner] = a
+			if opts.FlightN > 0 {
+				flight[owner] = detector.NewFlightLog(opts.FlightN)
+			}
 		}
 		return a
 	}
+	lastTime := make(map[int]uint64)  // per issuing rank
+	epochT0 := make(map[int]int64)    // per owner, logical span start
+	epochN := make(map[int]int64)     // per owner, completed epochs
 	var res ReplayResult
+	var step int64 // logical clock: one tick per replayed record
 	for {
 		rec, err := r.Next()
 		if err == io.EOF {
@@ -197,14 +236,34 @@ func Replay(r *Reader, newAnalyzer func(owner int) detector.Analyzer) (ReplayRes
 		if err != nil {
 			return res, err
 		}
+		step++
 		switch rec.Kind {
 		case "access":
 			ev, err := rec.Event()
 			if err != nil {
 				return res, err
 			}
+			if ev.Time <= lastTime[rec.Rank] {
+				ev.Time = lastTime[rec.Rank] + 1
+			}
+			lastTime[rec.Rank] = ev.Time
+			if ev.CallTime == 0 || ev.CallTime > ev.Time {
+				ev.CallTime = ev.Time
+			}
 			res.Events++
-			if race := get(rec.Owner).Access(ev); race != nil {
+			if opts.Spans.Enabled() {
+				if _, ok := epochT0[rec.Owner]; !ok {
+					epochT0[rec.Owner] = step * replayTick
+				}
+				opts.Spans.Record(rec.Rank, span.Record{
+					Kind:  replaySpanKind(ev.Acc.Type),
+					Start: step * replayTick, Dur: replayTick * 4 / 5,
+					A: int64(ev.Acc.Lo), B: int64(ev.Acc.Hi - ev.Acc.Lo + 1),
+				})
+			}
+			a := get(rec.Owner) // ensures the owner's flight log exists
+			flight[rec.Owner].Access(ev.Acc)
+			if race := a.Access(ev); race != nil {
 				// The replay loop is the layer that knows which owner's
 				// analyzer held the conflict and which window was traced;
 				// stamp them like the live engine does (a sharded analyzer
@@ -214,12 +273,30 @@ func Replay(r *Reader, newAnalyzer func(owner int) detector.Analyzer) (ReplayRes
 				if p.Window == "" {
 					p.Window = r.Header.Window
 				}
+				if race.FlightLog == nil {
+					race.FlightLog = flight[rec.Owner].Snapshot()
+				}
 				res.Race = race
 				return res, nil
 			}
 		case "epoch_end":
 			res.Epochs++
-			get(rec.Owner).EpochEnd()
+			a := get(rec.Owner)
+			flight[rec.Owner].Mark(detector.FlightEpochEnd, rec.Owner)
+			a.EpochEnd()
+			if opts.Spans.Enabled() {
+				t0, ok := epochT0[rec.Owner]
+				if !ok {
+					t0 = (step - 1) * replayTick
+				}
+				epochN[rec.Owner]++
+				opts.Spans.Record(rec.Owner, span.Record{
+					Kind:  span.KindEpoch,
+					Start: t0, Dur: step*replayTick - t0,
+					A: epochN[rec.Owner], B: int64(r.Header.Ranks),
+				})
+				delete(epochT0, rec.Owner)
+			}
 		default:
 			return res, fmt.Errorf("trace: unknown record kind %q", rec.Kind)
 		}
@@ -230,4 +307,17 @@ func Replay(r *Reader, newAnalyzer func(owner int) detector.Analyzer) (ReplayRes
 		}
 	}
 	return res, nil
+}
+
+// replaySpanKind maps a replayed access type to its span kind.
+func replaySpanKind(t access.Type) span.Kind {
+	switch t {
+	case access.RMAWrite:
+		return span.KindPut
+	case access.RMARead:
+		return span.KindGet
+	case access.RMAAccum:
+		return span.KindAccum
+	}
+	return span.KindLocal
 }

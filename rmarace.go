@@ -48,6 +48,7 @@
 package rmarace
 
 import (
+	"io"
 	"time"
 
 	"rmarace/internal/access"
@@ -55,6 +56,7 @@ import (
 	"rmarace/internal/detector"
 	"rmarace/internal/mpi"
 	"rmarace/internal/obs"
+	"rmarace/internal/obs/span"
 	"rmarace/internal/rma"
 )
 
@@ -163,6 +165,27 @@ type (
 // NewRegistry returns a fresh metrics registry to pass as
 // Config.Recorder.
 func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// Live observability (PR 4): a session configured with
+// Config.TelemetryAddr serves /metrics, /report, /healthz and
+// /debug/pprof while it runs (Session.Telemetry returns the server);
+// Config.Spans records causal spans exported with Session.WriteSpans;
+// Config.FlightLog keeps a per-(rank, window) flight recorder whose
+// snapshot rides on a detected Race.
+type (
+	// SpanTracer holds a traced run's per-rank span rings; export with
+	// Session.WriteSpans or SpanTracer.WriteChromeTrace.
+	SpanTracer = span.Tracer
+	// FlightEntry is one flight-recorder event attached to Race.FlightLog.
+	FlightEntry = detector.FlightEntry
+)
+
+// WriteFlight renders a race's flight-recorder snapshot as the human
+// postmortem dump, marking the two conflicting accesses — the library
+// form of `rmarace postmortem`.
+func WriteFlight(w io.Writer, entries []FlightEntry, race *Race) {
+	detector.WriteFlight(w, entries, race)
+}
 
 // NewWorld creates a simulated MPI job of n ranks.
 func NewWorld(n int) *World { return mpi.NewWorld(n) }
