@@ -23,7 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"rmarace"
@@ -31,6 +34,7 @@ import (
 	"rmarace/internal/codes"
 	"rmarace/internal/core"
 	"rmarace/internal/detector"
+	"rmarace/internal/fuzz"
 	"rmarace/internal/obs"
 	"rmarace/internal/obs/span"
 	"rmarace/internal/obs/telemetry"
@@ -58,6 +62,8 @@ func main() {
 		codesCmd()
 	case "bench":
 		benchCmd(os.Args[2:])
+	case "fuzz":
+		fuzzCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -72,6 +78,8 @@ func usage() {
   rmarace demo
   rmarace codes
   rmarace bench [-o FILE] [-vertices N] [-telemetry ADDR] [-spans FILE]
+  rmarace fuzz [-duration D] [-seed N] [-schedules K] [-stores LIST]
+               [-shards LIST] [-batches LIST] [-out DIR] [-canary]
 
 methods: baseline, rma-analyzer, must-rma, our-contribution
 stores (tree-based methods): avl (default), legacy, shadow, strided
@@ -83,7 +91,12 @@ stores (tree-based methods): avl (default), legacy, shadow, strided
 -spans exports a causal span timeline as Chrome trace-event JSON
         (open it in Perfetto or chrome://tracing)
 -flight keeps a flight recorder of the last N events per window owner;
-        a detected race carries the snapshot (render with postmortem)`)
+        a detected race carries the snapshot (render with postmortem)
+fuzz generates random MPI-RMA programs and differentially checks every
+        store × shard × batch configuration against the brute-force
+        oracle under permuted schedules; a divergence is minimised by
+        delta debugging and written to -out as a replayable reproducer
+        (-canary adds the known-faulty legacy backend, which must fail)`)
 	os.Exit(2)
 }
 
@@ -116,7 +129,7 @@ func newAnalyzer(method detector.Method, ranks int, storeName string, shards int
 		case detector.MustRMAMethod:
 			return detector.NewMustRMA(shared, owner)
 		default:
-			var opts []core.Option
+			opts := []core.Option{core.WithOwner(owner)}
 			if storeName != "" {
 				opts = append(opts, core.WithStoreFactory(func() store.AccessStore { return newStore(owner) }))
 			}
@@ -522,4 +535,114 @@ func codesCmd() {
 		fmt.Printf("%-14s %-38s %-8s %-14s %-10s %s\n",
 			pr.Name, pr.Paper, truth, verdicts[0], verdicts[1], verdicts[2])
 	}
+}
+
+// fuzzCmd is the differential fuzzing driver: seeded random MPI-RMA
+// programs, each replayed under permuted deterministic schedules
+// through every requested store × shard × batch configuration, with
+// the brute-force oracle as ground truth. The first divergence is
+// delta-debug minimised, written to -out as a replayable reproducer,
+// and exits non-zero.
+func fuzzCmd(args []string) {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	duration := fs.Duration("duration", 30*time.Second, "how long to fuzz")
+	seed := fs.Int64("seed", 1, "generator seed (same seed, same program/schedule stream)")
+	schedules := fs.Int("schedules", 3, "interleavings per program (identity + K-1 seeded permutations)")
+	stores := fs.String("stores", "avl,strided,shadow", "comma-separated store backends to test")
+	shards := fs.String("shards", "1,4", "comma-separated shard counts")
+	batches := fs.String("batches", "1,64", "comma-separated notification batch sizes")
+	out := fs.String("out", "fuzz-repro", "directory for minimised reproducers")
+	canary := fs.Bool("canary", false, "include the known-faulty legacy lower-bound backend (expect a divergence)")
+	if fs.Parse(args) != nil || fs.NArg() != 0 {
+		usage()
+	}
+	shardList, err := intList(*shards)
+	if err != nil {
+		log.Fatalf("-shards: %v", err)
+	}
+	batchList, err := intList(*batches)
+	if err != nil {
+		log.Fatalf("-batches: %v", err)
+	}
+	storeList := strings.Split(*stores, ",")
+	if *canary {
+		storeList = append(storeList, "legacy")
+	}
+	var cfgs []fuzz.Config
+	for _, st := range storeList {
+		st = strings.TrimSpace(st)
+		if _, err := store.New(st); err != nil {
+			log.Fatalf("-stores: %v", err)
+		}
+		for _, sh := range shardList {
+			for _, b := range batchList {
+				cfgs = append(cfgs, fuzz.Config{Store: st, Shards: sh, Batch: b})
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	deadline := time.Now().Add(*duration)
+	programs, racy, runs := 0, 0, 0
+	lastLog := time.Now()
+	for time.Now().Before(deadline) {
+		p := fuzz.Gen(rng)
+		scheds := make([]int64, *schedules)
+		for i := 1; i < *schedules; i++ {
+			scheds[i] = 1 + rng.Int63n(1<<31)
+		}
+		res, err := fuzz.Diff(p, scheds, cfgs)
+		if err != nil {
+			log.Fatalf("program #%d: %v", programs, err)
+		}
+		programs++
+		runs += len(scheds) * len(cfgs)
+		if res.Oracle.Raced() {
+			racy++
+		}
+		if res.Failed() {
+			fmt.Printf("program #%d diverged after %d clean programs:\n", programs-1, programs-1)
+			for _, d := range res.Divergences {
+				fmt.Printf("  %s\n", d)
+			}
+			min := fuzz.Minimize(p, func(q fuzz.Program) bool {
+				r, err := fuzz.Diff(q, scheds, cfgs)
+				return err == nil && r.Failed()
+			})
+			minRes, err := fuzz.Diff(min, scheds, cfgs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dir, err := fuzz.WriteRepro(*out, minRes)
+			if err != nil {
+				log.Fatalf("writing reproducer: %v", err)
+			}
+			fmt.Printf("minimised %d -> %d ops; reproducer written to %s\n",
+				len(p.Ops), len(min.Ops), dir)
+			fmt.Print(min.String())
+			os.Exit(1)
+		}
+		if time.Since(lastLog) >= 5*time.Second {
+			fmt.Printf("  ... %d programs (%d racy), %d differential runs, %s left\n",
+				programs, racy, runs, time.Until(deadline).Round(time.Second))
+			lastLog = time.Now()
+		}
+	}
+	fmt.Printf("fuzzed %d programs (%d racy, %d race-free) x %d schedules x %d configs = %d differential runs: no divergences\n",
+		programs, racy, programs-racy, *schedules, len(cfgs), runs)
+}
+
+// intList parses a comma-separated list of positive integers.
+func intList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("value %d out of range", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

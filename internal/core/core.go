@@ -41,6 +41,12 @@ type Analyzer struct {
 	maxNodes    int
 	flushClears bool
 	noMerge     bool
+	// owner is the analyzer's owning rank plus one, so the zero value
+	// means "unknown" (WithOwner unset) and zero-value Analyzers stay
+	// usable. Release reads it through ownerRank: with an unknown owner
+	// every rank counts as remote and Release conservatively retires
+	// every one-sided access.
+	owner int
 	// frontier is the stored access the last insertion ended in, when
 	// that insertion took the no-overlap fast path: AccessBatch uses it
 	// to skip the left-neighbour lookup for adjacent batch runs (the
@@ -92,6 +98,17 @@ func WithUnsafeFlushClear() Option {
 // so the tree grows instead of shrinking.
 func WithoutMerging() Option {
 	return func(a *Analyzer) { a.noMerge = true }
+}
+
+// WithOwner declares the analyzer's owning rank — the rank whose
+// window (and local address space) the analyzer guards. Release uses
+// it to tell the owner's accesses (origin-side buffers and
+// unsynchronised local loads/stores, which no unlock orders) apart
+// from remote one-sided accesses, which an exclusive unlock retires.
+// Without the option Release conservatively treats every rank as
+// remote and retires all one-sided accesses.
+func WithOwner(rank int) Option {
+	return func(a *Analyzer) { a.owner = rank + 1 }
 }
 
 // WithStore runs Algorithm 1 over the given storage backend instead of
@@ -387,18 +404,14 @@ func (z *Analyzer) EpochEnd() {
 
 // Flush implements detector.Analyzer. By default it is a no-op,
 // following §6(2); with WithUnsafeFlushClear it drops the calling
-// rank's accesses, reproducing the false-negative hazard.
+// rank's accesses, reproducing the false-negative hazard. The
+// ablation deliberately keeps the defect's per-rank semantics (an
+// MPI_Win_flush names only the calling origin) rather than routing
+// through Release.
 func (z *Analyzer) Flush(rank int) {
 	if !z.flushClears {
 		return
 	}
-	z.Release(rank)
-}
-
-// Release implements detector.Analyzer: the rank's accesses are retired
-// because an exclusive unlock orders them before everything that
-// follows.
-func (z *Analyzer) Release(rank int) {
 	store.RemoveRank(z.lazyStore(), rank)
 	z.frontierOK = false
 	if z.stridedOn {
@@ -411,6 +424,44 @@ func (z *Analyzer) Release(rank int) {
 		z.sections = kept
 		for k := range z.open {
 			if k.rank == rank {
+				delete(z.open, k)
+			}
+		}
+	}
+}
+
+// ownerRank returns the analyzer's owning rank, or -1 when unknown.
+func (z *Analyzer) ownerRank() int { return z.owner - 1 }
+
+// Release implements detector.Analyzer: an exclusive unlock of the
+// owner's window retires every remote one-sided access. The per-target
+// lock grants in FIFO order, so every lock session that completed
+// before the unlock — the releasing origin's own and every earlier
+// holder's, shared included — is ordered before every later holder's
+// session. Only the owner's accesses (its origin-side buffers and
+// unsynchronised local loads/stores) are never lock-ordered and
+// survive; which rank performed the unlock is irrelevant to what
+// retires, so the argument is unused beyond the interface. Retiring
+// by remoteness instead of by releasing rank is what keeps Release
+// exact after Table 1 fragment combination: remote accesses only ever
+// share a combined fragment with other remote accesses, and those
+// retire together (a per-rank retirement could delete a fragment
+// whose combined label hides a still-live rank's coverage — a false
+// negative the differential fuzzer found).
+func (z *Analyzer) Release(int) {
+	owner := z.ownerRank()
+	store.RemoveRemote(z.lazyStore(), owner)
+	z.frontierOK = false
+	if z.stridedOn {
+		kept := z.sections[:0]
+		for _, s := range z.sections {
+			if s.Acc.Rank == owner || !s.Acc.Type.IsRMA() {
+				kept = append(kept, s)
+			}
+		}
+		z.sections = kept
+		for k := range z.open {
+			if k.rank != owner && k.tp.IsRMA() {
 				delete(z.open, k)
 			}
 		}

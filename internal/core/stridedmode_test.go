@@ -250,13 +250,19 @@ func TestStridedCompressionOnSweeps(t *testing.T) {
 	}
 }
 
-// TestStridedReleaseRetiresRank: an exclusive-unlock release drops both
-// tree nodes and compressed sections of the releasing rank.
-func TestStridedReleaseRetiresRank(t *testing.T) {
-	z := New(WithStridedMerging())
+// TestStridedReleaseRetiresRemote: an exclusive-unlock release drops
+// every remote one-sided entry — compressed sections and tree nodes
+// alike, whichever rank issued them (the lock's FIFO grant order puts
+// all completed sessions before later holders) — while the window
+// owner's own accesses survive. Retiring by remoteness rather than by
+// releasing rank is what keeps Release exact after Table 1 fragment
+// combination; the differential fuzzer found the per-rank variant's
+// false negative.
+func TestStridedReleaseRetiresRemote(t *testing.T) {
+	z := New(WithStridedMerging(), WithOwner(0))
 	var tm uint64
-	// Rank 1 writes a long strided run (compressed) and rank 2 a single
-	// slot (tree node).
+	// Rank 1 writes a long strided run (compressed), rank 2 a single
+	// slot (tree node), and the owner a slot of its own.
 	for i := 0; i < 50; i++ {
 		tm++
 		ev := detector.Event{
@@ -284,6 +290,18 @@ func TestStridedReleaseRetiresRank(t *testing.T) {
 	}); r != nil {
 		t.Fatal(r)
 	}
+	tm++
+	if r := z.Access(detector.Event{
+		Acc: access.Access{
+			Interval: interval.Span(20000, 8),
+			Type:     access.RMAWrite,
+			Rank:     0,
+			Debug:    access.Debug{File: "r.c", Line: 3},
+		},
+		Time: tm, CallTime: tm,
+	}); r != nil {
+		t.Fatal(r)
+	}
 
 	z.Release(1)
 	// Rank 1's compressed accesses are gone: a conflicting write to
@@ -294,23 +312,37 @@ func TestStridedReleaseRetiresRank(t *testing.T) {
 			Interval: interval.Span(24, 8),
 			Type:     access.RMAWrite,
 			Rank:     3,
-			Debug:    access.Debug{File: "r.c", Line: 3},
+			Debug:    access.Debug{File: "r.c", Line: 4},
 		},
 		Time: tm, CallTime: tm,
 	}); r != nil {
 		t.Fatalf("released section still conflicts: %v", r)
 	}
-	// ...while rank 2's tree node still races.
+	// ...and so is rank 2's tree node: its session also completed
+	// before the unlock in the lock's grant order.
 	tm++
 	if r := z.Access(detector.Event{
 		Acc: access.Access{
 			Interval: interval.Span(10000, 8),
 			Type:     access.RMAWrite,
 			Rank:     3,
-			Debug:    access.Debug{File: "r.c", Line: 4},
+			Debug:    access.Debug{File: "r.c", Line: 5},
+		},
+		Time: tm, CallTime: tm,
+	}); r != nil {
+		t.Fatalf("remote node survived release: %v", r)
+	}
+	// The owner's own access is never lock-ordered and still races.
+	tm++
+	if r := z.Access(detector.Event{
+		Acc: access.Access{
+			Interval: interval.Span(20000, 8),
+			Type:     access.RMAWrite,
+			Rank:     3,
+			Debug:    access.Debug{File: "r.c", Line: 6},
 		},
 		Time: tm, CallTime: tm,
 	}); r == nil {
-		t.Fatal("unreleased rank's node vanished")
+		t.Fatal("owner's access vanished on release")
 	}
 }

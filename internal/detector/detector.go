@@ -144,11 +144,15 @@ type Analyzer interface {
 	// (clearing on flush causes false negatives); the contribution
 	// exposes an opt-in unsafe mode as an ablation.
 	Flush(rank int)
-	// Release observes a synchronisation that completes and orders
-	// every outstanding operation of rank towards this window — an
-	// exclusive MPI_Win_unlock. The rank's stored accesses are retired:
-	// subsequent lock holders are ordered after them. Sound when every
-	// access to the window happens under the window lock discipline.
+	// Release observes an exclusive MPI_Win_unlock by rank at this
+	// window. The per-target lock grants in FIFO order, so every lock
+	// session that completed before the unlock — the releasing rank's
+	// own and every earlier holder's, shared included — is ordered
+	// before every later holder's session: the stored remote one-sided
+	// accesses are retired. The window owner's own accesses (origin
+	// buffers, unsynchronised local loads/stores) are never
+	// lock-ordered and stay live. Sound when every remote access to
+	// the window happens under the window lock discipline.
 	Release(rank int)
 	// Nodes reports the current number of stored entries — BST nodes
 	// for the tree-based analyzers (Table 4), shadow cells for

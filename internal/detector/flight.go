@@ -135,10 +135,8 @@ func (f *FlightLog) Snapshot() []FlightEntry {
 func WriteFlight(w io.Writer, entries []FlightEntry, race *Race) {
 	for _, e := range entries {
 		marker := "  "
-		if race != nil && e.Kind == FlightAccess {
-			if sameAccess(e.Acc, race.Prev) || sameAccess(e.Acc, race.Cur) {
-				marker = ">>"
-			}
+		if race != nil && e.Kind == FlightAccess && race.Involves(e.Acc) {
+			marker = ">>"
 		}
 		switch e.Kind {
 		case FlightAccess:
@@ -149,11 +147,4 @@ func WriteFlight(w io.Writer, entries []FlightEntry, race *Race) {
 			fmt.Fprintf(w, "%s %6d  %-11s origin=%d\n", marker, e.Seq, e.Kind, e.Origin)
 		}
 	}
-}
-
-// sameAccess matches a flight entry against one side of a race verdict
-// by identity fields (interval, type, rank, epoch, location).
-func sameAccess(a, b access.Access) bool {
-	return a.Interval == b.Interval && a.Type == b.Type && a.Rank == b.Rank &&
-		a.Epoch == b.Epoch && a.Debug == b.Debug
 }

@@ -1,0 +1,149 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"rmarace/internal/access"
+	"rmarace/internal/detector"
+	"rmarace/internal/mpi"
+	"rmarace/internal/rma"
+)
+
+// RunLive executes a generated program on the full simulated MPI-RMA
+// runtime — real goroutine ranks, the real instrumentation, engine and
+// notification pipeline — under a deterministic interleaving enforced
+// by an mpi.StepBarrier over the same schedule the renderer used. The
+// returned race is the session verdict (nil when the run was clean);
+// the run error is non-nil exactly when a rank unwound abnormally for
+// a reason other than the detected race.
+//
+// SyncLock programs are executed as SyncLockAll (wrapping every op in
+// its own live Lock/Unlock handshake is a different program than the
+// rendered one); callers compare against the oracle of the converted
+// program.
+func RunLive(p Program, schedSeed int64, cfg rma.Config) (*detector.Race, error) {
+	p = LiveVariant(p)
+	seq := LiveSeq(p, schedSeed)
+	world := mpi.NewWorld(p.Ranks)
+	sb := mpi.NewStepBarrier(p.Ranks, seq, world.Aborted())
+	s := rma.NewSession(world, cfg)
+	spans := p.epochOps()
+	err := world.Run(func(mp *mpi.Proc) error {
+		pr := s.Proc(mp)
+		rank := mp.Rank()
+		defer sb.Leave(rank)
+		w, err := pr.WinCreate("fuzzwin", WinSlots*Slot)
+		if err != nil {
+			return err
+		}
+		locals := pr.Alloc("locals", LocalSlots*Slot)
+		others := make([]int, 0, p.Ranks-1)
+		for r := 0; r < p.Ranks; r++ {
+			if r != rank {
+				others = append(others, r)
+			}
+		}
+		openEpoch := func() error {
+			switch p.Sync {
+			case SyncLockAll:
+				return w.LockAll()
+			case SyncFence:
+				return w.Fence()
+			default: // SyncPSCW
+				if err := w.Post(others...); err != nil {
+					return err
+				}
+				return w.Start(others...)
+			}
+		}
+		closeEpoch := func(last bool) error {
+			switch p.Sync {
+			case SyncLockAll:
+				return w.UnlockAll()
+			case SyncFence:
+				if last {
+					return w.FenceEnd()
+				}
+				return nil // the next phase's Fence closes and reopens
+			default: // SyncPSCW
+				if err := w.Complete(); err != nil {
+					return err
+				}
+				return w.Wait()
+			}
+		}
+		for e, span := range spans {
+			sb.Pass(rank) // epoch-opening synchronisation is collective
+			if p.Sync != SyncFence || e == 0 {
+				if err := openEpoch(); err != nil {
+					return err
+				}
+			}
+			for i := span[0]; i < span[1]; i++ {
+				op := p.Ops[i]
+				if op.Origin != rank {
+					continue
+				}
+				if !sb.Step(rank) {
+					return mpi.ErrAborted
+				}
+				if err := execOp(w, locals, op); err != nil {
+					return err
+				}
+			}
+			sb.Pass(rank) // epoch-closing synchronisation is collective
+			if p.Sync == SyncFence && e+1 < len(spans) {
+				if err := w.Fence(); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := closeEpoch(e+1 == len(spans)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	s.Close()
+	race := s.Race()
+	if race != nil {
+		err = nil // the abort is the verdict, not a failure
+	}
+	return race, err
+}
+
+// LiveVariant returns the program RunLive actually executes: SyncLock
+// converted to SyncLockAll, normalized. Oracle comparisons against a
+// live run must use this variant's rendering.
+func LiveVariant(p Program) Program {
+	p = Normalize(p)
+	if p.Sync == SyncLock {
+		p.Sync = SyncLockAll
+		p = Normalize(p)
+	}
+	return p
+}
+
+// execOp performs one program operation on the live runtime.
+func execOp(w *rma.Win, locals *rma.Buffer, op Op) error {
+	dbg := access.Debug{File: FileName, Line: op.Line}
+	switch op.Kind {
+	case OpPut:
+		return w.Put(op.Target, op.WOff*Slot, locals, op.LSlot*Slot, op.Len*Slot, dbg)
+	case OpGet:
+		return w.Get(locals, op.LSlot*Slot, op.Target, op.WOff*Slot, op.Len*Slot, dbg)
+	case OpAccum:
+		return w.Accumulate(op.Target, op.WOff*Slot, locals, op.LSlot*Slot, op.Len*Slot, op.AOp, dbg)
+	case OpLoad, OpStore:
+		buf, off := locals, op.LSlot*Slot
+		if op.OnWin {
+			buf, off = w.Buffer(), op.WOff*Slot
+		}
+		if op.Kind == OpLoad {
+			_, err := buf.Load(off, op.Len*Slot, dbg)
+			return err
+		}
+		return buf.Store(off, make([]byte, op.Len*Slot), dbg)
+	}
+	return fmt.Errorf("fuzz: unknown op kind %d", op.Kind)
+}

@@ -1,0 +1,48 @@
+package fuzz
+
+// Minimize shrinks a failing program by delta debugging: it repeatedly
+// removes chunks of the op list (halving the chunk size down to single
+// ops) and keeps any removal that still fails, then tries collapsing
+// the epoch and rank counts. fails must be a pure predicate — typically
+// "Diff still reports a divergence" — and is always handed a normalized
+// program (removal renumbers the synthetic source lines, so fails must
+// not depend on absolute line values).
+func Minimize(p Program, fails func(Program) bool) Program {
+	p = Normalize(p)
+	if !fails(p) {
+		return p
+	}
+	for chunk := len(p.Ops) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(p.Ops); {
+			trial := p
+			trial.Ops = make([]Op, 0, len(p.Ops)-chunk)
+			trial.Ops = append(trial.Ops, p.Ops[:start]...)
+			trial.Ops = append(trial.Ops, p.Ops[start+chunk:]...)
+			trial = Normalize(trial)
+			if fails(trial) {
+				p = trial
+			} else {
+				start += chunk
+			}
+		}
+	}
+	for p.Epochs > 1 {
+		trial := p
+		trial.Epochs--
+		trial = Normalize(trial)
+		if !fails(trial) {
+			break
+		}
+		p = trial
+	}
+	for p.Ranks > 2 {
+		trial := p
+		trial.Ranks--
+		trial = Normalize(trial)
+		if !fails(trial) {
+			break
+		}
+		p = trial
+	}
+	return p
+}

@@ -1,0 +1,458 @@
+// Package fuzz is the differential fuzzer that cross-checks every
+// production detector configuration against the brute-force oracle of
+// package oracle.
+//
+// It generates random MPI-RMA programs (ranks, one window,
+// Put/Get/Accumulate/local load-store under LockAll, Fence, PSCW or
+// per-target Lock synchronisation, with byte ranges biased toward
+// boundary-adjacency to stress the fragmentation and merge paths),
+// renders each program deterministically into the per-owner event
+// streams the real instrumentation layer would produce, replays the
+// same program under permuted schedules, and fails on any verdict-set
+// divergence between a production configuration and the oracle — with
+// automatic delta-debug minimisation and an on-disk reproducer.
+//
+// Program grammar constraints (documented in DESIGN §9):
+//
+//   - one window: detector state is strictly per-window, so multi-window
+//     programs decompose into independent single-window instances;
+//   - all offsets and lengths are in 8-byte slots, so the shadow
+//     backend's granule conflation is lossless;
+//   - one-sided operations never target their own rank and always use a
+//     private buffer (never the window) as the origin buffer. This keeps
+//     the generated programs inside the regime where Table 1's
+//     combination lattice is exact: a same-rank Local_Write combined
+//     under an own-window RMA_Read hides the write from later
+//     cross-rank readers by design (the fragment keeps the
+//     higher-priority type), and real halo-exchange-style programs do
+//     not produce that shape.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rmarace/internal/access"
+)
+
+// Geometry of every generated program, in 8-byte slots.
+const (
+	// Slot is the access granularity in bytes; everything is
+	// slot-aligned so granule-based backends are exact.
+	Slot = 8
+	// WinSlots is the window size in slots.
+	WinSlots = 16
+	// LocalSlots is the per-rank private buffer size in slots.
+	LocalSlots = 8
+	// MaxOps bounds a decoded program's operation count.
+	MaxOps = 96
+	// maxLen is the largest access length in slots.
+	maxLen = 3
+)
+
+// Rendered (and live-irrelevant) base addresses; the differential
+// comparison is address-free (detector.AccessKey), so these only need
+// to keep the window and private regions disjoint, as the simulator's
+// allocator does.
+const (
+	winBase   = uint64(1) << 20
+	localBase = uint64(1) << 30
+)
+
+// SyncKind selects the synchronisation discipline of a whole program.
+type SyncKind uint8
+
+const (
+	// SyncLockAll brackets each epoch in MPI_Win_lock_all ..
+	// MPI_Win_unlock_all.
+	SyncLockAll SyncKind = iota
+	// SyncFence separates epochs with MPI_Win_fence.
+	SyncFence
+	// SyncPSCW uses general active-target synchronisation: every rank
+	// posts to and starts towards all others each epoch, completes and
+	// waits.
+	SyncPSCW
+	// SyncLock wraps every one-sided operation in its own per-target
+	// MPI_Win_lock .. MPI_Win_unlock; an exclusive unlock retires the
+	// origin's accesses at the target (Release). Lock-mode programs
+	// have a single epoch and their local accesses fall outside any
+	// epoch (they are not collected, matching the instrumentation).
+	SyncLock
+	numSyncKinds
+)
+
+// String names the sync kind.
+func (s SyncKind) String() string {
+	switch s {
+	case SyncLockAll:
+		return "lock_all"
+	case SyncFence:
+		return "fence"
+	case SyncPSCW:
+		return "pscw"
+	case SyncLock:
+		return "lock"
+	}
+	return fmt.Sprintf("SyncKind(%d)", uint8(s))
+}
+
+// OpKind is one program operation.
+type OpKind uint8
+
+const (
+	OpPut OpKind = iota
+	OpGet
+	OpAccum
+	OpLoad
+	OpStore
+	numOpKinds
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpAccum:
+		return "accum"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// IsRMA reports whether the op is a one-sided operation.
+func (k OpKind) IsRMA() bool { return k == OpPut || k == OpGet || k == OpAccum }
+
+// Op is one operation of a generated program.
+type Op struct {
+	Kind   OpKind
+	Origin int
+	// Target is the remote rank of a one-sided operation (never equal
+	// to Origin); ignored for local ops.
+	Target int
+	// WOff is the window offset in slots (the target offset of RMA ops,
+	// or the accessed offset of an on-window local op).
+	WOff int
+	// LSlot is the private-buffer offset in slots (the origin buffer of
+	// RMA ops, or the accessed offset of an off-window local op).
+	LSlot int
+	// Len is the access length in slots (1..maxLen).
+	Len int
+	// OnWin makes a local op access the rank's own window memory
+	// instead of its private buffer.
+	OnWin bool
+	// Shared selects a shared instead of exclusive lock in SyncLock
+	// programs (shared unlocks do not retire accesses).
+	Shared bool
+	// AOp is the reduction operation of an OpAccum.
+	AOp access.AccumOp
+	// Line is the op's synthetic source line, assigned by Normalize so
+	// every op has a distinct identity in race verdicts.
+	Line int
+}
+
+// Program is one generated MPI-RMA program over a single window.
+type Program struct {
+	Ranks  int
+	Epochs int
+	Sync   SyncKind
+	// Ops run split into Epochs contiguous chunks, each rank issuing
+	// its chunk ops in listed order.
+	Ops []Op
+}
+
+// Normalize clamps every field into the valid grammar and assigns
+// deterministic per-op source lines. It is idempotent and total: any
+// input becomes a valid program, which is what lets raw fuzzer bytes
+// drive generation.
+func Normalize(p Program) Program {
+	if p.Ranks < 2 {
+		p.Ranks = 2
+	}
+	if p.Ranks > 4 {
+		p.Ranks = 4
+	}
+	p.Sync %= numSyncKinds
+	if p.Epochs < 1 {
+		p.Epochs = 1
+	}
+	if p.Epochs > 3 {
+		p.Epochs = 3
+	}
+	if p.Sync == SyncLock {
+		p.Epochs = 1
+	}
+	if len(p.Ops) > MaxOps {
+		p.Ops = p.Ops[:MaxOps]
+	}
+	ops := make([]Op, len(p.Ops))
+	for i, op := range p.Ops {
+		op.Kind %= numOpKinds
+		op.Origin = mod(op.Origin, p.Ranks)
+		if op.Len < 1 {
+			op.Len = 1
+		}
+		if op.Len > maxLen {
+			op.Len = maxLen
+		}
+		op.WOff = mod(op.WOff, WinSlots-op.Len+1)
+		op.LSlot = mod(op.LSlot, LocalSlots-op.Len+1)
+		if op.Kind.IsRMA() {
+			op.Target = mod(op.Target, p.Ranks)
+			if op.Target == op.Origin {
+				op.Target = (op.Target + 1) % p.Ranks
+			}
+			op.OnWin = false
+		} else {
+			op.Target = 0
+			op.Shared = false
+		}
+		if op.Kind == OpAccum {
+			if op.AOp == access.AccumNone || op.AOp > access.AccumBand {
+				op.AOp = access.AccumSum
+			}
+		} else {
+			op.AOp = access.AccumNone
+		}
+		op.Line = 100 + i
+		ops[i] = op
+	}
+	p.Ops = ops
+	return p
+}
+
+func mod(v, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	v %= n
+	if v < 0 {
+		v += n
+	}
+	return v
+}
+
+// epochOps returns the op index ranges of each epoch: Ops split into
+// Epochs contiguous chunks, as evenly as possible.
+func (p Program) epochOps() [][2]int {
+	out := make([][2]int, p.Epochs)
+	n := len(p.Ops)
+	for e := 0; e < p.Epochs; e++ {
+		out[e] = [2]int{n * e / p.Epochs, n * (e + 1) / p.Epochs}
+	}
+	return out
+}
+
+// String renders the program as a readable listing for reproducer
+// reports.
+func (p Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ranks=%d sync=%s epochs=%d ops=%d\n", p.Ranks, p.Sync, p.Epochs, len(p.Ops))
+	for e, span := range p.epochOps() {
+		fmt.Fprintf(&b, "epoch %d:\n", e)
+		for i := span[0]; i < span[1]; i++ {
+			op := p.Ops[i]
+			switch {
+			case op.Kind.IsRMA():
+				mode := ""
+				if p.Sync == SyncLock {
+					mode = " lock=excl"
+					if op.Shared {
+						mode = " lock=shared"
+					}
+				}
+				aop := ""
+				if op.Kind == OpAccum {
+					aop = " " + op.AOp.String()
+				}
+				fmt.Fprintf(&b, "  r%d %s r%d win[%d..%d) local[%d..%d)%s%s  ; line %d\n",
+					op.Origin, op.Kind, op.Target, op.WOff, op.WOff+op.Len,
+					op.LSlot, op.LSlot+op.Len, aop, mode, op.Line)
+			case op.OnWin:
+				fmt.Fprintf(&b, "  r%d %s win[%d..%d)  ; line %d\n",
+					op.Origin, op.Kind, op.WOff, op.WOff+op.Len, op.Line)
+			default:
+				fmt.Fprintf(&b, "  r%d %s local[%d..%d)  ; line %d\n",
+					op.Origin, op.Kind, op.LSlot, op.LSlot+op.Len, op.Line)
+			}
+		}
+	}
+	return b.String()
+}
+
+// ScheduleInvariant reports whether p's oracle verdict set is
+// guaranteed independent of the interleaving. Per-rank program order is
+// always preserved by scheduleOrder, so the only schedule-sensitive
+// construct is the release an exclusive unlock emits in SyncLock
+// programs: a shared-locked access pairs with an exclusive-locked one
+// iff it is stored before the exclusive holder's unlock retires it —
+// which is lock-acquisition order, a genuine property of the
+// interleaving, not a detector bug. (MPI itself agrees: whether two
+// lock epochs conflict depends on which grant the target orders first.)
+// Programs that are all-shared (no releases) or all-exclusive (every
+// access retired immediately after its op, so cross-rank pairs never
+// form) are invariant.
+func (p Program) ScheduleInvariant() bool {
+	if p.Sync != SyncLock {
+		return true
+	}
+	var shared, excl bool
+	for _, op := range p.Ops {
+		if op.Kind.IsRMA() {
+			if op.Shared {
+				shared = true
+			} else {
+				excl = true
+			}
+		}
+	}
+	return !(shared && excl)
+}
+
+// opBytes is the encoded width of one op.
+const opBytes = 6
+
+// Decode interprets raw bytes — typically from the native fuzzing
+// engine — as a program. Total: every byte string decodes to a valid
+// (possibly trivial) program, and Encode is its right inverse for
+// normalized programs.
+func Decode(data []byte) Program {
+	var p Program
+	get := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	p.Ranks = 2 + int(get(0))%3
+	p.Sync = SyncKind(get(1)) % numSyncKinds
+	p.Epochs = 1 + int(get(2))%3
+	// get(3) is reserved.
+	for off := 4; off+opBytes <= len(data) && len(p.Ops) < MaxOps; off += opBytes {
+		kind := OpKind(data[off]) % numOpKinds
+		op := Op{
+			Kind:   kind,
+			Origin: int(data[off+1]),
+			WOff:   int(data[off+3]),
+		}
+		if kind.IsRMA() {
+			// The target byte indexes the other ranks, skipping the
+			// origin, so every value is a valid remote rank.
+			ti := int(data[off+2]) % (p.Ranks - 1)
+			op.Origin %= p.Ranks
+			if ti >= op.Origin {
+				ti++
+			}
+			op.Target = ti
+		}
+		pack := data[off+4]
+		op.LSlot = int(pack & 0x7)
+		op.OnWin = pack&0x8 != 0
+		op.Len = 1 + int(pack>>4)&0x3
+		op.Shared = pack&0x40 != 0
+		if kind == OpAccum {
+			op.AOp = access.AccumOp(1 + int(data[off+5])%5)
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	return Normalize(p)
+}
+
+// Encode serialises a normalized program into the byte form Decode
+// reads, for seeding the native fuzz corpus.
+func Encode(p Program) []byte {
+	p = Normalize(p)
+	out := make([]byte, 4, 4+len(p.Ops)*opBytes)
+	out[0] = byte(p.Ranks - 2)
+	out[1] = byte(p.Sync)
+	out[2] = byte(p.Epochs - 1)
+	for _, op := range p.Ops {
+		ti := op.Target
+		if op.Kind.IsRMA() && ti > op.Origin {
+			ti--
+		}
+		pack := byte(op.LSlot) | byte(op.Len-1)<<4
+		if op.OnWin {
+			pack |= 0x8
+		}
+		if op.Shared {
+			pack |= 0x40
+		}
+		aop := byte(0)
+		if op.Kind == OpAccum {
+			aop = byte(op.AOp) - 1
+		}
+		out = append(out, byte(op.Kind), byte(op.Origin), byte(ti), byte(op.WOff), pack, aop)
+	}
+	return out
+}
+
+// Gen generates a random program. Window offsets are biased toward
+// boundary-adjacency: half the RMA ops start exactly where a previous
+// op's range ended (or end where it started), the pattern that drives
+// the fragmentation and merge paths hardest; a quarter overlap a
+// previous range outright.
+func Gen(rng *rand.Rand) Program {
+	p := Program{
+		Ranks:  2 + rng.Intn(3),
+		Epochs: 1 + rng.Intn(3),
+	}
+	switch r := rng.Float64(); {
+	case r < 0.4:
+		p.Sync = SyncLockAll
+	case r < 0.6:
+		p.Sync = SyncFence
+	case r < 0.8:
+		p.Sync = SyncPSCW
+	default:
+		p.Sync = SyncLock
+	}
+	nops := 4 + rng.Intn(21)
+	lastEnd, lastStart := -1, -1
+	for i := 0; i < nops; i++ {
+		var op Op
+		switch r := rng.Float64(); {
+		case r < 0.30:
+			op.Kind = OpPut
+		case r < 0.55:
+			op.Kind = OpGet
+		case r < 0.70:
+			op.Kind = OpAccum
+		case r < 0.85:
+			op.Kind = OpLoad
+		default:
+			op.Kind = OpStore
+		}
+		op.Origin = rng.Intn(p.Ranks)
+		op.Len = 1 + rng.Intn(maxLen)
+		op.LSlot = rng.Intn(LocalSlots - op.Len + 1)
+		switch r := rng.Float64(); {
+		case r < 0.35 && lastEnd >= 0:
+			op.WOff = lastEnd // boundary-adjacent: starts where the last ended
+		case r < 0.5 && lastStart >= op.Len:
+			op.WOff = lastStart - op.Len // ends where the last started
+		case r < 0.75 && lastStart >= 0:
+			op.WOff = lastStart // overlapping
+		default:
+			op.WOff = rng.Intn(WinSlots - op.Len + 1)
+		}
+		if op.Kind.IsRMA() {
+			op.Target = rng.Intn(p.Ranks)
+			op.Shared = rng.Float64() < 0.5
+			if op.Kind == OpAccum {
+				op.AOp = access.AccumOp(1 + rng.Intn(5))
+			}
+		} else {
+			op.OnWin = rng.Float64() < 0.5
+		}
+		lastStart, lastEnd = op.WOff, op.WOff+op.Len
+		p.Ops = append(p.Ops, op)
+	}
+	return Normalize(p)
+}

@@ -1,0 +1,164 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"rmarace/internal/access"
+	"rmarace/internal/detector"
+	"rmarace/internal/interval"
+	"rmarace/internal/trace"
+)
+
+// FileName is the synthetic source file of every generated access.
+const FileName = "fuzz.c"
+
+// scheduleOrder returns, per epoch, the op indices in scheduled
+// execution order: a seeded interleaving of the per-rank operation
+// streams. Per-rank program order is always preserved (each rank's ops
+// appear in listed order), which is what makes the oracle's verdict set
+// schedule-invariant for every program Program.ScheduleInvariant admits
+// — the only ordered constructs the race predicate then cares about are
+// same-rank ones, and those never reorder. (Mixed shared/exclusive
+// SyncLock programs are the exception: release ordering makes their
+// verdicts schedule-dependent by the semantics of locks themselves.)
+// Seed 0 is the identity schedule: global program order.
+func scheduleOrder(p Program, seed int64) [][]int {
+	spans := p.epochOps()
+	out := make([][]int, len(spans))
+	var rng *rand.Rand
+	if seed != 0 {
+		rng = rand.New(rand.NewSource(seed))
+	}
+	for e, span := range spans {
+		if rng == nil {
+			for i := span[0]; i < span[1]; i++ {
+				out[e] = append(out[e], i)
+			}
+			continue
+		}
+		// Per-rank queues, drained by a pick weighted by remaining
+		// length so long streams don't starve.
+		queues := make([][]int, p.Ranks)
+		remaining := 0
+		for i := span[0]; i < span[1]; i++ {
+			r := p.Ops[i].Origin
+			queues[r] = append(queues[r], i)
+			remaining++
+		}
+		for remaining > 0 {
+			n := rng.Intn(remaining)
+			for r := range queues {
+				if n < len(queues[r]) {
+					out[e] = append(out[e], queues[r][0])
+					queues[r] = queues[r][1:]
+					break
+				}
+				n -= len(queues[r])
+			}
+			remaining--
+		}
+	}
+	return out
+}
+
+// LiveSeq flattens a schedule into the StepBarrier sequence for a live
+// run: one entry per operation (every op takes a step, analysed or
+// not), holding the issuing rank.
+func LiveSeq(p Program, schedSeed int64) []int {
+	p = Normalize(p)
+	var seq []int
+	for _, idxs := range scheduleOrder(p, schedSeed) {
+		for _, i := range idxs {
+			seq = append(seq, p.Ops[i].Origin)
+		}
+	}
+	return seq
+}
+
+// opTypes returns the origin- and target-side access types of a
+// one-sided op, mirroring the instrumentation: Put reads its origin
+// buffer and writes the target window, Get the reverse, Accumulate
+// reads the origin buffer and accum-writes the target window.
+func opTypes(k OpKind) (origin, target access.Type) {
+	switch k {
+	case OpPut:
+		return access.RMARead, access.RMAWrite
+	case OpGet:
+		return access.RMAWrite, access.RMARead
+	default: // OpAccum
+		return access.RMARead, access.RMAAccum
+	}
+}
+
+// Render produces the trace records the instrumentation layer would
+// emit for one run of p under the given schedule, mirroring the live
+// runtime's semantics record for record:
+//
+//   - a one-sided op yields an origin-side event at the origin's own
+//     analyzer (its private buffer, stamped with the origin's epoch) and
+//     a target-side event at the target's analyzer (the window region,
+//     stamped with the target's epoch — notifications are drained before
+//     the target's EpochEnd, so the stamp is the target's current
+//     counter);
+//   - local loads and stores are analysed only inside an open passive
+//     or fence epoch (SyncLockAll, SyncFence); under SyncPSCW and
+//     SyncLock they fall outside every epoch and are not collected;
+//   - each epoch boundary emits one epoch_end per owner (UnlockAll,
+//     Fence, or PSCW Wait — all ranks synchronise each phase);
+//   - in SyncLock programs an exclusive unlock emits a release of the
+//     origin's accesses at the target, immediately after the op it
+//     brackets; shared unlocks release nothing.
+func Render(p Program, schedSeed int64) []trace.Record {
+	p = Normalize(p)
+	times := make([]uint64, p.Ranks)
+	ep := make([]uint64, p.Ranks)
+	var recs []trace.Record
+	emit := func(owner int, a access.Access, t uint64) {
+		recs = append(recs, trace.AccessRecord(owner, detector.Event{Acc: a, Time: t, CallTime: t}))
+	}
+	for _, idxs := range scheduleOrder(p, schedSeed) {
+		for _, i := range idxs {
+			op := p.Ops[i]
+			o := op.Origin
+			dbg := access.Debug{File: FileName, Line: op.Line}
+			if op.Kind.IsRMA() {
+				times[o]++
+				ct := times[o]
+				oT, tT := opTypes(op.Kind)
+				emit(o, access.Access{
+					Interval: interval.Span(localBase+uint64(op.LSlot*Slot), uint64(op.Len*Slot)),
+					Type:     oT, Rank: o, Epoch: ep[o], Debug: dbg,
+				}, ct)
+				ta := access.Access{
+					Interval: interval.Span(winBase+uint64(op.WOff*Slot), uint64(op.Len*Slot)),
+					Type:     tT, Rank: o, Epoch: ep[op.Target], AccumOp: op.AOp, Debug: dbg,
+				}
+				emit(op.Target, ta, ct)
+				if p.Sync == SyncLock && !op.Shared {
+					recs = append(recs, trace.Record{Kind: "release", Owner: op.Target, Rank: o})
+				}
+				continue
+			}
+			if p.Sync != SyncLockAll && p.Sync != SyncFence {
+				continue // outside any epoch: not collected
+			}
+			times[o]++
+			tp := access.LocalRead
+			if op.Kind == OpStore {
+				tp = access.LocalWrite
+			}
+			iv := interval.Span(localBase+uint64(op.LSlot*Slot), uint64(op.Len*Slot))
+			if op.OnWin {
+				iv = interval.Span(winBase+uint64(op.WOff*Slot), uint64(op.Len*Slot))
+			}
+			emit(o, access.Access{Interval: iv, Type: tp, Rank: o, Epoch: ep[o], Debug: dbg}, times[o])
+		}
+		if p.Sync != SyncLock {
+			for r := 0; r < p.Ranks; r++ {
+				recs = append(recs, trace.Record{Kind: "epoch_end", Owner: r})
+				ep[r]++
+			}
+		}
+	}
+	return recs
+}

@@ -1,0 +1,63 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rmarace/internal/trace"
+)
+
+// WriteRepro persists a divergence reproducer: the encoded program (the
+// native corpus format), a human-readable report, and the rendered
+// trace of the first diverging schedule, replayable with
+// `rmarace replay`. It returns the reproducer directory.
+func WriteRepro(dir string, res Result) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "program.bin"), Encode(res.Program), 0o644); err != nil {
+		return "", err
+	}
+	var sched int64
+	if len(res.Divergences) > 0 {
+		sched = res.Divergences[0].SchedSeed
+	}
+	var report strings.Builder
+	report.WriteString("differential fuzzing reproducer\n\n")
+	report.WriteString(res.Program.String())
+	fmt.Fprintf(&report, "\nschedules tried: %v\n", res.Schedules)
+	if res.Oracle != nil {
+		fmt.Fprintf(&report, "oracle verdicts (schedule %d): %d race(s)\n", res.Schedules[0], res.Oracle.Len())
+		for _, k := range res.Oracle.Keys() {
+			fmt.Fprintf(&report, "  %+v\n", k)
+		}
+	}
+	report.WriteString("\ndivergences:\n")
+	for _, d := range res.Divergences {
+		fmt.Fprintf(&report, "  %s\n", d)
+	}
+	fmt.Fprintf(&report, "\nreplay the trace with:\n  rmarace replay -trace repro.trace.jsonl -store <store> -shards <n>\n")
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte(report.String()), 0o644); err != nil {
+		return "", err
+	}
+	f, err := os.Create(filepath.Join(dir, "repro.trace.jsonl"))
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	tw, err := trace.NewWriter(f, trace.Header{Ranks: res.Program.Ranks, Window: "fuzzwin"})
+	if err != nil {
+		return "", err
+	}
+	for _, rec := range Render(res.Program, sched) {
+		if err := tw.Record(rec); err != nil {
+			return "", err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return "", err
+	}
+	return dir, nil
+}

@@ -1,0 +1,213 @@
+package fuzz
+
+import "rmarace/internal/access"
+
+// Seed is one hand-written corpus program with its expected oracle
+// verdict, distilled from the paper's figures and the race shapes the
+// deterministic workload generator (internal/trace/generate.go)
+// synthesises.
+type Seed struct {
+	Name string
+	P    Program
+	// Raced is the expected oracle verdict: does the program race?
+	Raced bool
+}
+
+func rmaOp(k OpKind, origin, target, woff, lslot, n int) Op {
+	return Op{Kind: k, Origin: origin, Target: target, WOff: woff, LSlot: lslot, Len: n}
+}
+
+func accum(origin, target, woff, lslot, n int, aop access.AccumOp) Op {
+	op := rmaOp(OpAccum, origin, target, woff, lslot, n)
+	op.AOp = aop
+	return op
+}
+
+func local(k OpKind, origin, slot, n int, onWin bool) Op {
+	op := Op{Kind: k, Origin: origin, Len: n}
+	if onWin {
+		op.OnWin = true
+		op.WOff = slot
+	} else {
+		op.LSlot = slot
+	}
+	return op
+}
+
+// Seeds returns the seed corpus. Every program is normalized and its
+// expected verdict is pinned by TestSeedCorpusOracleVerdicts; the
+// differential fuzz targets add the encoded forms to the native corpus.
+func Seeds() []Seed {
+	shared := func(op Op) Op { op.Shared = true; return op }
+	seeds := []Seed{
+		{
+			// §5.2 Code 1: a local load of the destination buffer before
+			// the MPI_Get that overwrites it — safe in program order
+			// (the exemption the order-insensitive published tool gets
+			// wrong).
+			Name: "code1-load-before-get",
+			P: Program{Ranks: 2, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				local(OpLoad, 0, 0, 1, false),
+				rmaOp(OpGet, 0, 1, 0, 0, 1),
+			}},
+			Raced: false,
+		},
+		{
+			// Fig. 3 shape: overlapping remote writes force the stab +
+			// fragmentation path, and a local store on the exposed
+			// window races with both.
+			Name: "fig3-overlap-fragment",
+			P: Program{Ranks: 2, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				rmaOp(OpPut, 0, 1, 0, 0, 2),
+				rmaOp(OpPut, 0, 1, 2, 2, 2),
+				local(OpStore, 1, 1, 2, true),
+			}},
+			Raced: true,
+		},
+		{
+			// Fig. 5 shape: the racing interval lives off the
+			// lower-bound descent path. r1's narrow get becomes the BST
+			// root; r0's wide get (read-read, no race, and the legacy
+			// store never fragments) lands in the left subtree; r1's
+			// put then probes right of the root key, so the published
+			// search walks right, misses the wide read, and drops a
+			// true race — the program the legacy canary must fail on.
+			Name: "fig5-lowerbound",
+			P: Program{Ranks: 3, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				rmaOp(OpGet, 1, 2, 2, 0, 1),
+				rmaOp(OpGet, 0, 2, 1, 0, 3),
+				rmaOp(OpPut, 1, 2, 3, 2, 1),
+			}},
+			Raced: true,
+		},
+		{
+			// Fig. 7 shape: a chain of boundary-adjacent puts, then an
+			// overlapping read from another rank.
+			Name: "fig7-adjacent-chain",
+			P: Program{Ranks: 3, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				rmaOp(OpPut, 0, 2, 0, 0, 2),
+				rmaOp(OpPut, 0, 2, 2, 2, 2),
+				rmaOp(OpPut, 0, 2, 4, 4, 2),
+				rmaOp(OpGet, 1, 2, 3, 0, 2),
+			}},
+			Raced: true,
+		},
+		{
+			// Adjacent but disjoint remote writes: the merge fast path
+			// must not blur the boundary into a false positive.
+			Name: "adjacent-run-safe",
+			P: Program{Ranks: 3, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				rmaOp(OpPut, 0, 2, 0, 0, 2),
+				rmaOp(OpPut, 1, 2, 2, 0, 2),
+			}},
+			Raced: false,
+		},
+		{
+			// Interleaved single-slot strides from two ranks, fully
+			// disjoint: the strided backend's section compression must
+			// not conflate them.
+			Name: "strided-safe",
+			P: Program{Ranks: 3, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				rmaOp(OpPut, 0, 2, 0, 0, 1),
+				rmaOp(OpPut, 0, 2, 2, 1, 1),
+				rmaOp(OpPut, 0, 2, 4, 2, 1),
+				rmaOp(OpPut, 1, 2, 1, 0, 1),
+				rmaOp(OpPut, 1, 2, 3, 1, 1),
+				rmaOp(OpPut, 1, 2, 5, 2, 1),
+			}},
+			Raced: false,
+		},
+		{
+			// Concurrent same-op accumulates are element-wise atomic and
+			// race-free.
+			Name: "accum-same-op",
+			P: Program{Ranks: 3, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				accum(0, 2, 0, 0, 2, access.AccumSum),
+				accum(1, 2, 0, 0, 2, access.AccumSum),
+			}},
+			Raced: false,
+		},
+		{
+			// Mixed-op accumulates to the same slots race.
+			Name: "accum-mixed-op",
+			P: Program{Ranks: 3, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				accum(0, 2, 0, 0, 2, access.AccumSum),
+				accum(1, 2, 0, 0, 2, access.AccumMax),
+			}},
+			Raced: true,
+		},
+		{
+			// An accumulate against an overlapping put races whatever
+			// the reduction op.
+			Name: "accum-vs-put",
+			P: Program{Ranks: 3, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				accum(0, 2, 0, 0, 2, access.AccumSum),
+				rmaOp(OpPut, 1, 2, 1, 0, 2),
+			}},
+			Raced: true,
+		},
+		{
+			// The same conflicting writes separated by a synchronisation
+			// phase: epochs keep them apart.
+			Name: "epoch-separated",
+			P: Program{Ranks: 2, Epochs: 2, Sync: SyncFence, Ops: []Op{
+				rmaOp(OpPut, 0, 1, 0, 0, 2),
+				rmaOp(OpPut, 1, 0, 0, 0, 2),
+			}},
+			Raced: false,
+		},
+		{
+			// Two origins writing an overlapping region of one exposure
+			// epoch under PSCW.
+			Name: "pscw-race",
+			P: Program{Ranks: 3, Epochs: 1, Sync: SyncPSCW, Ops: []Op{
+				rmaOp(OpPut, 0, 2, 0, 0, 2),
+				rmaOp(OpPut, 1, 2, 1, 0, 2),
+			}},
+			Raced: true,
+		},
+		{
+			// Exclusive per-target locks serialise the conflicting
+			// writes: each unlock retires the holder's accesses.
+			Name: "lock-exclusive-safe",
+			P: Program{Ranks: 3, Epochs: 1, Sync: SyncLock, Ops: []Op{
+				rmaOp(OpPut, 0, 1, 0, 0, 2),
+				rmaOp(OpPut, 2, 1, 0, 0, 2),
+			}},
+			Raced: false,
+		},
+		{
+			// Shared locks allow concurrent holders; nothing is retired,
+			// so the overlap races.
+			Name: "lock-shared-race",
+			P: Program{Ranks: 3, Epochs: 1, Sync: SyncLock, Ops: []Op{
+				shared(rmaOp(OpPut, 0, 1, 0, 0, 2)),
+				shared(rmaOp(OpPut, 2, 1, 1, 0, 2)),
+			}},
+			Raced: true,
+		},
+		{
+			// Concurrent overlapping gets: no write, no race.
+			Name: "get-get-safe",
+			P: Program{Ranks: 3, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				rmaOp(OpGet, 0, 2, 0, 0, 2),
+				rmaOp(OpGet, 1, 2, 0, 2, 2),
+			}},
+			Raced: false,
+		},
+	}
+	for i := range seeds {
+		seeds[i].P = Normalize(seeds[i].P)
+	}
+	return seeds
+}
+
+// SeedPrograms returns just the corpus programs.
+func SeedPrograms() []Program {
+	s := Seeds()
+	out := make([]Program, len(s))
+	for i := range s {
+		out[i] = s[i].P
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package mpi
+
+import "sync"
+
+// StepBarrier is a deterministic schedule controller: a virtual-clock
+// step barrier that serialises chosen program points of an SPMD run
+// into one explicit global order. The controller is handed the complete
+// schedule up front — a sequence of rank ids, one per step — and
+// advances a virtual clock over it: the rank named by the current
+// sequence entry is admitted, runs its step, and implicitly passes the
+// clock on at its next StepBarrier call.
+//
+// The fuzzer uses it to replay one generated program under many
+// permuted goroutine interleavings: the schedule sequence is a seeded
+// interleaving of the per-rank operation streams, so two runs with the
+// same sequence perform their instrumented operations in the same
+// global order regardless of how the Go scheduler dispatches the rank
+// goroutines — exactly the determinism Go's own scheduler does not give
+// (and whose absence is what hides interleaving-dependent detector
+// bugs).
+//
+// Protocol, per rank goroutine:
+//
+//   - Step(rank) before every scheduled operation. It blocks until the
+//     virtual clock reaches an entry for rank and every earlier entry's
+//     step has completed, then returns true holding the clock.
+//   - Pass(rank) before any collective or blocking synchronisation
+//     (Barrier, UnlockAll, PSCW handshakes): it releases the clock
+//     without consuming an entry so the other ranks can proceed into
+//     the collective too. Without it the clock holder would block
+//     inside the collective and deadlock the schedule.
+//   - Leave(rank) when the rank is done (normally or on error): its
+//     remaining sequence entries are skipped so survivors don't wait
+//     for steps that will never be requested. Safe to defer.
+//
+// Aborting the world (or closing the channel given to NewStepBarrier)
+// unblocks every waiter; Step then returns false and the caller should
+// unwind. A rank's own program order is never changed — the sequence
+// must be an interleaving of the per-rank request streams, which the
+// fuzzer guarantees by construction.
+type StepBarrier struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	seq  []int
+	// cursor indexes the next sequence entry to admit; holder is the
+	// rank currently holding the virtual clock (-1 when free).
+	cursor int
+	holder int
+	left   []bool
+	dead   bool
+}
+
+// NewStepBarrier returns a controller for the given schedule sequence.
+// aborted, when non-nil, unblocks all waiters when closed (pass
+// World.Aborted()).
+func NewStepBarrier(ranks int, seq []int, aborted <-chan struct{}) *StepBarrier {
+	b := &StepBarrier{seq: seq, holder: -1, left: make([]bool, ranks)}
+	b.cond = sync.NewCond(&b.mu)
+	if aborted != nil {
+		go func() {
+			<-aborted
+			b.mu.Lock()
+			b.dead = true
+			b.mu.Unlock()
+			b.cond.Broadcast()
+		}()
+	}
+	return b
+}
+
+// release gives up the clock if rank holds it and consumes its entry.
+// Callers hold b.mu.
+func (b *StepBarrier) release(rank int) {
+	if b.holder == rank {
+		b.holder = -1
+		b.cursor++
+		b.skipDead()
+		b.cond.Broadcast()
+	}
+}
+
+// skipDead advances the cursor past entries of ranks that left. Callers
+// hold b.mu.
+func (b *StepBarrier) skipDead() {
+	for b.cursor < len(b.seq) && b.left[b.seq[b.cursor]] {
+		b.cursor++
+	}
+}
+
+// Step blocks until it is rank's turn and returns true holding the
+// virtual clock. It returns false when the run aborted or the schedule
+// is exhausted (more steps requested than scheduled — a programming
+// error in the schedule's construction, surfaced gently so the rank
+// can unwind).
+func (b *StepBarrier) Step(rank int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.release(rank) // finish the previous step, if any
+	for {
+		if b.dead {
+			return false
+		}
+		if b.holder == -1 {
+			if b.cursor >= len(b.seq) {
+				return false
+			}
+			if b.seq[b.cursor] == rank {
+				b.holder = rank
+				return true
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+// Pass releases the virtual clock before rank enters a collective or
+// otherwise blocks outside the schedule. A no-op if rank does not hold
+// the clock.
+func (b *StepBarrier) Pass(rank int) {
+	b.mu.Lock()
+	b.release(rank)
+	b.mu.Unlock()
+}
+
+// Leave retires rank from the schedule: the clock is released and all
+// of rank's remaining entries are skipped.
+func (b *StepBarrier) Leave(rank int) {
+	b.mu.Lock()
+	b.release(rank)
+	if !b.left[rank] {
+		b.left[rank] = true
+		b.skipDead()
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,129 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStepBarrierSerialisesSchedule: three goroutines append their rank
+// at every admitted step; the observed order must equal the schedule
+// sequence, whatever the Go scheduler does.
+func TestStepBarrierSerialisesSchedule(t *testing.T) {
+	seq := []int{0, 1, 0, 2, 2, 1, 0, 2, 1, 0}
+	counts := make([]int, 3)
+	for _, r := range seq {
+		counts[r]++
+	}
+	b := NewStepBarrier(3, seq, nil)
+	var mu sync.Mutex
+	var got []int
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer b.Leave(rank)
+			for i := 0; i < counts[rank]; i++ {
+				if !b.Step(rank) {
+					t.Errorf("rank %d: step %d refused", rank, i)
+					return
+				}
+				mu.Lock()
+				got = append(got, rank)
+				mu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if len(got) != len(seq) {
+		t.Fatalf("got %d steps, want %d", len(got), len(seq))
+	}
+	for i := range seq {
+		if got[i] != seq[i] {
+			t.Fatalf("step %d ran rank %d, schedule says %d (full: %v)", i, got[i], seq[i], got)
+		}
+	}
+}
+
+// TestStepBarrierPassReleasesClock: a rank that passes before a
+// collective lets the other rank take its later steps.
+func TestStepBarrierPassReleasesClock(t *testing.T) {
+	b := NewStepBarrier(2, []int{0, 1, 1}, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if !b.Step(1) || !b.Step(1) {
+			t.Error("rank 1 refused")
+		}
+		b.Leave(1)
+	}()
+	if !b.Step(0) {
+		t.Fatal("rank 0 refused")
+	}
+	b.Pass(0) // entering a "collective"; rank 1 must be able to run
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rank 1 never ran after Pass")
+	}
+	b.Leave(0)
+}
+
+// TestStepBarrierLeaveSkipsEntries: a rank erroring out early must not
+// stall the survivors' schedule entries.
+func TestStepBarrierLeaveSkipsEntries(t *testing.T) {
+	b := NewStepBarrier(2, []int{0, 1, 0, 0, 1}, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if !b.Step(1) {
+			t.Error("rank 1 first step refused")
+		}
+		if !b.Step(1) {
+			t.Error("rank 1 second step refused")
+		}
+		b.Leave(1)
+	}()
+	if !b.Step(0) {
+		t.Fatal("rank 0 refused")
+	}
+	b.Leave(0) // rank 0 "errors out" with two entries still scheduled
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rank 1 stalled behind a departed rank's entries")
+	}
+}
+
+// TestStepBarrierAbortUnblocks: closing the abort channel makes blocked
+// Step calls return false.
+func TestStepBarrierAbortUnblocks(t *testing.T) {
+	abort := make(chan struct{})
+	b := NewStepBarrier(2, []int{0, 1}, abort)
+	done := make(chan bool, 1)
+	go func() {
+		done <- b.Step(1) // not rank 1's turn; blocks
+	}()
+	close(abort)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("aborted Step returned true")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Step still blocked after abort")
+	}
+}
+
+// TestStepBarrierExhaustedRefuses: requesting more steps than scheduled
+// returns false instead of deadlocking.
+func TestStepBarrierExhaustedRefuses(t *testing.T) {
+	b := NewStepBarrier(1, []int{0}, nil)
+	if !b.Step(0) {
+		t.Fatal("scheduled step refused")
+	}
+	if b.Step(0) {
+		t.Fatal("unscheduled step admitted")
+	}
+}

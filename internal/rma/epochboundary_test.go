@@ -1,0 +1,165 @@
+package rma
+
+import (
+	"fmt"
+	"testing"
+
+	"rmarace/internal/detector"
+)
+
+// notifBatches are the two notification delivery paths every epoch
+// boundary must behave identically under: scalar (each access analysed
+// as it arrives) and batched (accesses buffered 64 deep and flushed by
+// the synchronisation call itself).
+var notifBatches = []int{1, 64}
+
+// TestFenceResetsConflictState: an access before a fence and an
+// identical conflicting access after it must never pair — the fence
+// completes the epoch and the analyzer's conflict state with it. The
+// regression matters for the batched path especially: the fence must
+// flush the pending batch *into the closing epoch* before advancing,
+// or the pre-fence put would be analysed with the post-fence epoch
+// stamp and race.
+func TestFenceResetsConflictState(t *testing.T) {
+	for _, batch := range notifBatches {
+		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
+			err, s := run(t, 3, detector.OurContribution, Config{NotifBatch: batch}, func(p *Proc) error {
+				w, err := p.WinCreate("w", 64)
+				if err != nil {
+					return err
+				}
+				if err := w.Fence(); err != nil {
+					return err
+				}
+				src := p.Alloc("src", 8)
+				if p.Rank() == 0 {
+					if err := w.Put(2, 0, src, 0, 8, dbg(100)); err != nil {
+						return err
+					}
+				}
+				if err := w.Fence(); err != nil {
+					return err
+				}
+				// The identical access (same target, offset, length,
+				// source line) from another rank, one epoch later.
+				if p.Rank() == 1 {
+					if err := w.Put(2, 0, src, 0, 8, dbg(100)); err != nil {
+						return err
+					}
+				}
+				return w.FenceEnd()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Race() != nil {
+				t.Fatalf("fence-separated identical puts paired across the epoch boundary: %v", s.Race())
+			}
+		})
+	}
+}
+
+// TestFenceConflictControl is the positive control for the test above:
+// the same two puts inside one fence epoch must race on both
+// notification paths, proving the no-race verdict comes from the epoch
+// reset and not from the accesses being invisible.
+func TestFenceConflictControl(t *testing.T) {
+	for _, batch := range notifBatches {
+		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
+			_, s := run(t, 3, detector.OurContribution, Config{NotifBatch: batch}, func(p *Proc) error {
+				w, err := p.WinCreate("w", 64)
+				if err != nil {
+					return err
+				}
+				if err := w.Fence(); err != nil {
+					return err
+				}
+				src := p.Alloc("src", 8)
+				if p.Rank() != 2 {
+					if err := w.Put(2, 0, src, 0, 8, dbg(100+p.Rank())); err != nil {
+						return err
+					}
+				}
+				return w.FenceEnd()
+			})
+			if s.Race() == nil {
+				t.Fatal("conflicting same-epoch puts not detected (control)")
+			}
+		})
+	}
+}
+
+// TestPSCWResetsConflictState: Complete/Wait close a PSCW epoch pair,
+// so an access in the first exposure and an identical access in the
+// second must never pair. The handshake itself sequences the two
+// origins: rank 1's Start blocks until the target's second Post.
+func TestPSCWResetsConflictState(t *testing.T) {
+	for _, batch := range notifBatches {
+		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
+			err, s := run(t, 3, detector.OurContribution, Config{NotifBatch: batch}, func(p *Proc) error {
+				w, err := p.WinCreate("w", 64)
+				if err != nil {
+					return err
+				}
+				if p.Rank() == 2 {
+					// Two back-to-back exposure epochs, one origin each.
+					for _, origin := range []int{0, 1} {
+						if err := w.Post(origin); err != nil {
+							return err
+						}
+						if err := w.Wait(); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				src := p.Alloc("src", 8)
+				if err := w.Start(2); err != nil {
+					return err
+				}
+				if err := w.Put(2, 0, src, 0, 8, dbg(100)); err != nil {
+					return err
+				}
+				return w.Complete()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Race() != nil {
+				t.Fatalf("Wait-separated identical puts paired across PSCW exposures: %v", s.Race())
+			}
+		})
+	}
+}
+
+// TestPSCWConflictControl: the same two origin puts inside a single
+// shared exposure epoch race on both notification paths.
+func TestPSCWConflictControl(t *testing.T) {
+	for _, batch := range notifBatches {
+		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
+			_, s := run(t, 3, detector.OurContribution, Config{NotifBatch: batch}, func(p *Proc) error {
+				w, err := p.WinCreate("w", 64)
+				if err != nil {
+					return err
+				}
+				if p.Rank() == 2 {
+					if err := w.Post(0, 1); err != nil {
+						return err
+					}
+					return w.Wait()
+				}
+				src := p.Alloc("src", 8)
+				if err := w.Start(2); err != nil {
+					return err
+				}
+				if err := w.Put(2, 0, src, 0, 8, dbg(100+p.Rank())); err != nil {
+					return err
+				}
+				return w.Complete()
+			})
+			if s.Race() == nil {
+				t.Fatal("conflicting single-exposure puts not detected (control)")
+			}
+		})
+	}
+}

@@ -12,8 +12,9 @@ import (
 const (
 	lockNone = iota
 	// LockExclusive is MPI_LOCK_EXCLUSIVE: sole access to the target's
-	// window; the matching Unlock orders the session's operations
-	// before every later lock holder's.
+	// window; the matching Unlock orders every lock session completed
+	// so far — shared included, by the server's FIFO grant order —
+	// before every later lock holder's session.
 	LockExclusive
 	// LockShared is MPI_LOCK_SHARED: concurrent holders allowed;
 	// conflicting accesses of concurrent holders still race.
@@ -138,11 +139,14 @@ func (w *Win) Lock(mode, target int) error {
 
 // Unlock releases the passive-target lock on target's window
 // (MPI_Win_unlock), completing this process's operations towards it.
-// After an exclusive unlock the session's accesses are ordered before
-// any later lock holder's, which the analysis models by retiring them
-// at the target (Analyzer.Release). Origin-side completion is not
-// modelled: a local store to a source buffer after Unlock may still be
-// flagged — the same conservatism class as §6(2).
+// After an exclusive unlock, every lock session completed so far —
+// shared included, by the lock server's FIFO grant order — is ordered
+// before any later lock holder's, which the analysis models by
+// retiring the remote one-sided accesses at the target
+// (Analyzer.Release); the target's own accesses stay live.
+// Origin-side completion is not modelled: a local store to a source
+// buffer after Unlock may still be flagged — the same conservatism
+// class as §6(2).
 func (w *Win) Unlock(target int) error {
 	if target < 0 || target >= w.p.Size() {
 		return fmt.Errorf("rma: unlock of invalid rank %d", target)
@@ -155,9 +159,10 @@ func (w *Win) Unlock(target int) error {
 	// MPI_Win_unlock completes the session's operations at the target:
 	// the pending notification batch is flushed, then a synchronisation
 	// marker travels behind the session's accesses on the notification
-	// channel and is acknowledged once they are all analysed. Exclusive
-	// sessions are additionally retired (released) because the unlock
-	// orders them before every later lock holder.
+	// channel and is acknowledged once they are all analysed. An
+	// exclusive unlock additionally retires (releases) the remote
+	// accesses stored at the target, because the lock's FIFO grant
+	// order places every completed session before every later holder's.
 	if err := w.flushNotifs(target); err != nil {
 		return err
 	}

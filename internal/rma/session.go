@@ -213,7 +213,7 @@ func (s *Session) newAnalyzer(rank int) detector.Analyzer {
 	case detector.MustRMAMethod:
 		return detector.NewMustRMA(s.must, rank)
 	case detector.OurContribution:
-		var opts []core.Option
+		opts := []core.Option{core.WithOwner(rank)}
 		if s.cfg.UnsafeFlushClear {
 			opts = append(opts, core.WithUnsafeFlushClear())
 		}

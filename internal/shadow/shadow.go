@@ -51,6 +51,14 @@ type Entry struct {
 	Type     access.Type
 	AccumOp  access.AccumOp
 	Debug    access.Debug
+	// Epoch is the analysis epoch the access was observed in, carried
+	// so the AccessStore adapter can reconstruct stored accesses that
+	// satisfy the epoch-equality clause of access.Races. The
+	// happens-before model above never reads it (MUST-RMA orders by
+	// clocks, not epochs), but without it the -store=shadow ablation
+	// reported every stored access as epoch 0 and silently stopped
+	// detecting races from the second epoch on.
+	Epoch uint64
 
 	snapAtOwner uint64
 }
@@ -148,6 +156,7 @@ func (m *Memory) Record(a access.Access, e Entry) *Conflict {
 	e.Type = a.Type
 	e.AccumOp = a.AccumOp
 	e.Debug = a.Debug
+	e.Epoch = a.Epoch
 	if e.IsRMA {
 		e.snapAtOwner = e.Snapshot.At(m.owner)
 	}
@@ -264,18 +273,31 @@ func (m *Memory) Clear() {
 	m.cells = make(map[uint64]*cell)
 }
 
-// RemoveRank retires every stored entry issued by rank, the effect of
-// an exclusive MPI_Win_unlock ordering that rank's operations before
-// everything that follows. Empty cells are reclaimed.
+// RemoveRank retires every stored entry issued by rank (the
+// unsafe-flush ablation's per-rank clearing). Empty cells are
+// reclaimed.
 func (m *Memory) RemoveRank(rank int) {
+	m.removeIf(func(e *Entry) bool { return e.Rank == rank })
+}
+
+// RemoveRemote retires every stored one-sided entry issued by a rank
+// other than owner, the effect of an exclusive MPI_Win_unlock: the
+// lock's FIFO grant order places every completed lock session — shared
+// included — before every later holder's. The owner's own entries
+// (origin-side buffers, unsynchronised local accesses) survive.
+func (m *Memory) RemoveRemote(owner int) {
+	m.removeIf(func(e *Entry) bool { return e.Rank != owner && e.IsRMA })
+}
+
+func (m *Memory) removeIf(doomed func(*Entry) bool) {
 	for base, c := range m.cells {
-		if c.lastWrite != nil && c.lastWrite.Rank == rank {
+		if c.lastWrite != nil && doomed(c.lastWrite) {
 			c.lastWrite = nil
 		}
 		kept := c.reads[:0]
-		for _, r := range c.reads {
-			if r.Rank != rank {
-				kept = append(kept, r)
+		for i := range c.reads {
+			if !doomed(&c.reads[i]) {
+				kept = append(kept, c.reads[i])
 			}
 		}
 		c.reads = kept

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/interval"
+)
+
+// accumAcc builds an 8-byte-aligned access (exact even at shadow
+// granule resolution) with the given type and reduction op.
+func accumAcc(lo, n uint64, tp access.Type, op access.AccumOp, rank int, line int) access.Access {
+	return access.Access{
+		Interval: interval.Span(lo, n),
+		Type:     tp,
+		AccumOp:  op,
+		Rank:     rank,
+		Debug:    access.Debug{File: "accum.c", Line: line},
+	}
+}
+
+// TestAccumulateSemanticsAcrossStores drives the paper's §2.1
+// accumulate atomicity rules through every storage backend, not just
+// the contribution's interval tree: same-operation concurrent
+// accumulates commute element-wise and are race-free, while mixed-op
+// accumulates and accumulate-vs-Put / accumulate-vs-Get overlaps
+// conflict. The predicate is evaluated on the access the *store* hands
+// back, so a backend that drops or corrupts the AccumOp (or Type) on
+// reconstruction fails here even though the raw predicate is correct.
+func TestAccumulateSemanticsAcrossStores(t *testing.T) {
+	const (
+		sum = access.AccumSum
+		max = access.AccumMax
+		acc = access.RMAAccum
+		put = access.RMAWrite // the target side of an MPI_Put
+		get = access.RMARead  // the target side of an MPI_Get
+	)
+	none := access.AccumNone
+	cases := []struct {
+		name           string
+		storedT, inT   access.Type
+		storedOp, inOp access.AccumOp
+		race           bool
+	}{
+		{"same-op sum/sum", acc, acc, sum, sum, false},
+		{"same-op max/max", acc, acc, max, max, false},
+		{"mixed-op sum/max", acc, acc, sum, max, true},
+		{"mixed-op max/sum", acc, acc, max, sum, true},
+		{"accum vs put", acc, put, sum, none, true},
+		{"put vs accum", put, acc, none, sum, true},
+		{"accum vs get", acc, get, sum, none, true},
+		{"get vs accum", get, acc, none, sum, true},
+	}
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			for _, tc := range cases {
+				s, err := New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stored := accumAcc(0, 16, tc.storedT, tc.storedOp, 1, 10)
+				in := accumAcc(8, 16, tc.inT, tc.inOp, 2, 20)
+				s.Insert(stored)
+				raced := false
+				s.Stab(in.Interval, func(got access.Access) bool {
+					if access.Races(got, in) {
+						raced = true
+						return false
+					}
+					return true
+				})
+				if raced != tc.race {
+					t.Errorf("%s: raced=%v, want %v", tc.name, raced, tc.race)
+				}
+			}
+		})
+	}
+}
+
+// TestAccumulateDisjointAcrossStores: accumulates that do not overlap
+// never conflict whatever the ops, on every backend. (Granule-aligned
+// so the shadow backend's conflation cannot blur the gap.)
+func TestAccumulateDisjointAcrossStores(t *testing.T) {
+	for _, name := range Names() {
+		s, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Insert(accumAcc(0, 8, access.RMAAccum, access.AccumSum, 1, 10))
+		in := accumAcc(8, 8, access.RMAAccum, access.AccumMax, 2, 20)
+		s.Stab(in.Interval, func(got access.Access) bool {
+			if access.Races(got, in) {
+				t.Errorf("%s: disjoint accumulates reported racing (%v vs %v)", name, got, in)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package store
+
+import (
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/interval"
+)
+
+func epochAcc(lo, n uint64, tp access.Type, rank int, epoch uint64, line int) access.Access {
+	return access.Access{
+		Interval: interval.Span(lo, n),
+		Type:     tp,
+		Rank:     rank,
+		Epoch:    epoch,
+		Debug:    access.Debug{File: "epoch.c", Line: line},
+	}
+}
+
+// TestShadowPreservesEpoch is the regression test for the shadow
+// adapter dropping Epoch on reconstruction: every stored access came
+// back as epoch 0, so under Algorithm 1 with -store=shadow the race
+// predicate's epoch-equality clause failed for any access of epoch ≥ 1
+// and races went undetected from the second epoch on.
+func TestShadowPreservesEpoch(t *testing.T) {
+	s := NewShadow()
+	in := epochAcc(0, 8, access.RMAWrite, 1, 3, 10)
+	s.Insert(in)
+	seen := 0
+	s.Stab(in.Interval, func(got access.Access) bool {
+		seen++
+		if got.Epoch != in.Epoch {
+			t.Errorf("stab returned epoch %d, want %d", got.Epoch, in.Epoch)
+		}
+		return true
+	})
+	if seen == 0 {
+		t.Fatal("stored access not found by stab")
+	}
+	s.Walk(func(got access.Access) bool {
+		if got.Epoch != in.Epoch {
+			t.Errorf("walk returned epoch %d, want %d", got.Epoch, in.Epoch)
+		}
+		return true
+	})
+}
+
+// TestShadowEpochRace drives the full predicate: a stored epoch-2 write
+// must race with an overlapping epoch-2 write from another rank when
+// read back through the store.
+func TestShadowEpochRace(t *testing.T) {
+	s := NewShadow()
+	stored := epochAcc(0, 8, access.RMAWrite, 1, 2, 10)
+	s.Insert(stored)
+	incoming := epochAcc(0, 8, access.RMAWrite, 2, 2, 20)
+	raced := false
+	s.Stab(incoming.Interval, func(got access.Access) bool {
+		if access.Races(got, incoming) {
+			raced = true
+			return false
+		}
+		return true
+	})
+	if !raced {
+		t.Fatal("epoch-2 write pair not detected as racing through the shadow store")
+	}
+}
+
+// TestStridedSectionsSegregateEpochs: a constant-stride run whose
+// elements span an epoch boundary must not collapse into one section,
+// or its representatives would all report the head element's epoch.
+func TestStridedSectionsSegregateEpochs(t *testing.T) {
+	s := NewStrided()
+	// Same stream identity except for the epoch switch at element 3.
+	for i := uint64(0); i < 6; i++ {
+		epoch := uint64(0)
+		if i >= 3 {
+			epoch = 1
+		}
+		s.Insert(epochAcc(i*24, 8, access.RMAWrite, 1, epoch, 10))
+	}
+	seenEpochs := map[uint64]int{}
+	s.Walk(func(a access.Access) bool {
+		seenEpochs[a.Epoch]++
+		return true
+	})
+	if seenEpochs[0] != 3 || seenEpochs[1] != 3 {
+		t.Fatalf("representatives lost their epochs: %v (want 3 of epoch 0 and 3 of epoch 1)", seenEpochs)
+	}
+}

@@ -114,6 +114,15 @@ func (s *Instrumented) RemoveRank(rank int) {
 	}
 }
 
+// RemoveRemote implements RemoteRemover through the package helper.
+func (s *Instrumented) RemoveRemote(owner int) {
+	before := s.inner.Len()
+	RemoveRemote(s.inner, owner)
+	if removed := before - s.inner.Len(); removed > 0 {
+		s.rec.Add(obs.StoreDeletes, s.label, int64(removed))
+	}
+}
+
 // Walk implements AccessStore.
 func (s *Instrumented) Walk(fn func(access.Access) bool) { s.inner.Walk(fn) }
 

@@ -1,0 +1,74 @@
+package store
+
+import (
+	"testing"
+
+	"rmarace/internal/access"
+	"rmarace/internal/interval"
+)
+
+// TestRemoveRemote checks the exclusive-unlock retirement across every
+// backend that can delete: remote one-sided accesses go, the owner's
+// one-sided and local accesses stay. The shadow backend reports at
+// granule resolution, so the assertions only look at rank and type.
+func TestRemoveRemote(t *testing.T) {
+	const owner = 0
+	mk := func(tp access.Type, rank int, lo uint64) access.Access {
+		return access.Access{
+			Interval: interval.Span(lo, 8),
+			Type:     tp,
+			Rank:     rank,
+			Debug:    access.Debug{File: "f.c", Line: int(lo)},
+		}
+	}
+	seed := []access.Access{
+		mk(access.RMAWrite, 2, 0),       // remote RMA: retired
+		mk(access.RMARead, 3, 16),       // remote RMA: retired
+		mk(access.RMAWrite, owner, 32),  // owner's origin-side RMA: kept
+		mk(access.LocalRead, owner, 48), // owner's local: kept
+	}
+	for _, name := range []string{"avl", "shadow", "strided"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range seed {
+				s.Insert(a)
+			}
+			RemoveRemote(s, owner)
+			for _, a := range Items(s) {
+				if a.Rank != owner && a.Type.IsRMA() {
+					t.Errorf("remote access survived: %+v", a)
+				}
+			}
+			kept := map[access.Type]bool{}
+			for _, a := range Items(s) {
+				if a.Rank == owner {
+					kept[a.Type] = true
+				}
+			}
+			if !kept[access.RMAWrite] || !kept[access.LocalRead] {
+				t.Errorf("owner's accesses retired: have %v", Items(s))
+			}
+		})
+	}
+
+	// The legacy BST cannot delete (Delete reports false), so the
+	// generic fallback leaves it untouched — consistent with the
+	// legacy tool ignoring unlock ordering.
+	t.Run("legacy", func(t *testing.T) {
+		s, err := New("legacy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range seed {
+			s.Insert(a)
+		}
+		before := s.Len()
+		RemoveRemote(s, owner)
+		if s.Len() != before {
+			t.Fatalf("legacy store changed: %d -> %d", before, s.Len())
+		}
+	})
+}

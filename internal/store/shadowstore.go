@@ -45,8 +45,9 @@ func (s *Shadow) Insert(a access.Access) {
 	s.mem.Record(a, shadow.Entry{Rank: a.Rank, IsRMA: a.Type.IsRMA()})
 }
 
-// Delete implements AccessStore. Shadow cells retire by epoch (Clear)
-// or by rank (RemoveRank), never by interval; Delete reports false.
+// Delete implements AccessStore. Shadow cells retire by epoch (Clear),
+// by rank (RemoveRank) or by remoteness (RemoveRemote), never by
+// interval; Delete reports false.
 func (s *Shadow) Delete(interval.Interval) bool { return false }
 
 // entryAccess reconstructs the stored-access view of one shadow entry.
@@ -55,6 +56,7 @@ func (s *Shadow) entryAccess(base uint64, e shadow.Entry) access.Access {
 		Interval: interval.Span(base, s.mem.GranuleSize()),
 		Type:     e.Type,
 		Rank:     e.Rank,
+		Epoch:    e.Epoch,
 		Debug:    e.Debug,
 		AccumOp:  e.AccumOp,
 	}
@@ -76,8 +78,12 @@ func (s *Shadow) Walk(fn func(access.Access) bool) {
 }
 
 // RemoveRank implements RankRemover via the shadow memory's per-rank
-// retirement (the exclusive-unlock ordering).
+// retirement (the unsafe-flush ablation).
 func (s *Shadow) RemoveRank(rank int) { s.mem.RemoveRank(rank) }
+
+// RemoveRemote implements RemoteRemover via the shadow memory (the
+// exclusive-unlock ordering: every remote one-sided entry retires).
+func (s *Shadow) RemoveRemote(owner int) { s.mem.RemoveRemote(owner) }
 
 // Clear implements AccessStore.
 func (s *Shadow) Clear() { s.mem.Clear() }
@@ -86,6 +92,7 @@ func (s *Shadow) Clear() { s.mem.Clear() }
 func (s *Shadow) Len() int { return s.mem.Cells() }
 
 var (
-	_ AccessStore = (*Shadow)(nil)
-	_ RankRemover = (*Shadow)(nil)
+	_ AccessStore   = (*Shadow)(nil)
+	_ RankRemover   = (*Shadow)(nil)
+	_ RemoteRemover = (*Shadow)(nil)
 )

@@ -156,8 +156,8 @@ func ExtendLo(s AccessStore, a access.Access, newLo uint64) bool {
 }
 
 // RankRemover is the optional per-rank retirement capability backing
-// Analyzer.Release (exclusive-unlock ordering). The fallback walks and
-// deletes.
+// the unsafe-flush ablation (the published fig. 5 defect retires the
+// calling rank's accesses). The fallback walks and deletes.
 type RankRemover interface {
 	RemoveRank(rank int)
 }
@@ -171,6 +171,41 @@ func RemoveRank(s AccessStore, rank int) {
 	var doomed []access.Access
 	s.Walk(func(a access.Access) bool {
 		if a.Rank == rank {
+			doomed = append(doomed, a)
+		}
+		return true
+	})
+	for _, d := range doomed {
+		s.Delete(d.Interval)
+	}
+}
+
+// RemoteRemover is the optional retirement capability backing
+// Analyzer.Release (exclusive-unlock ordering): retire every stored
+// one-sided access issued by a rank other than the store's owner. The
+// fallback walks and deletes.
+type RemoteRemover interface {
+	RemoveRemote(owner int)
+}
+
+// RemoveRemote retires every stored RMA access whose issuing rank is
+// not owner. This is the storage effect of an exclusive MPI_Win_unlock:
+// the per-target lock grants in FIFO order, so every lock session that
+// completed before the unlock — the releasing origin's own and every
+// earlier holder's, shared included — is ordered before every later
+// holder's session. The owner's accesses (its origin-side buffers and
+// unsynchronised local loads/stores) are never lock-ordered and
+// survive. Unlike a per-rank retirement this is exact even after
+// Table 1 fragment combination: remote accesses only ever share a
+// fragment with other remote accesses, and those retire together.
+func RemoveRemote(s AccessStore, owner int) {
+	if rr, ok := s.(RemoteRemover); ok {
+		rr.RemoveRemote(owner)
+		return
+	}
+	var doomed []access.Access
+	s.Walk(func(a access.Access) bool {
+		if a.Rank != owner && a.Type.IsRMA() {
 			doomed = append(doomed, a)
 		}
 		return true

@@ -13,10 +13,15 @@ import (
 const minRun = 4
 
 // identKey identifies a strided access stream: everything an element of
-// a regular section must share except its address.
+// a regular section must share except its address. Epoch is part of the
+// identity so a section never absorbs accesses from different epochs —
+// its representatives would otherwise report the section head's epoch
+// and corrupt the epoch-equality clause of the race predicate when a
+// trace interleaves epochs without an intervening Clear.
 type identKey struct {
 	tp    access.Type
 	rank  int
+	epoch uint64
 	stack bool
 	op    access.AccumOp
 	debug access.Debug
@@ -24,7 +29,7 @@ type identKey struct {
 }
 
 func identOf(a access.Access) identKey {
-	return identKey{tp: a.Type, rank: a.Rank, stack: a.Stack, op: a.AccumOp, debug: a.Debug, width: a.Interval.Len()}
+	return identKey{tp: a.Type, rank: a.Rank, epoch: a.Epoch, stack: a.Stack, op: a.AccumOp, debug: a.Debug, width: a.Interval.Len()}
 }
 
 // run tracks one stream's pending compression.
@@ -213,25 +218,35 @@ func (s *Strided) Walk(fn func(access.Access) bool) {
 // RemoveRank implements RankRemover: the rank's tree nodes and sections
 // are retired.
 func (s *Strided) RemoveRank(rank int) {
-	var doomed []access.Access
+	s.removeIf(func(a access.Access) bool { return a.Rank == rank })
+}
+
+// RemoveRemote implements RemoteRemover: every remote one-sided tree
+// node and section retires (the exclusive-unlock ordering).
+func (s *Strided) RemoveRemote(owner int) {
+	s.removeIf(func(a access.Access) bool { return a.Rank != owner && a.Type.IsRMA() })
+}
+
+func (s *Strided) removeIf(doomed func(access.Access) bool) {
+	var dead []access.Access
 	s.tree.InOrder(func(a access.Access) bool {
-		if a.Rank == rank {
-			doomed = append(doomed, a)
+		if doomed(a) {
+			dead = append(dead, a)
 		}
 		return true
 	})
-	for _, d := range doomed {
+	for _, d := range dead {
 		s.tree.Delete(d.Interval)
 	}
 	kept := s.sections[:0]
 	for _, sec := range s.sections {
-		if sec.Acc.Rank != rank {
+		if !doomed(sec.Acc) {
 			kept = append(kept, sec)
 		}
 	}
 	s.sections = kept
 	for k := range s.open {
-		if k.rank == rank {
+		if doomed(access.Access{Type: k.tp, Rank: k.rank, AccumOp: k.op}) {
 			delete(s.open, k)
 		}
 	}
@@ -269,6 +284,7 @@ func (s *Strided) Sections() []strided.Section {
 }
 
 var (
-	_ AccessStore = (*Strided)(nil)
-	_ RankRemover = (*Strided)(nil)
+	_ AccessStore   = (*Strided)(nil)
+	_ RankRemover   = (*Strided)(nil)
+	_ RemoteRemover = (*Strided)(nil)
 )

@@ -29,11 +29,14 @@ type Header struct {
 	Window string `json:"window"`
 }
 
-// Record is one traced event: either an access or an epoch boundary.
+// Record is one traced event: an access, an epoch boundary, or a
+// release (an exclusive MPI_Win_unlock retiring Rank's accesses at
+// Owner's analyzer).
 type Record struct {
-	Kind string `json:"kind"` // "access" or "epoch_end"
+	Kind string `json:"kind"` // "access", "epoch_end" or "release"
 	// Owner is the rank whose per-window analyzer processes the record
-	// (the window owner); Rank is the rank that issued the access.
+	// (the window owner); Rank is the rank that issued the access (for
+	// kind "release", the rank whose accesses are retired).
 	Owner int `json:"owner"`
 	Rank  int `json:"rank"`
 	// Access fields (kind "access").
@@ -85,9 +88,12 @@ func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	return &Writer{w: bw, enc: enc}, nil
 }
 
-// Access appends one access event analysed by owner's tree.
-func (t *Writer) Access(owner int, ev detector.Event) error {
-	return t.enc.Encode(Record{
+// AccessRecord builds the in-memory access record for one event,
+// exactly as Access would serialise it. The differential fuzzer's
+// renderer uses it to produce record streams without an encode/decode
+// round trip.
+func AccessRecord(owner int, ev detector.Event) Record {
+	return Record{
 		Kind:     "access",
 		Owner:    owner,
 		Rank:     ev.Acc.Rank,
@@ -102,12 +108,27 @@ func (t *Writer) Access(owner int, ev detector.Event) error {
 		CallTime: ev.CallTime,
 		Filtered: ev.Filtered,
 		AccumOp:  uint8(ev.Acc.AccumOp),
-	})
+	}
 }
+
+// Access appends one access event analysed by owner's tree.
+func (t *Writer) Access(owner int, ev detector.Event) error {
+	return t.enc.Encode(AccessRecord(owner, ev))
+}
+
+// Record appends a pre-built record verbatim (the fuzzer's reproducer
+// writer streams rendered records through this).
+func (t *Writer) Record(rec Record) error { return t.enc.Encode(rec) }
 
 // EpochEnd appends an epoch boundary for the given owner.
 func (t *Writer) EpochEnd(owner int) error {
 	return t.enc.Encode(Record{Kind: "epoch_end", Owner: owner})
+}
+
+// Release appends a release marker: an exclusive unlock by rank
+// retiring its accesses at owner's analyzer.
+func (t *Writer) Release(owner, rank int) error {
+	return t.enc.Encode(Record{Kind: "release", Owner: owner, Rank: rank})
 }
 
 // Flush flushes buffered output.
@@ -223,9 +244,9 @@ func ReplayWith(r *Reader, newAnalyzer func(owner int) detector.Analyzer, opts R
 		}
 		return a
 	}
-	lastTime := make(map[int]uint64)  // per issuing rank
-	epochT0 := make(map[int]int64)    // per owner, logical span start
-	epochN := make(map[int]int64)     // per owner, completed epochs
+	lastTime := make(map[int]uint64) // per issuing rank
+	epochT0 := make(map[int]int64)   // per owner, logical span start
+	epochN := make(map[int]int64)    // per owner, completed epochs
 	var res ReplayResult
 	var step int64 // logical clock: one tick per replayed record
 	for {
@@ -279,6 +300,10 @@ func ReplayWith(r *Reader, newAnalyzer func(owner int) detector.Analyzer, opts R
 				res.Race = race
 				return res, nil
 			}
+		case "release":
+			a := get(rec.Owner)
+			flight[rec.Owner].Mark(detector.FlightRelease, rec.Rank)
+			a.Release(rec.Rank)
 		case "epoch_end":
 			res.Epochs++
 			a := get(rec.Owner)
