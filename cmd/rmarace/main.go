@@ -101,6 +101,14 @@ fuzz generates random MPI-RMA programs and differentially checks every
 }
 
 func newAnalyzer(method detector.Method, ranks int, storeName string, shards int, rec obs.Recorder) func(int) detector.Analyzer {
+	factory, _ := newAnalyzerShared(method, ranks, storeName, shards, rec)
+	return factory
+}
+
+// newAnalyzerShared additionally exposes the MUST-RMA shared clock
+// state (nil for other methods) so callers can publish its
+// representation stats after the run.
+func newAnalyzerShared(method detector.Method, ranks int, storeName string, shards int, rec obs.Recorder) (func(int) detector.Analyzer, *detector.MustShared) {
 	var shared *detector.MustShared
 	if method == detector.MustRMAMethod {
 		shared = detector.NewMustShared(ranks)
@@ -141,7 +149,25 @@ func newAnalyzer(method detector.Method, ranks int, storeName string, shards int
 			}
 			return core.Build(opts...)
 		}
+	}, shared
+}
+
+// recordClockStats publishes the MUST-RMA clock-representation counters
+// as registry gauges so replay reports and `rmarace stats` expose them.
+func recordClockStats(reg *obs.Registry, shared *detector.MustShared) {
+	if reg == nil || shared == nil {
+		return
 	}
+	cs := shared.ClockStats()
+	reg.Set(obs.ClockPromotions, 0, int64(cs.Promotions))
+	reg.Set(obs.ClockDemotions, 0, int64(cs.Demotions))
+	reg.Set(obs.ClockEpochSnapshots, 0, int64(cs.EpochSnaps))
+	reg.Set(obs.ClockSharedSnapshots, 0, int64(cs.SharedSnaps))
+	reg.Set(obs.ClockVectorSnapshots, 0, int64(cs.VectorSnaps))
+	reg.Set(obs.ClockBytes, 0, int64(cs.BytesAdaptive))
+	reg.Set(obs.ClockBytesVector, 0, int64(cs.BytesVector))
+	reg.Set(obs.ClockEpochsHeld, 0, int64(cs.EpochsHeld))
+	reg.Set(obs.ClockFullLive, 0, int64(cs.FullClocksLive))
 }
 
 // replayObs selects the replay command's observability extras.
@@ -186,12 +212,14 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 		tr = span.NewLogicalTracer(r.Header.Ranks, 0)
 	}
 	start := time.Now()
-	res, err := trace.ReplayWith(r, newAnalyzer(method, r.Header.Ranks, storeName, shards, obs.OrDisabled(reg)),
+	factory, mustShared := newAnalyzerShared(method, r.Header.Ranks, storeName, shards, obs.OrDisabled(reg))
+	res, err := trace.ReplayWith(r, factory,
 		trace.ReplayOpts{Spans: tr, FlightN: o.flight})
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	recordClockStats(reg, mustShared)
 	fmt.Printf("%-16s %8d events  %3d epochs  %8d max nodes  %10v", method, res.Events, res.Epochs, res.MaxNodes, elapsed)
 	if res.Race != nil {
 		fmt.Printf("\n  RACE: %s", res.Race.Message())
@@ -395,18 +423,21 @@ func replayCmd(args []string) {
 }
 
 // benchCmd runs the perf suite (insert hot path, sharded notification
-// pipeline, Figure 10, Table 4) and writes the JSON snapshot.
+// pipeline, clock memory, stack depot, Figure 10, Table 4) and writes
+// the JSON snapshot.
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("o", "BENCH_PR2.json", "output JSON path")
+	out := fs.String("o", "BENCH_PR6.json", "output JSON path")
 	vertices := fs.Int("vertices", 0, "MiniVite benchmark input size (0 = scaled default)")
 	telAddr := fs.String("telemetry", "", "serve live /metrics, /report, /healthz and /debug/pprof on this address during the suite")
 	spansPath := fs.String("spans", "", "write the instrumented run's causal spans (Chrome trace-event JSON) to this path")
+	quick := fs.Bool("quick", false, "run only the gated series (insert, notification, clock memory, stack depot)")
+	check := fs.Bool("check", false, "gate the snapshot: hot paths 0 allocs/op, adaptive clock reduction ≥ 10x, depot interned; exit 1 on failure")
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
 		usage()
 	}
-	opts := benchkit.Options{Vertices: *vertices}
+	opts := benchkit.Options{Vertices: *vertices, Quick: *quick}
 	if *telAddr != "" {
 		reg := obs.NewRegistry()
 		opts.Registry = reg
@@ -454,6 +485,52 @@ func benchCmd(args []string) {
 		fmt.Println()
 	}
 	log.Printf("wrote %s", *out)
+	if *check {
+		if errs := checkBench(rep); len(errs) > 0 {
+			for _, e := range errs {
+				log.Printf("bench check FAILED: %v", e)
+			}
+			os.Exit(1)
+		}
+		log.Print("bench check passed")
+	}
+}
+
+// checkBench enforces the PR 6 performance gates on a suite snapshot:
+// the insert and notification hot paths stay allocation-free, the
+// adaptive clock representation recovers ≥10× of the always-vector
+// clock bytes at 256 ranks, and the stack depot actually interns.
+func checkBench(rep benchkit.Report) []error {
+	var errs []error
+	found := map[string]bool{}
+	for _, r := range rep.Results {
+		switch {
+		case strings.HasPrefix(r.Name, "insert/"), strings.HasPrefix(r.Name, "notification-throughput/"):
+			found["hot"] = true
+			if r.AllocsPerOp != 0 {
+				errs = append(errs, fmt.Errorf("%s allocates %d allocs/op on the hot path, want 0", r.Name, r.AllocsPerOp))
+			}
+		case strings.HasPrefix(r.Name, "clock-mem/") && strings.HasSuffix(r.Name, "/adaptive"):
+			found["clock"] = true
+			if red := r.Metrics["reduction_x"]; red < 10 {
+				errs = append(errs, fmt.Errorf("%s clock-byte reduction %.1fx, want >= 10x", r.Name, red))
+			}
+		case r.Name == "stack-depot/dedup":
+			found["depot"] = true
+			if r.Metrics["entries"] <= 0 {
+				errs = append(errs, fmt.Errorf("%s interned no stacks", r.Name))
+			}
+			if r.Metrics["dedup_x"] < 2 {
+				errs = append(errs, fmt.Errorf("%s dedup factor %.1fx, want >= 2x", r.Name, r.Metrics["dedup_x"]))
+			}
+		}
+	}
+	for _, k := range []string{"hot", "clock", "depot"} {
+		if !found[k] {
+			errs = append(errs, fmt.Errorf("gated series %q missing from the suite", k))
+		}
+	}
+	return errs
 }
 
 func methodByName(name string) (detector.Method, error) {

@@ -14,6 +14,7 @@ package access
 import (
 	"fmt"
 
+	"rmarace/internal/depot"
 	"rmarace/internal/interval"
 )
 
@@ -133,8 +134,9 @@ func (d Debug) String() string { return fmt.Sprintf("%s:%d", d.File, d.Line) }
 
 // Access is one instrumented memory access. Field order is layout-
 // conscious: the struct is copied through every stab and insert of the
-// hot path, so the three byte-wide fields share one word of padding
-// and the whole struct stays at 72 bytes (the pre-Frames size).
+// hot path, so StackID and the three byte-wide fields share one word
+// and the whole struct is 64 bytes — one cache line, down from the 72
+// the pre-depot rendered-stack pointer cost.
 type Access struct {
 	interval.Interval
 
@@ -145,16 +147,16 @@ type Access struct {
 	// Epoch numbers the passive-target epoch (LockAll..UnlockAll) the
 	// access was observed in. Accesses of different epochs never race.
 	Epoch uint64
-	// Frames points to the rendered call stack of the instruction that
-	// issued the access, captured only when the session runs with stack
-	// capture enabled (rma.Config.CaptureStacks); nil otherwise. It
-	// rides along into race reports so both sides of a verdict carry
-	// their origin. A pointer rather than an inline string keeps the
-	// struct size unchanged in the common uncaptured case. Frames is
-	// deliberately excluded from Mergeable: coalesced accesses keep
-	// the surviving node's stack.
-	Frames *string
-	Type   Type
+	// StackID identifies the call stack of the instruction that issued
+	// the access in the process-wide stack depot (package depot),
+	// captured only when the session runs with stack capture enabled
+	// (rma.Config.CaptureStacks); zero otherwise. It rides along into
+	// race reports so both sides of a verdict carry their origin, at 4
+	// bytes per access instead of a pointer to a per-access rendered
+	// string. StackID is deliberately excluded from Mergeable:
+	// coalesced accesses keep the surviving node's stack.
+	StackID depot.ID
+	Type    Type
 	// Stack marks accesses to stack-allocated buffers. The contribution
 	// and the legacy analyzer treat them like any other access; the
 	// MUST-RMA simulator ignores local accesses to stack buffers
@@ -166,13 +168,10 @@ type Access struct {
 	Debug   Debug
 }
 
-// FrameString returns the captured call stack, or "" when none was
-// captured.
+// FrameString resolves the captured call stack against the process-wide
+// depot, or "" when none was captured.
 func (a Access) FrameString() string {
-	if a.Frames == nil {
-		return ""
-	}
-	return *a.Frames
+	return depot.Resolve(a.StackID)
 }
 
 // String renders the access in the paper's node notation, e.g.

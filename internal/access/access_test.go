@@ -2,7 +2,9 @@ package access
 
 import (
 	"testing"
+	"unsafe"
 
+	"rmarace/internal/depot"
 	"rmarace/internal/interval"
 )
 
@@ -199,5 +201,25 @@ func TestCombineRaceCellsSameRankSafeOrders(t *testing.T) {
 	got := Combine(mk(0, 9, LocalWrite, 0), mk(0, 9, RMAWrite, 0))
 	if got.Type != RMAWrite {
 		t.Errorf("Combine(Local_W, RMA_W same rank) = %v, want RMA_Write", got.Type)
+	}
+}
+
+// The hot path copies Access through every stab and insert; the depot
+// id keeps it at one cache line. A new field that grows the struct
+// must earn its bytes consciously, not by accident.
+func TestAccessStaysOneCacheLine(t *testing.T) {
+	if sz := unsafe.Sizeof(Access{}); sz != 64 {
+		t.Fatalf("Access is %d bytes, want 64 (one cache line)", sz)
+	}
+}
+
+func TestFrameStringResolvesDepot(t *testing.T) {
+	id := depot.Global.Insert([]uintptr{0xdead, 0xbeef}, func([]uintptr) string { return "f (a.c:1)" })
+	a := Access{StackID: id}
+	if got := a.FrameString(); got != "f (a.c:1)" {
+		t.Errorf("FrameString = %q", got)
+	}
+	if (Access{}).FrameString() != "" {
+		t.Error("zero StackID must resolve to the empty string")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"rmarace/internal/apps/cfdproxy"
 	"rmarace/internal/apps/minivite"
 	"rmarace/internal/core"
+	"rmarace/internal/depot"
 	"rmarace/internal/detector"
 	"rmarace/internal/engine"
 	"rmarace/internal/interval"
@@ -63,6 +64,10 @@ type Options struct {
 	// SpanSink, when non-nil, receives the instrumented CFD-Proxy run's
 	// causal spans as Chrome trace-event JSON (`rmarace bench -spans`).
 	SpanSink io.Writer
+	// Quick restricts the suite to the gated series — insert hot path,
+	// notification throughput, clock memory, stack depot — skipping the
+	// slower figure/table reproductions (the CI memory-bench step).
+	Quick bool
 }
 
 // Suite runs every benchmark and collects the report.
@@ -76,10 +81,18 @@ func Suite(opts Options) Report {
 	var out []Result
 	out = append(out, insertResults()...)
 	out = append(out, notificationResults(opts.Shards)...)
+	out = append(out, clockMemResults(256)...)
+	out = append(out, depotResults()...)
+	if opts.Quick {
+		return Report{
+			Suite:   "rmarace perf suite (quick: insert hot path, sharded pipeline, clock memory, stack depot)",
+			Results: out,
+		}
+	}
 	out = append(out, figure10Results()...)
 	out = append(out, table4Results(opts.Vertices)...)
 	return Report{
-		Suite:   "rmarace perf suite (insert hot path, sharded pipeline, Figure 10, Table 4)",
+		Suite:   "rmarace perf suite (insert hot path, sharded pipeline, clock memory, stack depot, Figure 10, Table 4)",
 		Results: out,
 		Runs:    runReports(opts),
 	}
@@ -209,6 +222,98 @@ func notificationResults(shardCounts []int) []Result {
 		}))
 	}
 	return out
+}
+
+// clockMemWorkload drives one MUST-RMA clock workload at scale ranks:
+// four passive-target epochs, each taking 64 call-site snapshots per
+// rank (with interleaved local advances) before the collective join.
+func clockMemWorkload(s *detector.MustShared, ranks int) {
+	t := uint64(1)
+	for epoch := 0; epoch < 4; epoch++ {
+		for r := 0; r < ranks; r++ {
+			for k := 0; k < 64; k++ {
+				s.Advance(r, t)
+				_ = s.Snapshot(r, t)
+				t++
+			}
+		}
+		s.JoinAll()
+	}
+}
+
+// clockMemResults measures the happens-before clock memory at scale:
+// the identical 256-rank snapshot workload under the adaptive
+// epoch⇄vector representation and the always-vector baseline. The
+// metrics record the clock payload each representation allocates —
+// reduction_x on the adaptive series is the §5.3 piggybacking cost
+// recovered (gated ≥10× in CI).
+func clockMemResults(ranks int) []Result {
+	var out []Result
+	for _, mode := range []struct {
+		name string
+		mk   func() *detector.MustShared
+	}{
+		{"adaptive", func() *detector.MustShared { return detector.NewMustShared(ranks) }},
+		{"vector", func() *detector.MustShared { return detector.NewMustSharedVector(ranks) }},
+	} {
+		mode := mode
+		var stats detector.ClockStats
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := mode.mk()
+				clockMemWorkload(s, ranks)
+				stats = s.ClockStats()
+			}
+		})
+		m := map[string]float64{
+			"clock_bytes":        float64(stats.BytesAdaptive),
+			"clock_bytes_vector": float64(stats.BytesVector),
+			"epoch_snapshots":    float64(stats.EpochSnaps),
+			"shared_snapshots":   float64(stats.SharedSnaps),
+			"vector_snapshots":   float64(stats.VectorSnaps),
+			"promotions":         float64(stats.Promotions),
+			"full_clocks_live":   float64(stats.FullClocksLive),
+			"epochs_held":        float64(stats.EpochsHeld),
+		}
+		if stats.BytesAdaptive > 0 {
+			m["reduction_x"] = float64(stats.BytesVector) / float64(stats.BytesAdaptive)
+		}
+		out = append(out, result(fmt.Sprintf("clock-mem/r%d/%s", ranks, mode.name), r, m))
+	}
+	return out
+}
+
+// depotResults measures stack-depot deduplication on a synthetic
+// workload of 10000 captures over 32 distinct call sites — the shape a
+// capture-enabled run produces (many accesses, few sites).
+func depotResults() []Result {
+	const sites, captures = 32, 10000
+	pcs := make([][]uintptr, sites)
+	for s := range pcs {
+		pcs[s] = []uintptr{uintptr(0x400000 + s), uintptr(0x500000 + s*3), uintptr(0x600000 + s*7)}
+	}
+	var stats depot.Stats
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := depot.New()
+			for k := 0; k < captures; k++ {
+				d.Insert(pcs[k%sites], func([]uintptr) string { return "synthetic frame (bench.go:1)" })
+			}
+			stats = d.Stats()
+		}
+	})
+	m := map[string]float64{
+		"entries": float64(stats.Entries),
+		"bytes":   float64(stats.Bytes),
+		"hits":    float64(stats.Hits),
+		"misses":  float64(stats.Misses),
+	}
+	if stats.Entries > 0 {
+		m["dedup_x"] = float64(captures) / float64(stats.Entries)
+	}
+	return []Result{result("stack-depot/dedup", r, m)}
 }
 
 // figure10Results runs the scaled CFD-Proxy workload per method and

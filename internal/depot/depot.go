@@ -1,0 +1,224 @@
+// Package depot implements a hash-deduplicated, fixed-depth,
+// append-only depot of captured call stacks, modelled on
+// ThreadSanitizer's StackDepot: each unique stack is rendered and
+// stored exactly once and referenced everywhere else by a dense uint32
+// id. Stack capture behind rma.Config.CaptureStacks then costs O(1)
+// memory per unique call site instead of one rendered string per
+// access, and an access.Access carries a 4-byte id instead of a
+// pointer to its own copy of the frames.
+//
+// The depot is append-only by design: ids stay valid for the life of
+// the process, so race reports, flight-recorder snapshots and run
+// reports can resolve them long after the recording session is gone —
+// the property the multi-tenant daemon of the roadmap relies on.
+package depot
+
+import (
+	"fmt"
+	"hash/maphash"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ID references one interned stack; the zero ID means "no stack
+// captured" and resolves to the empty string.
+type ID uint32
+
+// MaxDepth is the fixed capture depth: program counters beyond it are
+// dropped before hashing, so two captures that agree on their MaxDepth
+// innermost frames intern to the same id.
+const MaxDepth = 16
+
+// entry is one interned stack: the (truncated) program counters it was
+// captured from, used for exact equality under hash collisions, and
+// the rendered human-readable frames.
+type entry struct {
+	pcs  []uintptr
+	text string
+}
+
+// Depot is one stack depot. The zero value is not usable; call New.
+// All methods are safe for concurrent use: lookups of already-interned
+// stacks take a read lock only, inserts of new stacks take the write
+// lock — bounded by the number of unique call sites, not accesses.
+type Depot struct {
+	mu     sync.RWMutex
+	byHash map[uint64][]ID
+	ents   []entry
+
+	bytes  atomic.Int64
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// seed is the per-process hash seed shared by every depot.
+var seed = maphash.MakeSeed()
+
+// New returns an empty depot.
+func New() *Depot {
+	return &Depot{byHash: make(map[uint64][]ID)}
+}
+
+// hashPCs hashes a (already truncated) pc slice.
+func hashPCs(pcs []uintptr) uint64 {
+	var h maphash.Hash
+	h.SetSeed(seed)
+	for _, pc := range pcs {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(pc >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+func pcsEqual(a, b []uintptr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Insert interns the call stack identified by pcs, rendering it with
+// render only when the stack has not been seen before. pcs is
+// truncated to MaxDepth; an empty slice returns 0. The pcs slice is
+// copied on insert, so callers may reuse their capture buffer.
+func (d *Depot) Insert(pcs []uintptr, render func(pcs []uintptr) string) ID {
+	if len(pcs) == 0 {
+		return 0
+	}
+	if len(pcs) > MaxDepth {
+		pcs = pcs[:MaxDepth]
+	}
+	h := hashPCs(pcs)
+
+	d.mu.RLock()
+	for _, id := range d.byHash[h] {
+		if pcsEqual(d.ents[id-1].pcs, pcs) {
+			d.mu.RUnlock()
+			d.hits.Add(1)
+			return id
+		}
+	}
+	d.mu.RUnlock()
+
+	text := render(pcs)
+	own := make([]uintptr, len(pcs))
+	copy(own, pcs)
+
+	d.mu.Lock()
+	// Double-check: another goroutine may have interned the same stack
+	// between the read unlock and here.
+	for _, id := range d.byHash[h] {
+		if pcsEqual(d.ents[id-1].pcs, own) {
+			d.mu.Unlock()
+			d.hits.Add(1)
+			return id
+		}
+	}
+	d.ents = append(d.ents, entry{pcs: own, text: text})
+	id := ID(len(d.ents))
+	d.byHash[h] = append(d.byHash[h], id)
+	d.mu.Unlock()
+
+	d.misses.Add(1)
+	d.bytes.Add(int64(len(text)) + int64(8*len(own)))
+	return id
+}
+
+// renderFrames renders pcs in the repro's report format — innermost
+// first, "func (file:line)" joined by " <- " — matching what a
+// PMPI-based tool's backtraces look like.
+func renderFrames(pcs []uintptr) string {
+	frames := runtime.CallersFrames(pcs)
+	var b strings.Builder
+	for {
+		f, more := frames.Next()
+		if f.Function != "" {
+			if b.Len() > 0 {
+				b.WriteString(" <- ")
+			}
+			fmt.Fprintf(&b, "%s (%s:%d)", f.Function, filepath.Base(f.File), f.Line)
+		}
+		if !more {
+			break
+		}
+	}
+	return b.String()
+}
+
+// Capture interns the call stack identified by the given program
+// counters (as returned by runtime.Callers), rendering the frames on
+// first sight only.
+func (d *Depot) Capture(pcs []uintptr) ID { return d.Insert(pcs, renderFrames) }
+
+// Resolve returns the rendered frames for id, or "" for the zero id.
+// Unknown ids (from a different process, or a corrupted report) also
+// resolve to "" rather than panicking.
+func (d *Depot) Resolve(id ID) string {
+	if id == 0 {
+		return ""
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) > len(d.ents) {
+		return ""
+	}
+	return d.ents[id-1].text
+}
+
+// Len returns the number of unique interned stacks.
+func (d *Depot) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.ents)
+}
+
+// Bytes returns the retained payload bytes: rendered text plus stored
+// program counters, summed over unique stacks.
+func (d *Depot) Bytes() int64 { return d.bytes.Load() }
+
+// Stats is a point-in-time snapshot of the depot's occupancy.
+type Stats struct {
+	// Entries is the number of unique stacks interned.
+	Entries int
+	// Bytes is the retained payload (rendered text + pcs).
+	Bytes int64
+	// Hits counts Insert calls resolved to an existing id.
+	Hits uint64
+	// Misses counts Insert calls that interned a new stack.
+	Misses uint64
+}
+
+// Stats snapshots the depot.
+func (d *Depot) Stats() Stats {
+	return Stats{
+		Entries: d.Len(),
+		Bytes:   d.Bytes(),
+		Hits:    d.hits.Load(),
+		Misses:  d.misses.Load(),
+	}
+}
+
+// Global is the process-wide depot every session shares, the way
+// TSan's depot is process-global: stacks deduplicate across windows,
+// sessions and (in the future daemon) tenants.
+var Global = New()
+
+// Capture interns pcs into the process-wide depot.
+func Capture(pcs []uintptr) ID { return Global.Capture(pcs) }
+
+// Resolve resolves id against the process-wide depot.
+func Resolve(id ID) string { return Global.Resolve(id) }
+
+// GlobalStats snapshots the process-wide depot.
+func GlobalStats() Stats { return Global.Stats() }

@@ -1,0 +1,130 @@
+package depot
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func fakeRender(pcs []uintptr) string { return fmt.Sprintf("stack%v", pcs) }
+
+func TestDedup(t *testing.T) {
+	d := New()
+	a := d.Insert([]uintptr{1, 2, 3}, fakeRender)
+	b := d.Insert([]uintptr{1, 2, 3}, fakeRender)
+	c := d.Insert([]uintptr{1, 2, 4}, fakeRender)
+	if a == 0 || a != b {
+		t.Fatalf("identical stacks interned as %d and %d", a, b)
+	}
+	if c == a {
+		t.Fatal("distinct stacks shared an id")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	st := d.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatal("retained bytes not accounted")
+	}
+	if d.Resolve(a) != fakeRender([]uintptr{1, 2, 3}) {
+		t.Fatalf("Resolve(%d) = %q", a, d.Resolve(a))
+	}
+}
+
+func TestZeroAndUnknownIDs(t *testing.T) {
+	d := New()
+	if d.Resolve(0) != "" {
+		t.Fatal("zero id must resolve empty")
+	}
+	if d.Resolve(99) != "" {
+		t.Fatal("unknown id must resolve empty, not panic")
+	}
+	if id := d.Insert(nil, fakeRender); id != 0 {
+		t.Fatalf("empty capture interned as %d", id)
+	}
+}
+
+// Captures agreeing on their MaxDepth innermost frames intern to one
+// id: the depth is fixed, deeper callers do not fragment the depot.
+func TestFixedDepth(t *testing.T) {
+	d := New()
+	deep := make([]uintptr, MaxDepth+8)
+	for i := range deep {
+		deep[i] = uintptr(100 + i)
+	}
+	a := d.Insert(deep, fakeRender)
+	b := d.Insert(deep[:MaxDepth], fakeRender)
+	deeper := append(append([]uintptr{}, deep...), 999)
+	c := d.Insert(deeper[:MaxDepth+1], fakeRender)
+	if a != b || a != c {
+		t.Fatalf("depth-truncated stacks interned as %d, %d, %d", a, b, c)
+	}
+}
+
+// The pcs buffer may be reused by the caller after Insert returns.
+func TestInsertCopiesPCs(t *testing.T) {
+	d := New()
+	buf := []uintptr{7, 8, 9}
+	id := d.Insert(buf, fakeRender)
+	buf[0] = 1000
+	if got := d.Insert([]uintptr{7, 8, 9}, fakeRender); got != id {
+		t.Fatalf("mutating the caller buffer changed the interned stack: %d vs %d", got, id)
+	}
+}
+
+func TestRealCapture(t *testing.T) {
+	var pcs [MaxDepth]uintptr
+	n := runtime.Callers(1, pcs[:])
+	id := Capture(pcs[:n])
+	if id == 0 {
+		t.Fatal("real capture returned the zero id")
+	}
+	text := Resolve(id)
+	if text == "" || !contains(text, "TestRealCapture") {
+		t.Fatalf("rendered frames %q miss the capturing function", text)
+	}
+	if Capture(pcs[:n]) != id {
+		t.Fatal("re-capturing the same pcs allocated a new id")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Concurrent inserts of overlapping stack sets must agree on ids and
+// never lose an entry (go test -race guards the locking).
+func TestConcurrentInsert(t *testing.T) {
+	d := New()
+	const workers, sites = 8, 32
+	ids := make([][sites]ID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				site := i % sites
+				ids[w][site] = d.Insert([]uintptr{uintptr(site), uintptr(site * 7)}, fakeRender)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != sites {
+		t.Fatalf("Len = %d, want %d unique sites", d.Len(), sites)
+	}
+	for w := 1; w < workers; w++ {
+		if ids[w] != ids[0] {
+			t.Fatalf("worker %d saw different ids", w)
+		}
+	}
+}

@@ -36,13 +36,15 @@ type Event struct {
 	// issuing rank's counter at the MPI call site. Zero for local
 	// accesses.
 	CallTime uint64
-	// Clock is the issuing rank's vector clock captured at the MPI call
-	// site, piggybacked on the event the way real MUST-RMA attaches
-	// clocks to messages (§5.3). Only the MUST-RMA analyzer reads it;
-	// without it the analyzer falls back to snapshotting at
+	// Clock is the issuing rank's happens-before clock captured at the
+	// MPI call site, piggybacked on the event the way real MUST-RMA
+	// attaches clocks to messages (§5.3). The representation is adaptive
+	// (vc.Epoch before the first cross-rank join, a base-sharing clock
+	// after — see vc.HB); only the MUST-RMA analyzer reads it. Without
+	// it the analyzer falls back to snapshotting at
 	// notification-processing time, whose result depends on how far the
 	// target's receiver has drained — i.e. on scheduling.
-	Clock vc.Clock
+	Clock vc.HB
 	// Filtered marks accesses the compile-time alias analysis proved
 	// irrelevant to any RMA region. RMA-Analyzer and the contribution
 	// skip them; MUST-RMA's ThreadSanitizer instruments them anyway

@@ -143,6 +143,9 @@ func WriteFlight(w io.Writer, entries []FlightEntry, race *Race) {
 			a := e.Acc
 			fmt.Fprintf(w, "%s %6d  %-11s %-11s [%d..%d] rank=%d epoch=%d at %s\n",
 				marker, e.Seq, e.Kind, a.Type, a.Lo, a.Hi, a.Rank, a.Epoch, a.Debug)
+			if st := a.FrameString(); st != "" {
+				fmt.Fprintf(w, "%s         stack: %s\n", marker, st)
+			}
 		default:
 			fmt.Fprintf(w, "%s %6d  %-11s origin=%d\n", marker, e.Seq, e.Kind, e.Origin)
 		}

@@ -1,25 +1,95 @@
 package detector
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
 	"rmarace/internal/access"
 	"rmarace/internal/interval"
+	"rmarace/internal/vc"
 )
 
 func TestMustSharedSnapshotIsolated(t *testing.T) {
-	s := NewMustShared(3)
-	s.advance(1, 7)
-	snap := s.Snapshot(1, 9)
-	if snap.At(1) != 9 {
-		t.Fatalf("snapshot own component = %d, want the call time 9", snap.At(1))
+	for _, s := range []*MustShared{NewMustShared(3), NewMustSharedVector(3)} {
+		s.advance(1, 7)
+		snap := s.Snapshot(1, 9)
+		if snap.At(1) != 9 {
+			t.Fatalf("snapshot own component = %d, want the call time 9", snap.At(1))
+		}
+		// Snapshots are immutable views: materialising and mutating one
+		// must not touch shared state.
+		c := snap.Clock(3)
+		c[0] = 99
+		snap2 := s.Snapshot(1, 10)
+		if snap2.At(0) != 0 {
+			t.Fatalf("snapshot aliased shared clocks: %v", snap2)
+		}
 	}
-	// The snapshot is a copy: mutating it must not touch shared state.
-	snap[0] = 99
-	snap2 := s.Snapshot(1, 10)
-	if snap2.At(0) != 0 {
-		t.Fatalf("snapshot aliased shared clocks: %v", snap2)
+}
+
+// The adaptive representation must serve verdict-identical snapshots to
+// the always-vector baseline under arbitrary advance/snapshot/join
+// interleavings, promoting exactly when histories cross ranks.
+func TestMustSharedAdaptiveMatchesVector(t *testing.T) {
+	const n, trials, steps = 5, 200, 60
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < trials; trial++ {
+		ad, vec := NewMustShared(n), NewMustSharedVector(n)
+		type pair struct{ a, v vc.HB }
+		var snaps []pair
+		for step := 0; step < steps; step++ {
+			switch rng.Intn(5) {
+			case 0:
+				ad.joinAll()
+				vec.joinAll()
+			case 1:
+				r, t0 := rng.Intn(n), uint64(rng.Intn(8))
+				ad.advance(r, t0)
+				vec.advance(r, t0)
+			default:
+				r, ct := rng.Intn(n), uint64(1+rng.Intn(8))
+				snaps = append(snaps, pair{ad.Snapshot(r, ct), vec.Snapshot(r, ct)})
+			}
+		}
+		for i, p := range snaps {
+			for r := 0; r < n; r++ {
+				if p.a.At(r) != p.v.At(r) {
+					t.Fatalf("trial %d snap %d: adaptive %v disagrees with vector %v at rank %d", trial, i, p.a, p.v, r)
+				}
+			}
+			for j, q := range snaps {
+				if got, want := vc.HappensBefore(p.a, q.a), vc.HappensBefore(p.v, q.v); got != want {
+					t.Fatalf("trial %d: order snaps[%d]<snaps[%d] adaptive=%v vector=%v", trial, i, j, got, want)
+				}
+			}
+		}
+		st := ad.ClockStats()
+		if st.Demotions != 0 {
+			t.Fatalf("demotions = %d; clock components never decrease", st.Demotions)
+		}
+	}
+}
+
+// Before any cross-rank join a snapshot must be a scalar epoch; after
+// it, a base-sharing clock — and the promotion must be counted.
+func TestMustSharedPromotion(t *testing.T) {
+	s := NewMustShared(4)
+	s.advance(1, 3)
+	if snap := s.Snapshot(1, 4); snap.Rep() != vc.RepEpoch {
+		t.Fatalf("pre-join snapshot rep = %v, want epoch", snap.Rep())
+	}
+	s.advance(2, 5)
+	s.joinAll()
+	if snap := s.Snapshot(1, 9); snap.Rep() != vc.RepShared {
+		t.Fatalf("post-join snapshot rep = %v, want shared", snap.Rep())
+	}
+	st := s.ClockStats()
+	if st.Promotions == 0 {
+		t.Fatal("cross-rank join did not count a promotion")
+	}
+	if st.EpochSnaps != 1 || st.SharedSnaps != 1 {
+		t.Fatalf("snapshot rep counts = %d epoch / %d shared, want 1/1", st.EpochSnaps, st.SharedSnaps)
 	}
 }
 

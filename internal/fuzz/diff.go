@@ -219,8 +219,77 @@ func Diff(p Program, schedSeeds []int64, cfgs []Config) (Result, error) {
 				res.Divergences = append(res.Divergences, d)
 			}
 		}
+		// The MUST-RMA subject under both clock representations: the
+		// adaptive scheme must be bit-identical to always-vector.
+		if d, ok, err := diffClockReps(recs, p.Ranks); err != nil {
+			return res, err
+		} else if ok {
+			d.SchedSeed = seed
+			res.Divergences = append(res.Divergences, d)
+		}
 	}
 	return res, nil
+}
+
+// runMustRep drives the record stream through MUST-RMA analyzers
+// backed by the given shared clock state, one analyzer per owner,
+// stopping at the first race like the production engine. Replayed
+// records carry no clocks, so every analyzer snapshots at processing
+// time — deterministic for a fixed record order, which makes the two
+// representations comparable event by event.
+func runMustRep(recs []trace.Record, shared *detector.MustShared) (*detector.Race, error) {
+	analyzers := make(map[int]*detector.MustAnalyzer)
+	get := func(owner int) *detector.MustAnalyzer {
+		a, ok := analyzers[owner]
+		if !ok {
+			a = detector.NewMustRMA(shared, owner)
+			analyzers[owner] = a
+		}
+		return a
+	}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case "access":
+			ev, err := rec.Event()
+			if err != nil {
+				return nil, err
+			}
+			if race := get(rec.Owner).Access(ev); race != nil {
+				return race, nil
+			}
+		case "epoch_end":
+			get(rec.Owner).EpochEnd()
+		case "release":
+			get(rec.Owner).Release(rec.Rank)
+		default:
+			return nil, fmt.Errorf("fuzz: unknown record kind %q", rec.Kind)
+		}
+	}
+	return nil, nil
+}
+
+// diffClockReps proves the adaptive epoch⇄vector clock representation
+// verdict-identical to the always-vector baseline on one record
+// stream: same race/no-race outcome and, when both race, the same
+// access pair. Returns a "clock-rep" divergence otherwise.
+func diffClockReps(recs []trace.Record, ranks int) (Divergence, bool, error) {
+	adaptive, err := runMustRep(recs, detector.NewMustShared(ranks))
+	if err != nil {
+		return Divergence{}, false, err
+	}
+	vector, err := runMustRep(recs, detector.NewMustSharedVector(ranks))
+	if err != nil {
+		return Divergence{}, false, err
+	}
+	switch {
+	case (adaptive == nil) != (vector == nil):
+		return Divergence{Kind: "clock-rep",
+			Detail: fmt.Sprintf("adaptive race=%v, vector race=%v", adaptive != nil, vector != nil)}, true, nil
+	case adaptive != nil && detector.DedupKey(adaptive) != detector.DedupKey(vector):
+		return Divergence{Kind: "clock-rep",
+			Detail: fmt.Sprintf("adaptive pair %+v, vector pair %+v", detector.DedupKey(adaptive), detector.DedupKey(vector))}, true, nil
+	}
+	return Divergence{}, false, nil
 }
 
 // compare classifies a subject verdict against the oracle's set.

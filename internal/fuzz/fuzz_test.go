@@ -374,3 +374,21 @@ func FuzzScheduleInterleavings(f *testing.F) {
 		}
 	})
 }
+
+// TestClockRepAgreesOnCorpus pins the epoch-vs-vector subject directly:
+// on every seed program and schedule, MUST-RMA under the adaptive clock
+// representation must return the same verdict (and pair) as under
+// always-vector clocks.
+func TestClockRepAgreesOnCorpus(t *testing.T) {
+	for _, s := range Seeds() {
+		p := Normalize(s.P)
+		for _, sched := range testSchedules {
+			recs := Render(p, sched)
+			if d, ok, err := diffClockReps(recs, p.Ranks); err != nil {
+				t.Fatalf("%s sched=%d: %v", s.Name, sched, err)
+			} else if ok {
+				t.Errorf("%s sched=%d: %s", s.Name, sched, d)
+			}
+		}
+	}
+}

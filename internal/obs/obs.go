@@ -105,6 +105,45 @@ const (
 	Merges
 	// Races counts detected data races per owning rank.
 	Races
+	// ClockPromotions is the number of rank states promoted from the
+	// scalar epoch representation to a base-sharing clock at a
+	// collective join (FastTrack-style adaptation, see internal/vc).
+	ClockPromotions
+	// ClockDemotions is the number of rank states demoted back to the
+	// scalar representation. Clock components never decrease, so this
+	// stays 0 under the current synchronisation surface.
+	ClockDemotions
+	// ClockEpochSnapshots counts happens-before snapshots served as
+	// packed scalar epochs (8 bytes instead of 8·P).
+	ClockEpochSnapshots
+	// ClockSharedSnapshots counts snapshots served as base-sharing
+	// promoted clocks (O(1) each; one O(P) base per join generation).
+	ClockSharedSnapshots
+	// ClockVectorSnapshots counts full-vector snapshots (the
+	// always-vector baseline representation).
+	ClockVectorSnapshots
+	// ClockBytes is the happens-before clock payload actually allocated
+	// by the adaptive representation over the run.
+	ClockBytes
+	// ClockBytesVector is the payload an always-vector run would have
+	// allocated for the same call sequence (8·P per snapshot) — the
+	// §5.3 piggybacking cost the adaptive scheme avoids.
+	ClockBytesVector
+	// ClockEpochsHeld is the number of rank states currently in the
+	// scalar epoch representation.
+	ClockEpochsHeld
+	// ClockFullLive is the number of full O(P) vectors currently held
+	// by the shared clock state.
+	ClockFullLive
+	// DepotEntries is the number of unique call stacks interned in the
+	// process-wide stack depot.
+	DepotEntries
+	// DepotBytes is the depot's retained payload (rendered text + pcs).
+	DepotBytes
+	// DepotHits counts stack captures resolved to an existing depot id.
+	DepotHits
+	// DepotMisses counts stack captures that interned a new stack.
+	DepotMisses
 
 	// NumMetrics bounds the enum; it is not a metric.
 	NumMetrics
@@ -135,6 +174,22 @@ var metricInfos = [NumMetrics]metricInfo{
 	Fragments:        {"fragments", KindCounter, "rank"},
 	Merges:           {"merges", KindCounter, "rank"},
 	Races:            {"races", KindCounter, "rank"},
+	// The clock/depot gauges are process-wide levels set idempotently at
+	// report time from MustShared.ClockStats and depot.GlobalStats; the
+	// rank dimension does not apply (label 0 by convention).
+	ClockPromotions:      {"clock_promotions", KindGauge, "rank"},
+	ClockDemotions:       {"clock_demotions", KindGauge, "rank"},
+	ClockEpochSnapshots:  {"clock_epoch_snapshots", KindGauge, "rank"},
+	ClockSharedSnapshots: {"clock_shared_snapshots", KindGauge, "rank"},
+	ClockVectorSnapshots: {"clock_vector_snapshots", KindGauge, "rank"},
+	ClockBytes:           {"clock_bytes", KindGauge, "rank"},
+	ClockBytesVector:     {"clock_bytes_vector", KindGauge, "rank"},
+	ClockEpochsHeld:      {"clock_epochs_held", KindGauge, "rank"},
+	ClockFullLive:        {"clock_full_clocks_live", KindGauge, "rank"},
+	DepotEntries:         {"depot_entries", KindGauge, "rank"},
+	DepotBytes:           {"depot_bytes", KindGauge, "rank"},
+	DepotHits:            {"depot_hits", KindGauge, "rank"},
+	DepotMisses:          {"depot_misses", KindGauge, "rank"},
 }
 
 // Name returns the metric's wire name (snake_case, stable).

@@ -114,7 +114,7 @@ func (b *Buffer) event(off, n int, tp access.Type, dbg access.Debug) detector.Ev
 			Rank:     b.p.Rank(),
 			Stack:    b.stack,
 			Debug:    dbg,
-			Frames:   b.p.s.stackFrames(),
+			StackID:  b.p.s.stackID(),
 		},
 		Time:     b.p.tick(),
 		Filtered: !b.tracked && !b.p.s.cfg.DisableAliasFilter,

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"rmarace/internal/access"
 	"rmarace/internal/detector"
 	"rmarace/internal/obs"
 )
@@ -298,7 +299,7 @@ func TestCaptureStacks(t *testing.T) {
 
 	// Stacks are off by default: the hot path must not pay for them.
 	_, s = run(t, 2, detector.OurContribution, Config{}, racyBody)
-	if race := s.Race(); race == nil || race.Prev.Frames != nil || race.Cur.Frames != nil {
+	if race := s.Race(); race == nil || race.Prev.StackID != 0 || race.Cur.StackID != 0 {
 		t.Errorf("frames captured without CaptureStacks: %+v", race)
 	}
 }
@@ -395,5 +396,66 @@ func TestSessionReportCarriesRace(t *testing.T) {
 	}
 	if rr.Prev.Rank != 0 || rr.Cur.Rank != 0 {
 		t.Errorf("racing ranks = %d/%d, want 0/0 (both accesses from rank 0)", rr.Prev.Rank, rr.Cur.Rank)
+	}
+}
+
+// TestCaptureStacksSharded: stack capture must survive the sharded
+// analysis path — races surfacing from different address-space shards
+// all carry depot-resolved frames, in the verdict and in the flight
+// log. Each iteration races two Puts one shard granule (4 KiB) apart,
+// so the conflicts land in different shards across iterations.
+func TestCaptureStacksSharded(t *testing.T) {
+	const granule = 4096
+	shardsSeen := make(map[int]bool)
+	for q := 0; q < 4; q++ {
+		off := q * granule
+		_, s := run(t, 3, detector.OurContribution,
+			Config{Shards: 4, CaptureStacks: true, FlightLog: 32},
+			func(p *Proc) error {
+				w, err := p.WinCreate("w", 4*granule)
+				if err != nil {
+					return err
+				}
+				if err := w.LockAll(); err != nil {
+					return err
+				}
+				if p.Rank() < 2 {
+					src := p.Alloc("src", 8)
+					if err := w.Put(2, off, src, 0, 8, dbg(10+p.Rank())); err != nil {
+						return err
+					}
+				}
+				return w.UnlockAll()
+			})
+		race := s.Race()
+		if race == nil {
+			t.Fatalf("offset %d: overlapping Puts produced no race", off)
+		}
+		if race.Prov == nil || race.Prov.Shard < 0 {
+			t.Fatalf("offset %d: race carries no shard provenance: %+v", off, race.Prov)
+		}
+		shardsSeen[race.Prov.Shard] = true
+		for side, a := range map[string]access.Access{"stored": race.Prev, "inserted": race.Cur} {
+			if a.StackID == 0 {
+				t.Errorf("offset %d: %s access has no stack id", off, side)
+			} else if st := a.FrameString(); !strings.Contains(st, ".go:") {
+				t.Errorf("offset %d: %s stack %q does not resolve to frames", off, side, st)
+			}
+		}
+		var logged int
+		for _, e := range race.FlightLog {
+			if e.Kind == detector.FlightAccess {
+				if e.Acc.StackID == 0 || e.Acc.FrameString() == "" {
+					t.Errorf("offset %d: flight access without resolvable stack: %+v", off, e.Acc)
+				}
+				logged++
+			}
+		}
+		if logged == 0 {
+			t.Errorf("offset %d: flight log recorded no accesses", off)
+		}
+	}
+	if len(shardsSeen) < 2 {
+		t.Fatalf("races all surfaced from the same shard %v; sharded stack capture not exercised", shardsSeen)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"rmarace/internal/access"
+	"rmarace/internal/depot"
 	"rmarace/internal/detector"
 	"rmarace/internal/obs"
 )
@@ -47,6 +48,7 @@ func (s *Session) Report(source string) *obs.RunReport {
 	s.mu.Unlock()
 
 	if reg, ok := s.rec.(*obs.Registry); ok {
+		s.recordAdaptiveStats(reg)
 		rep.EpochLatency = obs.EpochLatencyFromRegistry(reg)
 		rep.Metrics = reg.Snapshot()
 	}
@@ -54,6 +56,43 @@ func (s *Session) Report(source string) *obs.RunReport {
 		rep.Races = append(rep.Races, RaceReport(r))
 	}
 	return rep
+}
+
+// ClockStats returns the MUST-RMA happens-before representation
+// counters for the session (promotions, per-representation snapshot
+// counts, adaptive vs always-vector clock bytes). Zero for the other
+// methods, which carry no clocks.
+func (s *Session) ClockStats() detector.ClockStats {
+	if s.must == nil {
+		return detector.ClockStats{}
+	}
+	return s.must.ClockStats()
+}
+
+// recordAdaptiveStats publishes the clock-representation counters and
+// the process-wide stack depot occupancy as gauges, so report
+// snapshots and the telemetry endpoint expose them. Gauges are set
+// idempotently: calling Report twice does not double-count.
+func (s *Session) recordAdaptiveStats(rec obs.Recorder) {
+	if s.must != nil {
+		cs := s.must.ClockStats()
+		rec.Set(obs.ClockPromotions, 0, int64(cs.Promotions))
+		rec.Set(obs.ClockDemotions, 0, int64(cs.Demotions))
+		rec.Set(obs.ClockEpochSnapshots, 0, int64(cs.EpochSnaps))
+		rec.Set(obs.ClockSharedSnapshots, 0, int64(cs.SharedSnaps))
+		rec.Set(obs.ClockVectorSnapshots, 0, int64(cs.VectorSnaps))
+		rec.Set(obs.ClockBytes, 0, int64(cs.BytesAdaptive))
+		rec.Set(obs.ClockBytesVector, 0, int64(cs.BytesVector))
+		rec.Set(obs.ClockEpochsHeld, 0, int64(cs.EpochsHeld))
+		rec.Set(obs.ClockFullLive, 0, int64(cs.FullClocksLive))
+	}
+	if s.cfg.CaptureStacks {
+		ds := depot.GlobalStats()
+		rec.Set(obs.DepotEntries, 0, int64(ds.Entries))
+		rec.Set(obs.DepotBytes, 0, ds.Bytes)
+		rec.Set(obs.DepotHits, 0, int64(ds.Hits))
+		rec.Set(obs.DepotMisses, 0, int64(ds.Misses))
+	}
 }
 
 // RaceReport converts a detected race into its report form: the

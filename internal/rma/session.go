@@ -30,9 +30,7 @@ package rma
 
 import (
 	"fmt"
-	"path/filepath"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +38,7 @@ import (
 	"io"
 
 	"rmarace/internal/core"
+	"rmarace/internal/depot"
 	"rmarace/internal/detector"
 	"rmarace/internal/mpi"
 	"rmarace/internal/obs"
@@ -89,9 +88,11 @@ type Config struct {
 	// allocations, so verdicts and performance match an un-instrumented
 	// run.
 	Recorder obs.Recorder
-	// CaptureStacks makes every instrumented access carry a rendered
-	// call stack into race reports (Access.Frames). Off by default: the
-	// capture allocates, so it is reserved for diagnosis runs.
+	// CaptureStacks makes every instrumented access carry its call
+	// stack into race reports (Access.StackID, resolved against the
+	// process-wide stack depot — each unique call site is rendered and
+	// stored once). Off by default: the capture still walks the stack
+	// per access, so it is reserved for diagnosis runs.
 	CaptureStacks bool
 	// TelemetryAddr, when non-empty, starts an HTTP telemetry server on
 	// the address (package internal/obs/telemetry): Prometheus /metrics
@@ -269,33 +270,20 @@ func (s *Session) recordEpoch(rank int, d time.Duration) {
 	}
 }
 
-// stackFrames renders the call stack of an instrumented access when
-// the session captures stacks (Config.CaptureStacks), nil otherwise.
-// The skip count drops runtime.Callers and stackFrames itself; the
+// stackID captures the call stack of an instrumented access when the
+// session captures stacks (Config.CaptureStacks), zero otherwise. The
+// pcs are interned in the process-wide stack depot, so each unique call
+// site is rendered exactly once and the access carries a 4-byte id.
+// The skip count drops runtime.Callers and stackID itself; the
 // instrumentation wrappers above remain visible, which is what a
 // PMPI-based tool's backtraces look like too.
-func (s *Session) stackFrames() *string {
+func (s *Session) stackID() depot.ID {
 	if !s.cfg.CaptureStacks {
-		return nil
+		return 0
 	}
-	var pcs [24]uintptr
+	var pcs [depot.MaxDepth]uintptr
 	n := runtime.Callers(2, pcs[:])
-	frames := runtime.CallersFrames(pcs[:n])
-	var b strings.Builder
-	for {
-		f, more := frames.Next()
-		if f.Function != "" {
-			if b.Len() > 0 {
-				b.WriteString(" <- ")
-			}
-			fmt.Fprintf(&b, "%s (%s:%d)", f.Function, filepath.Base(f.File), f.Line)
-		}
-		if !more {
-			break
-		}
-	}
-	out := b.String()
-	return &out
+	return depot.Capture(pcs[:n])
 }
 
 // EpochTime returns the cumulative wall-clock time all ranks spent

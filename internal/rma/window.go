@@ -366,7 +366,7 @@ func rmaEvent(b *Buffer, off, n int, tp access.Type, origin int, epoch, callTime
 			Epoch:    epoch,
 			Stack:    b.stack,
 			Debug:    dbg,
-			Frames:   b.p.s.stackFrames(),
+			StackID:  b.p.s.stackID(),
 		},
 		Time:     callTime,
 		CallTime: callTime,
@@ -449,15 +449,17 @@ func (w *Win) onesided(target, targetOff int, local *Buffer, localOff, n int, db
 	return err
 }
 
-// callClock captures the origin's MUST-RMA vector clock at the MPI
-// call site, piggybacked on both halves of the one-sided operation
+// callClock captures the origin's MUST-RMA happens-before clock at the
+// MPI call site, piggybacked on both halves of the one-sided operation
 // (Event.Clock). Real MUST-RMA attaches the clock to the message —
 // the O(P) cost §5.3 charges it with — and the simulation must do the
 // same: snapshotting when the target's receiver processes the
 // notification instead would make the happens-before verdict depend on
 // how far concurrent epoch-closing joins had progressed, i.e. on
-// scheduling. Nil for the other methods.
-func (w *Win) callClock(origin int, callTime uint64) vc.Clock {
+// scheduling. Under the adaptive representation the snapshot is a
+// scalar vc.Epoch until the origin's history crosses ranks. Nil for
+// the other methods.
+func (w *Win) callClock(origin int, callTime uint64) vc.HB {
 	if s := w.p.s; s.must != nil {
 		return s.must.Snapshot(origin, callTime)
 	}

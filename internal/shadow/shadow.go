@@ -41,13 +41,14 @@ type Entry struct {
 	// the access (meaningful for local accesses).
 	Rank int
 	Time uint64
-	// Snapshot is the origin's vector clock at the MPI call site; nil
-	// for local accesses. To keep shadow memory O(1) per cell, stored
-	// entries drop the full clock and retain only the component the
-	// memory's owner needs (snapAtOwner): within one process's shadow,
-	// local accesses only ever come from the owner, so comparisons only
-	// read that component.
-	Snapshot vc.Clock
+	// Snapshot is the origin's happens-before clock at the MPI call
+	// site (a compact vc.Epoch, a base-sharing vc.Shared, or a full
+	// vector — see vc.HB); nil for local accesses. To keep shadow memory
+	// O(1) per cell, stored entries drop the clock and retain only the
+	// component the memory's owner needs (snapAtOwner): within one
+	// process's shadow, local accesses only ever come from the owner, so
+	// comparisons only read that component.
+	Snapshot vc.HB
 	Type     access.Type
 	AccumOp  access.AccumOp
 	Debug    access.Debug
@@ -157,7 +158,7 @@ func (m *Memory) Record(a access.Access, e Entry) *Conflict {
 	e.AccumOp = a.AccumOp
 	e.Debug = a.Debug
 	e.Epoch = a.Epoch
-	if e.IsRMA {
+	if e.IsRMA && e.Snapshot != nil {
 		e.snapAtOwner = e.Snapshot.At(m.owner)
 	}
 	var conflict *Conflict

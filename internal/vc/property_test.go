@@ -1,0 +1,137 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randHB draws a random HB value in one of the three representations
+// over n ranks, bounded small so collisions (equality, ordering) are
+// actually exercised.
+func randHB(rng *rand.Rand, n int) HB {
+	switch rng.Intn(3) {
+	case 0:
+		return E(rng.Intn(n), uint64(rng.Intn(4)))
+	case 1:
+		base := New(n)
+		for i := range base {
+			base[i] = uint64(rng.Intn(4))
+		}
+		return Shared{Base: base, Own: E(rng.Intn(n), uint64(rng.Intn(4)))}
+	default:
+		// Random width in [0, n+1]: the relations must tolerate
+		// mismatched vector widths.
+		c := New(rng.Intn(n + 2))
+		for i := range c {
+			c[i] = uint64(rng.Intn(4))
+		}
+		return c
+	}
+}
+
+// Happens-before must stay a strict partial order and Concurrent a
+// symmetric relation across every representation pair.
+func TestPropertyRelationsAcrossReps(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 4
+	for i := 0; i < 20000; i++ {
+		a, b := randHB(rng, n), randHB(rng, n)
+		if HappensBefore(a, a.Clock(n)) {
+			t.Fatalf("irreflexivity: %v < its own materialisation", a)
+		}
+		if HappensBefore(a, b) && HappensBefore(b, a) {
+			t.Fatalf("antisymmetry violated: %v and %v", a, b)
+		}
+		if Concurrent(a, b) != Concurrent(b, a) {
+			t.Fatalf("Concurrent not symmetric: %v vs %v", a, b)
+		}
+		if Equal(a, b) != Equal(b, a) {
+			t.Fatalf("Equal not symmetric: %v vs %v", a, b)
+		}
+		if Equal(a, b) && (HappensBefore(a, b) || Concurrent(a, b)) {
+			t.Fatalf("equal values must be neither ordered nor concurrent: %v, %v", a, b)
+		}
+	}
+}
+
+// Every relation computed on compact representations must agree with
+// the same relation on their full-vector materialisations: the
+// epoch⇄vector round trip is semantics-preserving.
+func TestPropertyRoundTripEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 5
+	for i := 0; i < 20000; i++ {
+		a, b := randHB(rng, n), randHB(rng, n)
+		av, bv := a.Clock(n+1), b.Clock(n+1)
+		if got, want := HappensBefore(a, b), av.HappensBefore(bv); got != want {
+			t.Fatalf("HappensBefore(%v, %v) = %v but vectors say %v", a, b, got, want)
+		}
+		if got, want := Concurrent(a, b), av.Concurrent(bv); got != want {
+			t.Fatalf("Concurrent(%v, %v) = %v but vectors say %v", a, b, got, want)
+		}
+		if got, want := Equal(a, b), av.Equal(bv); got != want {
+			t.Fatalf("Equal(%v, %v) = %v but vectors say %v", a, b, got, want)
+		}
+		for r := 0; r < n+1; r++ {
+			if a.At(r) != av.At(r) {
+				t.Fatalf("%v.At(%d) = %d but materialisation holds %d", a, r, a.At(r), av.At(r))
+			}
+		}
+	}
+}
+
+// A pair of clocks evolved by random tick/join sequences must order
+// exactly like the epoch/shared views taken of them along the way.
+func TestPropertyJoinTickSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 4
+	for trial := 0; trial < 300; trial++ {
+		clocks := make([]Clock, n)
+		for r := range clocks {
+			clocks[r] = New(n)
+		}
+		type snap struct {
+			hb  HB
+			vec Clock
+		}
+		var snaps []snap
+		for step := 0; step < 40; step++ {
+			r := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				clocks[r].Tick(r)
+			case 1:
+				other := rng.Intn(n)
+				clocks[r] = clocks[r].Join(clocks[other])
+			default:
+				// Snapshot rank r's state in the most compact
+				// representation that is exact for it.
+				var h HB
+				if exactEpoch(clocks[r], r) {
+					h = E(r, clocks[r].At(r))
+				} else {
+					h = Shared{Base: clocks[r].Copy(), Own: E(r, clocks[r].At(r))}
+				}
+				snaps = append(snaps, snap{hb: h, vec: clocks[r].Copy()})
+			}
+		}
+		for i := range snaps {
+			for j := range snaps {
+				if got, want := HappensBefore(snaps[i].hb, snaps[j].hb), snaps[i].vec.HappensBefore(snaps[j].vec); got != want {
+					t.Fatalf("trial %d: snapshot order %v<%v = %v, vectors say %v", trial, snaps[i].hb, snaps[j].hb, got, want)
+				}
+			}
+		}
+	}
+}
+
+// exactEpoch reports whether clock c of rank r is exactly representable
+// as the scalar r@c[r].
+func exactEpoch(c Clock, r int) bool {
+	for i, v := range c {
+		if i != r && v != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,15 +1,119 @@
-// Package vc implements vector clocks (Lamport happens-before) for the
-// MUST-RMA simulator. MUST-RMA constructs concurrent regions from
-// MPI-RMA synchronisation using a clock-based happens-before relation
-// and forwards them to a ThreadSanitizer-style checker (§3); the paper
-// attributes part of its scaling overhead to the O(P) clocks piggybacked
-// on messages when the process count grows (§5.3).
+// Package vc implements the happens-before clocks of the MUST-RMA
+// simulator. MUST-RMA constructs concurrent regions from MPI-RMA
+// synchronisation using a clock-based happens-before relation and
+// forwards them to a ThreadSanitizer-style checker (§3); the paper
+// attributes part of its scaling overhead to the O(P) clocks
+// piggybacked on messages when the process count grows (§5.3).
+//
+// Following FastTrack (Flanagan & Freund, PLDI'09) the representation
+// is adaptive: most clock values a detector handles describe totally
+// ordered histories and fit in a scalar Epoch (one rank@time pair,
+// 8 bytes); only genuinely cross-rank states need a full vector. The
+// HB interface abstracts over three representations:
+//
+//   - Epoch — a packed rank@time scalar: the value of a clock that is
+//     zero everywhere except one rank's component.
+//   - Shared — an immutable shared base vector overridden in exactly
+//     one rank's component: the shape every per-rank clock has between
+//     collective joins, so a snapshot costs O(1) instead of O(P).
+//   - Clock — the full O(P) vector, the fallback for arbitrary states.
+//
+// Promotion is lazy: values start as Epochs and grow a vector only on
+// the first cross-rank join (see detector.MustShared.ClockStats for
+// the instrumented promotion counters).
 package vc
 
 import (
 	"fmt"
 	"strings"
 )
+
+// Rep identifies an HB value's concrete representation.
+type Rep uint8
+
+const (
+	// RepEpoch is the packed scalar representation.
+	RepEpoch Rep = iota
+	// RepShared is the base-sharing promoted representation.
+	RepShared
+	// RepVector is the full vector representation.
+	RepVector
+)
+
+// String returns the representation's wire name.
+func (r Rep) String() string {
+	switch r {
+	case RepEpoch:
+		return "epoch"
+	case RepShared:
+		return "shared"
+	case RepVector:
+		return "vector"
+	}
+	return fmt.Sprintf("Rep(%d)", uint8(r))
+}
+
+// HB is one happens-before clock value under any representation. All
+// representations define the same abstract object — a map from rank to
+// observed logical time, zero beyond Width() — so the package-level
+// relations (Leq, HappensBefore, Concurrent, Equal) compare values of
+// different representations and widths directly.
+type HB interface {
+	// At returns component r; components at or beyond Width read 0.
+	At(r int) uint64
+	// Width returns the number of leading components that may be
+	// non-zero (the highest represented rank + 1).
+	Width() int
+	// Rep identifies the concrete representation.
+	Rep() Rep
+	// Bytes returns the unique payload bytes this value holds. A
+	// Shared value does not count its base: the base is allocated once
+	// per join generation and shared by every snapshot of it.
+	Bytes() int
+	// Clock materialises the value as a full width-n vector (the
+	// promotion everything eventually supports).
+	Clock(n int) Clock
+	// String renders the value for reports.
+	String() string
+}
+
+// Leq reports a ≤ b component-wise over the union of both widths.
+func Leq(a, b HB) bool {
+	n := a.Width()
+	if w := b.Width(); w > n {
+		n = w
+	}
+	for i := 0; i < n; i++ {
+		if a.At(i) > b.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// HappensBefore reports a < b: a ≤ b and a ≠ b. Values of different
+// representations and widths compare by zero-extension.
+func HappensBefore(a, b HB) bool { return Leq(a, b) && !Equal(a, b) }
+
+// Concurrent reports that neither value happens before the other and
+// they are not equal.
+func Concurrent(a, b HB) bool {
+	return !HappensBefore(a, b) && !HappensBefore(b, a) && !Equal(a, b)
+}
+
+// Equal reports component-wise equality under zero-extension.
+func Equal(a, b HB) bool {
+	n := a.Width()
+	if w := b.Width(); w > n {
+		n = w
+	}
+	for i := 0; i < n; i++ {
+		if a.At(i) != b.At(i) {
+			return false
+		}
+	}
+	return true
+}
 
 // Clock is a vector clock over a fixed number of ranks. Index r holds
 // the number of logical steps of rank r observed so far.
@@ -31,8 +135,16 @@ func (c Clock) Tick(rank int) Clock {
 	return c
 }
 
-// Join folds other into c component-wise (the receive rule).
+// Join folds other into c component-wise (the receive rule) and
+// returns the joined clock. When other is wider than c the result is
+// grown, which reallocates: callers must use the returned clock, not
+// assume in-place mutation.
 func (c Clock) Join(other Clock) Clock {
+	if len(other) > len(c) {
+		grown := make(Clock, len(other))
+		copy(grown, c)
+		c = grown
+	}
 	for i, v := range other {
 		if v > c[i] {
 			c[i] = v
@@ -43,46 +155,43 @@ func (c Clock) Join(other Clock) Clock {
 
 // HappensBefore reports whether c < other: every component of c is <=
 // the corresponding component of other and at least one is strictly
-// smaller.
-func (c Clock) HappensBefore(other Clock) bool {
-	strict := false
-	for i, v := range c {
-		if v > other[i] {
-			return false
-		}
-		if v < other[i] {
-			strict = true
-		}
-	}
-	return strict
-}
+// smaller. Clocks of different widths compare by zero-extension
+// (missing components read 0), so no width ever indexes out of bounds.
+func (c Clock) HappensBefore(other Clock) bool { return HappensBefore(c, other) }
 
-// Concurrent reports whether neither clock happens before the other and
-// they are not equal.
-func (c Clock) Concurrent(other Clock) bool {
-	return !c.HappensBefore(other) && !other.HappensBefore(c) && !c.Equal(other)
-}
+// Concurrent reports whether neither clock happens before the other
+// and they are not equal.
+func (c Clock) Concurrent(other Clock) bool { return Concurrent(c, other) }
 
-// Equal reports component-wise equality.
-func (c Clock) Equal(other Clock) bool {
-	if len(c) != len(other) {
-		return false
-	}
-	for i, v := range c {
-		if v != other[i] {
-			return false
-		}
-	}
-	return true
-}
+// Equal reports component-wise equality under zero-extension: a
+// trailing run of zero components does not distinguish two clocks,
+// because it does not change any happens-before verdict.
+func (c Clock) Equal(other Clock) bool { return Equal(c, other) }
 
 // At returns component r, treating missing components as 0 so clocks of
-// different widths compare sensibly in tests.
+// different widths compare sensibly.
 func (c Clock) At(r int) uint64 {
-	if r < len(c) {
+	if r >= 0 && r < len(c) {
 		return c[r]
 	}
 	return 0
+}
+
+// Width implements HB.
+func (c Clock) Width() int { return len(c) }
+
+// Rep implements HB.
+func (Clock) Rep() Rep { return RepVector }
+
+// Bytes implements HB: 8 bytes per component.
+func (c Clock) Bytes() int { return 8 * len(c) }
+
+// Clock implements HB: the materialisation of a vector is a width-n
+// copy of itself.
+func (c Clock) Clock(n int) Clock {
+	out := make(Clock, n)
+	copy(out, c)
+	return out
 }
 
 // String renders the clock as "<v0,v1,...>".
@@ -94,14 +203,123 @@ func (c Clock) String() string {
 	return "<" + strings.Join(parts, ",") + ">"
 }
 
-// Epoch is a scalar clock entry identifying one logical step of one
-// rank: the pair TSan's shadow cells store instead of a full vector
-// clock.
-type Epoch struct {
-	Rank int
-	Time uint64
+// epochTimeBits is the width of an Epoch's time field; the remaining
+// high bits hold the rank. 48 bits of logical time and 64k ranks are
+// both far beyond what a simulated run reaches.
+const epochTimeBits = 48
+
+// MaxEpochTime is the largest logical time an Epoch can carry.
+const MaxEpochTime = uint64(1)<<epochTimeBits - 1
+
+// MaxEpochRank is the largest rank an Epoch can carry.
+const MaxEpochRank = int(1)<<(64-epochTimeBits) - 1
+
+// Epoch is a scalar clock value packed into one word: rank@time, the
+// pair TSan's shadow cells store instead of a full vector clock. As an
+// HB value it denotes the clock that is zero everywhere except
+// component Rank, which holds Time.
+type Epoch uint64
+
+// E packs rank and time into an Epoch. It panics when either exceeds
+// the packed field width — a programming error, not a runtime state.
+func E(rank int, time uint64) Epoch {
+	if rank < 0 || rank > MaxEpochRank {
+		panic(fmt.Sprintf("vc: epoch rank %d out of range", rank))
+	}
+	if time > MaxEpochTime {
+		panic(fmt.Sprintf("vc: epoch time %d out of range", time))
+	}
+	return Epoch(uint64(rank)<<epochTimeBits | time)
 }
 
-// ObservedBy reports whether the step (e.Rank, e.Time) happens before or
-// at the state described by clock c — i.e. c has observed it.
-func (e Epoch) ObservedBy(c Clock) bool { return e.Time <= c.At(e.Rank) }
+// Rank returns the packed rank.
+func (e Epoch) Rank() int { return int(uint64(e) >> epochTimeBits) }
+
+// Time returns the packed logical time.
+func (e Epoch) Time() uint64 { return uint64(e) & MaxEpochTime }
+
+// At implements HB: component Rank holds Time, everything else is 0.
+func (e Epoch) At(r int) uint64 {
+	if r == e.Rank() {
+		return e.Time()
+	}
+	return 0
+}
+
+// Width implements HB.
+func (e Epoch) Width() int { return e.Rank() + 1 }
+
+// Rep implements HB.
+func (Epoch) Rep() Rep { return RepEpoch }
+
+// Bytes implements HB: one packed word.
+func (Epoch) Bytes() int { return 8 }
+
+// Clock implements HB.
+func (e Epoch) Clock(n int) Clock {
+	out := make(Clock, n)
+	if r := e.Rank(); r < n {
+		out[r] = e.Time()
+	}
+	return out
+}
+
+// ObservedBy reports whether the step (Rank, Time) happens before or at
+// the state described by h — i.e. h has observed it.
+func (e Epoch) ObservedBy(h HB) bool { return e.Time() <= h.At(e.Rank()) }
+
+// String renders the epoch as "r@t".
+func (e Epoch) String() string { return fmt.Sprintf("%d@%d", e.Rank(), e.Time()) }
+
+// Shared is a promoted clock that differs from an immutable shared
+// base vector in exactly one component: base joined with Own, with
+// component Own.Rank read from Own alone (the snapshot's call time
+// overrides the base, mirroring how MustShared.Snapshot forces the
+// issuing rank's component). Between collective joins every per-rank
+// clock of the MUST-RMA simulator has this shape, so one base
+// allocation per join generation serves every snapshot taken until the
+// next join — the O(P)→O(1) saving of the adaptive representation.
+//
+// Base must not be mutated after a Shared value references it.
+type Shared struct {
+	Base Clock
+	Own  Epoch
+}
+
+// At implements HB.
+func (s Shared) At(r int) uint64 {
+	if r == s.Own.Rank() {
+		return s.Own.Time()
+	}
+	return s.Base.At(r)
+}
+
+// Width implements HB.
+func (s Shared) Width() int {
+	w := len(s.Base)
+	if r := s.Own.Rank() + 1; r > w {
+		w = r
+	}
+	return w
+}
+
+// Rep implements HB.
+func (Shared) Rep() Rep { return RepShared }
+
+// Bytes implements HB: the slice header plus the packed epoch. The
+// base vector is deliberately excluded — it is shared, and counted
+// once by whoever allocated it.
+func (Shared) Bytes() int { return 32 }
+
+// Clock implements HB.
+func (s Shared) Clock(n int) Clock {
+	out := make(Clock, n)
+	copy(out, s.Base)
+	if r := s.Own.Rank(); r < n {
+		out[r] = s.Own.Time()
+	}
+	return out
+}
+
+// String renders the value via its materialisation.
+func (s Shared) String() string { return s.Clock(s.Width()).String() + "*" }

@@ -77,8 +77,34 @@ func TestConcurrent(t *testing.T) {
 }
 
 func TestEqualDifferentLengths(t *testing.T) {
-	if (Clock{1, 2}).Equal(Clock{1, 2, 0}) {
-		t.Error("clocks of different widths are not equal")
+	// Width compares by zero-extension: a trailing zero component does
+	// not change any happens-before verdict, so it cannot distinguish
+	// two clocks either.
+	if !(Clock{1, 2}).Equal(Clock{1, 2, 0}) {
+		t.Error("a trailing zero component must not break equality")
+	}
+	if (Clock{1, 2}).Equal(Clock{1, 2, 3}) {
+		t.Error("a non-zero extra component distinguishes the clocks")
+	}
+}
+
+// The pre-PR6 Join and HappensBefore indexed the receiver with the
+// other clock's length and crashed on a longer argument; both now
+// zero-extend. Regression for the mismatched-width fix.
+func TestMismatchedWidths(t *testing.T) {
+	short, long := Clock{1, 2}, Clock{1, 3, 7}
+	if !short.HappensBefore(long) {
+		t.Error("{1,2} < {1,3,7} is false only if width mismatches break comparison")
+	}
+	_ = long.HappensBefore(short) // must not panic
+	j := short.Copy().Join(long)
+	if want := (Clock{1, 3, 7}); !j.Equal(want) {
+		t.Errorf("join across widths = %v, want %v", j, want)
+	}
+	// Joining a shorter clock into a longer one stays in place.
+	j2 := long.Copy().Join(short)
+	if want := (Clock{1, 3, 7}); !j2.Equal(want) {
+		t.Errorf("join of narrower clock = %v, want %v", j2, want)
 	}
 }
 
@@ -90,11 +116,24 @@ func TestString(t *testing.T) {
 
 func TestEpochObservedBy(t *testing.T) {
 	c := Clock{5, 2}
-	if !(Epoch{Rank: 0, Time: 5}).ObservedBy(c) {
-		t.Error("step (0,5) is observed by <5,2>")
+	if !E(0, 5).ObservedBy(c) {
+		t.Error("step 0@5 is observed by <5,2>")
 	}
-	if (Epoch{Rank: 1, Time: 3}).ObservedBy(c) {
-		t.Error("step (1,3) is not observed by <5,2>")
+	if E(1, 3).ObservedBy(c) {
+		t.Error("step 1@3 is not observed by <5,2>")
+	}
+}
+
+func TestEpochPacking(t *testing.T) {
+	e := E(300, 123456789)
+	if e.Rank() != 300 || e.Time() != 123456789 {
+		t.Fatalf("round trip = %d@%d", e.Rank(), e.Time())
+	}
+	if e.At(300) != 123456789 || e.At(0) != 0 || e.At(301) != 0 {
+		t.Fatal("epoch components")
+	}
+	if got := e.String(); got != "300@123456789" {
+		t.Errorf("String = %q", got)
 	}
 }
 
