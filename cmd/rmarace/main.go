@@ -9,12 +9,14 @@
 //	rmarace replay -shards 8 trace.jsonl   # sharded contribution analyzer
 //	rmarace replay -report out.json trace.jsonl   # write a structured run report
 //	rmarace replay -telemetry :9090 -spans spans.json -flight 64 trace.jsonl
+//	rmarace replay -batch 64 -evict 2 -compact big.bin   # bounded-memory streaming replay
+//	rmarace convert -o trace.bin trace.jsonl   # JSON <-> binary trace conversion
 //	rmarace stats out.json   # summarise a run report
 //	rmarace stats -format prom out.json   # Prometheus text exposition
 //	rmarace postmortem out.json   # render a race's flight-recorder dump
 //	rmarace demo    # run the paper's Code 1 and print the report
 //	rmarace codes   # run every example program of the paper under all tools
-//	rmarace bench   # run the perf suite and write BENCH_PR2.json
+//	rmarace bench   # run the perf suite and write BENCH_PR7.json
 //	rmarace bench -telemetry :9090 -spans spans.json
 package main
 
@@ -41,6 +43,7 @@ import (
 	"rmarace/internal/rma"
 	"rmarace/internal/store"
 	"rmarace/internal/trace"
+	"rmarace/internal/tracebin"
 )
 
 func main() {
@@ -52,6 +55,8 @@ func main() {
 	switch os.Args[1] {
 	case "replay":
 		replayCmd(os.Args[2:])
+	case "convert":
+		convertCmd(os.Args[2:])
 	case "stats":
 		statsCmd(os.Args[2:])
 	case "postmortem":
@@ -72,7 +77,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rmarace replay [-method NAME] [-store NAME] [-shards K] [-compare] [-report FILE]
-                 [-telemetry ADDR] [-spans FILE] [-flight N] TRACE
+                 [-telemetry ADDR] [-spans FILE] [-flight N]
+                 [-batch N] [-evict K] [-compact] TRACE
+  rmarace convert [-o FILE] [-to bin|json] TRACE
   rmarace stats [-format text|prom] REPORT
   rmarace postmortem [-method NAME] [-flight N] REPORT|TRACE
   rmarace demo
@@ -83,7 +90,14 @@ func usage() {
 
 methods: baseline, rma-analyzer, must-rma, our-contribution
 stores (tree-based methods): avl (default), legacy, shadow, strided
+TRACE may be JSON Lines or the RMTB binary format; replay, convert and
+        postmortem sniff the leading bytes and pick the right decoder
 -shards splits the contribution analyzer into K address-space shards
+-batch coalesces up to N access events per owner into pooled batches
+-evict retires a (rank,window) analyzer after K accessless epochs
+-compact releases retained analyzer capacity at every epoch boundary
+convert rewrites a trace into the other format losslessly (-to forces
+        the target; default is the opposite of the input's)
 -report records analysis metrics and writes a structured run report
         (schema rmarace/run-report/v1); summarise it with rmarace stats
 -telemetry serves live /metrics, /report, /healthz and /debug/pprof
@@ -170,12 +184,16 @@ func recordClockStats(reg *obs.Registry, shared *detector.MustShared) {
 	reg.Set(obs.ClockFullLive, 0, int64(cs.FullClocksLive))
 }
 
-// replayObs selects the replay command's observability extras.
+// replayObs selects the replay command's observability extras and the
+// streaming memory policy.
 type replayObs struct {
 	report    string // run-report JSON output path
 	telemetry string // live HTTP server address
 	spans     string // Chrome trace-event JSON output path
 	flight    int    // flight-recorder depth per window owner
+	batch     int    // pooled event-batch size per owner
+	evict     int    // cold-epoch threshold for analyzer eviction
+	compact   bool   // release retained capacity at epoch boundaries
 }
 
 func replayOne(path string, method detector.Method, storeName string, shards int, o replayObs) error {
@@ -184,10 +202,11 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 		return err
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
+	src, format, err := tracebin.Open(f)
 	if err != nil {
 		return err
 	}
+	head := src.Head()
 	var reg *obs.Registry
 	if o.report != "" || o.telemetry != "" {
 		reg = obs.NewRegistry()
@@ -198,7 +217,7 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 			// A mid-replay /report serves whatever the registry has seen
 			// so far; the counters are live, the totals fill in at the end.
 			Report: func() *obs.RunReport {
-				return replayReport(r.Header, method, trace.ReplayResult{}, reg)
+				return replayReport(head, method, trace.ReplayResult{}, reg)
 			},
 		})
 		if err != nil {
@@ -209,18 +228,24 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 	}
 	var tr *span.Tracer
 	if o.spans != "" {
-		tr = span.NewLogicalTracer(r.Header.Ranks, 0)
+		tr = span.NewLogicalTracer(head.Ranks, 0)
 	}
 	start := time.Now()
-	factory, mustShared := newAnalyzerShared(method, r.Header.Ranks, storeName, shards, obs.OrDisabled(reg))
-	res, err := trace.ReplayWith(r, factory,
-		trace.ReplayOpts{Spans: tr, FlightN: o.flight})
+	factory, mustShared := newAnalyzerShared(method, head.Ranks, storeName, shards, obs.OrDisabled(reg))
+	res, err := trace.ReplayStream(src, factory, trace.ReplayOpts{
+		Spans: tr, FlightN: o.flight,
+		Batch: o.batch, EvictCold: o.evict, Compact: o.compact,
+		Recorder: obs.OrDisabled(reg),
+	})
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
 	recordClockStats(reg, mustShared)
-	fmt.Printf("%-16s %8d events  %3d epochs  %8d max nodes  %10v", method, res.Events, res.Epochs, res.MaxNodes, elapsed)
+	fmt.Printf("%-16s %8d events  %3d epochs  %8d max nodes  %10v  (%s trace)", method, res.Events, res.Epochs, res.MaxNodes, elapsed, format)
+	if res.Evictions > 0 {
+		fmt.Printf("\n  evicted %d cold analyzers", res.Evictions)
+	}
 	if res.Race != nil {
 		fmt.Printf("\n  RACE: %s", res.Race.Message())
 		if n := len(res.Race.FlightLog); n > 0 {
@@ -243,7 +268,7 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 		log.Printf("wrote %s (%d spans; open in Perfetto)", o.spans, tr.Len())
 	}
 	if o.report != "" {
-		rep := replayReport(r.Header, method, res, reg)
+		rep := replayReport(head, method, res, reg)
 		out, err := os.Create(o.report)
 		if err != nil {
 			return err
@@ -289,6 +314,83 @@ func replayReport(h trace.Header, method detector.Method, res trace.ReplayResult
 		rep.Races = append(rep.Races, rma.RaceReport(res.Race))
 	}
 	return rep
+}
+
+// convertCmd rewrites a trace losslessly into the other format —
+// JSON Lines to the RMTB binary format or back. The input format is
+// sniffed; -to forces the target (defaulting to the opposite), so
+// `convert -to json` also canonicalises a JSON trace.
+func convertCmd(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	out := fs.String("o", "", "output path (default: input path with the target format's extension)")
+	to := fs.String("to", "", "target format: bin or json (default: the opposite of the input's)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	in := fs.Arg(0)
+	f, err := os.Open(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	src, format, err := tracebin.Open(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := *to
+	if target == "" {
+		if format == "bin" {
+			target = "json"
+		} else {
+			target = "bin"
+		}
+	}
+	outPath := *out
+	if outPath == "" {
+		base := strings.TrimSuffix(strings.TrimSuffix(in, ".jsonl"), ".bin")
+		if target == "bin" {
+			outPath = base + ".bin"
+		} else {
+			outPath = base + ".jsonl"
+		}
+		if outPath == in {
+			log.Fatalf("refusing to overwrite %s; pass -o", in)
+		}
+	}
+	of, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sink trace.Sink
+	switch target {
+	case "bin":
+		sink, err = tracebin.NewWriter(of, src.Head())
+	case "json":
+		sink, err = trace.NewWriter(of, src.Head())
+	default:
+		log.Fatalf("unknown target format %q (want bin or json)", target)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := tracebin.Convert(sink, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := of.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("converted %d records: %s (%s) -> %s (%s, %d bytes)",
+		n, in, format, outPath, target, sizeOf(outPath))
+}
+
+func sizeOf(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return -1
+	}
+	return fi.Size()
 }
 
 // statsCmd reads a run report written by `replay -report`, `bench` or
@@ -362,12 +464,12 @@ func postmortemCmd(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := trace.NewReader(bytes.NewReader(data))
+	src, _, err := tracebin.Open(bytes.NewReader(data))
 	if err != nil {
 		log.Fatal(err)
 	}
 	var reg *obs.Registry
-	res, err := trace.ReplayWith(r, newAnalyzer(method, r.Header.Ranks, "", 1, obs.OrDisabled(reg)),
+	res, err := trace.ReplayStream(src, newAnalyzer(method, src.Head().Ranks, "", 1, obs.OrDisabled(reg)),
 		trace.ReplayOpts{FlightN: *flight})
 	if err != nil {
 		log.Fatal(err)
@@ -392,6 +494,9 @@ func replayCmd(args []string) {
 	telAddr := fs.String("telemetry", "", "serve live /metrics, /report, /healthz and /debug/pprof on this address during the replay")
 	spansPath := fs.String("spans", "", "write the replay's causal spans (Chrome trace-event JSON) to this path")
 	flight := fs.Int("flight", 0, "flight-recorder depth per window owner (0 disables)")
+	batch := fs.Int("batch", 0, "coalesce up to N access events per owner into pooled batches (<2 keeps the per-event path)")
+	evict := fs.Int("evict", 0, "retire a (rank,window) analyzer after K consecutive accessless epochs (0 disables)")
+	compact := fs.Bool("compact", false, "release retained analyzer capacity at every epoch boundary")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -400,14 +505,16 @@ func replayCmd(args []string) {
 	if _, err := store.New(*storeName); err != nil {
 		log.Fatal(err)
 	}
-	o := replayObs{report: *report, telemetry: *telAddr, spans: *spansPath, flight: *flight}
+	o := replayObs{report: *report, telemetry: *telAddr, spans: *spansPath, flight: *flight,
+		batch: *batch, evict: *evict, compact: *compact}
 
 	if *compare {
 		if *report != "" || *telAddr != "" || *spansPath != "" {
 			log.Fatal("-compare replays four times; -report, -telemetry and -spans attach to a single replay")
 		}
 		for _, m := range detector.Methods() {
-			if err := replayOne(path, m, *storeName, *shards, replayObs{flight: *flight}); err != nil {
+			if err := replayOne(path, m, *storeName, *shards,
+				replayObs{flight: *flight, batch: *batch, evict: *evict, compact: *compact}); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -427,12 +534,12 @@ func replayCmd(args []string) {
 // the JSON snapshot.
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("o", "BENCH_PR6.json", "output JSON path")
+	out := fs.String("o", "BENCH_PR7.json", "output JSON path")
 	vertices := fs.Int("vertices", 0, "MiniVite benchmark input size (0 = scaled default)")
 	telAddr := fs.String("telemetry", "", "serve live /metrics, /report, /healthz and /debug/pprof on this address during the suite")
 	spansPath := fs.String("spans", "", "write the instrumented run's causal spans (Chrome trace-event JSON) to this path")
-	quick := fs.Bool("quick", false, "run only the gated series (insert, notification, clock memory, stack depot)")
-	check := fs.Bool("check", false, "gate the snapshot: hot paths 0 allocs/op, adaptive clock reduction ≥ 10x, depot interned; exit 1 on failure")
+	quick := fs.Bool("quick", false, "run only the gated series (insert, notification, clock memory, stack depot, small trace-ingest sweep)")
+	check := fs.Bool("check", false, "gate the snapshot: hot paths 0 allocs/op, adaptive clock reduction ≥ 10x, depot interned, binary ingest ≥ 5x JSON, peak RSS ≤ 2x at 4x the trace; exit 1 on failure")
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
 		usage()
@@ -496,10 +603,12 @@ func benchCmd(args []string) {
 	}
 }
 
-// checkBench enforces the PR 6 performance gates on a suite snapshot:
-// the insert and notification hot paths stay allocation-free, the
-// adaptive clock representation recovers ≥10× of the always-vector
-// clock bytes at 256 ranks, and the stack depot actually interns.
+// checkBench enforces the performance gates on a suite snapshot: the
+// insert and notification hot paths stay allocation-free, the adaptive
+// clock representation recovers ≥10× of the always-vector clock bytes
+// at 256 ranks, the stack depot actually interns, binary trace ingest
+// decodes ≥5× faster than JSON, and the bounded-memory replay's peak
+// live heap grows ≤2× when the trace grows 4× (PR 7).
 func checkBench(rep benchkit.Report) []error {
 	var errs []error
 	found := map[string]bool{}
@@ -523,9 +632,22 @@ func checkBench(rep benchkit.Report) []error {
 			if r.Metrics["dedup_x"] < 2 {
 				errs = append(errs, fmt.Errorf("%s dedup factor %.1fx, want >= 2x", r.Name, r.Metrics["dedup_x"]))
 			}
+		case strings.HasPrefix(r.Name, "trace-ingest/") && strings.HasSuffix(r.Name, "/bin"):
+			found["ingest"] = true
+			if sp := r.Metrics["speedup_x"]; sp < 5 {
+				errs = append(errs, fmt.Errorf("%s binary ingest speedup %.1fx over JSON, want >= 5x", r.Name, sp))
+			}
+		case strings.HasPrefix(r.Name, "trace-rss/"):
+			found["rss"] = true
+			if r.Metrics["rss_large_bytes"] <= 0 {
+				errs = append(errs, fmt.Errorf("%s recorded no peak RSS", r.Name))
+			}
+			if g := r.Metrics["growth_x"]; g > 2 {
+				errs = append(errs, fmt.Errorf("%s peak RSS grew %.2fx at 4x the trace, want <= 2x", r.Name, g))
+			}
 		}
 	}
-	for _, k := range []string{"hot", "clock", "depot"} {
+	for _, k := range []string{"hot", "clock", "depot", "ingest", "rss"} {
 		if !found[k] {
 			errs = append(errs, fmt.Errorf("gated series %q missing from the suite", k))
 		}

@@ -5,6 +5,8 @@
 //
 //	tracegen -o trace.jsonl -ranks 8 -events 100000 -epochs 4 -adjacency 0.8
 //	tracegen -o racy.jsonl -ranks 2 -events 100 -racy   # plant a deterministic race
+//	tracegen -o big.bin -format bin -ranks 10000 -owners 10000 -skew 0.7 \
+//	         -events 1250000 -epochs 4   # 5M-event binary scale-sweep trace
 package main
 
 import (
@@ -13,16 +15,20 @@ import (
 	"os"
 
 	"rmarace/internal/trace"
+	"rmarace/internal/tracebin"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracegen: ")
 	out := flag.String("o", "-", "output file (- for stdout)")
+	format := flag.String("format", "json", "trace format: json (JSON Lines) or bin (RMTB binary)")
 	cfg := trace.GenConfig{}
 	flag.IntVar(&cfg.Ranks, "ranks", 4, "simulated rank count")
 	flag.IntVar(&cfg.Events, "events", 10000, "access events per epoch")
 	flag.IntVar(&cfg.Epochs, "epochs", 1, "number of epochs")
+	flag.IntVar(&cfg.Owners, "owners", 1, "distinct window owners the accesses spread over (<= ranks)")
+	flag.Float64Var(&cfg.OwnerSkew, "skew", 0, "owner skew in [0,1): 0 uniform, near 1 concentrates accesses on owner 0 and leaves the tail cold")
 	flag.Float64Var(&cfg.Adjacency, "adjacency", 0.5, "fraction of adjacent (mergeable) accesses")
 	flag.Float64Var(&cfg.WriteFraction, "writes", 0.5, "fraction of strided RMA accesses that write")
 	flag.BoolVar(&cfg.SafeOnly, "safe", true, "partition the address space so the trace is race-free")
@@ -43,9 +49,22 @@ func main() {
 		}()
 		w = f
 	}
-	n, err := trace.Generate(w, cfg)
+	var n int
+	var err error
+	switch *format {
+	case "json":
+		n, err = trace.Generate(w, cfg)
+	case "bin":
+		var bw *tracebin.Writer
+		bw, err = tracebin.NewWriter(w, trace.Header{Ranks: cfg.Ranks, Window: "synthetic"})
+		if err == nil {
+			n, err = trace.GenerateTo(bw, cfg)
+		}
+	default:
+		log.Fatalf("unknown format %q (want json or bin)", *format)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %d events", n)
+	log.Printf("wrote %d events (%s)", n, *format)
 }

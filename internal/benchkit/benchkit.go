@@ -83,16 +83,17 @@ func Suite(opts Options) Report {
 	out = append(out, notificationResults(opts.Shards)...)
 	out = append(out, clockMemResults(256)...)
 	out = append(out, depotResults()...)
+	out = append(out, traceIngestResults(opts.Quick)...)
 	if opts.Quick {
 		return Report{
-			Suite:   "rmarace perf suite (quick: insert hot path, sharded pipeline, clock memory, stack depot)",
+			Suite:   "rmarace perf suite (quick: insert hot path, sharded pipeline, clock memory, stack depot, trace ingest)",
 			Results: out,
 		}
 	}
 	out = append(out, figure10Results()...)
 	out = append(out, table4Results(opts.Vertices)...)
 	return Report{
-		Suite:   "rmarace perf suite (insert hot path, sharded pipeline, clock memory, stack depot, Figure 10, Table 4)",
+		Suite:   "rmarace perf suite (insert hot path, sharded pipeline, clock memory, stack depot, trace ingest, Figure 10, Table 4)",
 		Results: out,
 		Runs:    runReports(opts),
 	}

@@ -485,6 +485,23 @@ func (z *Analyzer) bumpMaxNodes() {
 // MaxNodes implements detector.Analyzer.
 func (z *Analyzer) MaxNodes() int { return z.maxNodes }
 
+// Compact implements detector.Compacter: it releases the analyzer's
+// retained capacity — the insertion hot path's scratch buffers, the
+// strided section buffer, and the store's own retained capacity
+// (store.Compact; the AVL free list) — without touching live analysis
+// state, so verdicts are unaffected. The bounded-memory trace replay
+// calls it at epoch boundaries; the next epoch re-grows the buffers on
+// demand.
+func (z *Analyzer) Compact() {
+	z.scratch = nil
+	z.fragScratch = nil
+	z.delScratch = nil
+	if z.stridedOn && cap(z.sections) > 0 && len(z.sections) == 0 {
+		z.sections = nil
+	}
+	store.Compact(z.lazyStore())
+}
+
 // Accesses implements detector.Analyzer.
 func (z *Analyzer) Accesses() uint64 { return z.accesses }
 
@@ -496,4 +513,5 @@ func (z *Analyzer) Items() []access.Access { return store.Items(z.lazyStore()) }
 var (
 	_ detector.Analyzer      = (*Analyzer)(nil)
 	_ detector.BatchAnalyzer = (*Analyzer)(nil)
+	_ detector.Compacter     = (*Analyzer)(nil)
 )

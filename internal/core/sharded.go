@@ -208,6 +208,17 @@ func (s *Sharded) MaxShardNodes() int {
 	return m
 }
 
+// Compact implements detector.Compacter: every shard compacts, and the
+// routing partition buffers are released too.
+func (s *Sharded) Compact() {
+	for _, sub := range s.subs {
+		sub.Compact()
+	}
+	for i := range s.route {
+		s.route[i] = nil
+	}
+}
+
 // Accesses implements detector.Analyzer. Pieces count individually, so
 // an access straddling a shard boundary counts once per piece.
 func (s *Sharded) Accesses() uint64 {
@@ -235,4 +246,5 @@ var (
 	_ detector.Analyzer      = (*Sharded)(nil)
 	_ detector.BatchAnalyzer = (*Sharded)(nil)
 	_ detector.Sharder       = (*Sharded)(nil)
+	_ detector.Compacter     = (*Sharded)(nil)
 )

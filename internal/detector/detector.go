@@ -191,6 +191,25 @@ func AccessBatch(a Analyzer, evs []Event) *Race {
 	return nil
 }
 
+// Compacter is the optional memory-compaction capability of an
+// analyzer: Compact releases retained capacity that exists only to
+// amortise allocation — store node free lists, scratch buffers — without
+// touching live analysis state, so it is always verdict-preserving. The
+// bounded-memory trace replay calls it at epoch boundaries to keep peak
+// RSS flat across many-owner streams.
+type Compacter interface {
+	Compact()
+}
+
+// Compact invokes a's Compacter capability when present; analyzers
+// without one retain their capacity (a no-op, like AccessBatch's
+// fallback is the scalar path).
+func Compact(a Analyzer) {
+	if c, ok := a.(Compacter); ok {
+		c.Compact()
+	}
+}
+
 // Sharder is the optional sharding capability of an analyzer: the
 // address space is partitioned into NumShards contiguous interval
 // shards, each an independent Analyzer, and RouteEach splits an event

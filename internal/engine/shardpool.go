@@ -326,26 +326,60 @@ func (e *Engine) analyseSharded(rank int, rs *rankShards, ev detector.Event) *de
 
 // GetEventBuf takes a reusable event slice (length 0) from the engine's
 // pool, for callers assembling a Notify batch; the engine recycles the
-// slice after analysis. Plain make when the pool is empty.
+// slice after analysis. Falls back to the process-wide pool (the
+// package-level GetEventBuf), so buffers cycle between engines and the
+// streaming trace replay too.
 func (e *Engine) GetEventBuf() []detector.Event {
 	select {
 	case b := <-e.evFree:
 		return b
 	default:
-		return make([]detector.Event, 0, defaultEventBufCap)
+		return GetEventBuf()
 	}
 }
 
 // PutEventBuf returns an event slice to the pool. The engine calls it on
 // every analysed batch, so slices cycle between the instrumentation
 // layer's notification assembly and the analysis side without
-// reallocating in steady state.
+// reallocating in steady state. A full per-engine pool overflows into
+// the process-wide pool instead of dropping the slice to the GC.
 func (e *Engine) PutEventBuf(evs []detector.Event) {
 	if cap(evs) == 0 {
 		return
 	}
 	select {
 	case e.evFree <- evs[:0]:
+	default:
+		PutEventBuf(evs)
+	}
+}
+
+// sharedEvFree is the process-wide event-buffer free list behind the
+// package-level GetEventBuf/PutEventBuf: the same pooled batch slices
+// the engines' notification pipelines cycle, shared with callers that
+// batch events outside any engine (the streaming trace replay). A
+// buffered channel, like the per-engine pools: contention is two
+// CAS-ish operations and nothing is dropped on GC.
+var sharedEvFree = make(chan []detector.Event, 256)
+
+// GetEventBuf takes a reusable event slice (length 0) from the
+// process-wide pool; plain make when the pool is empty.
+func GetEventBuf() []detector.Event {
+	select {
+	case b := <-sharedEvFree:
+		return b
+	default:
+		return make([]detector.Event, 0, defaultEventBufCap)
+	}
+}
+
+// PutEventBuf returns an event slice to the process-wide pool.
+func PutEventBuf(evs []detector.Event) {
+	if cap(evs) == 0 {
+		return
+	}
+	select {
+	case sharedEvFree <- evs[:0]:
 	default: // pool full; let the GC have it
 	}
 }

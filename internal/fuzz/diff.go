@@ -227,6 +227,14 @@ func Diff(p Program, schedSeeds []int64, cfgs []Config) (Result, error) {
 			d.SchedSeed = seed
 			res.Divergences = append(res.Divergences, d)
 		}
+		// The binary trace codec: JSON→binary→JSON must be lossless and
+		// the streaming binary replay verdict-identical to JSON replay.
+		if d, ok, err := diffTraceCodec(recs, p.Ranks); err != nil {
+			return res, err
+		} else if ok {
+			d.SchedSeed = seed
+			res.Divergences = append(res.Divergences, d)
+		}
 	}
 	return res, nil
 }

@@ -392,3 +392,21 @@ func TestClockRepAgreesOnCorpus(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceCodecAgreesOnCorpus pins the binary trace codec directly: on
+// every seed program and schedule, JSON→binary→JSON must round-trip
+// byte-identically and the streaming binary replay must return the same
+// verdict (and pair) as the JSON replay.
+func TestTraceCodecAgreesOnCorpus(t *testing.T) {
+	for _, s := range Seeds() {
+		p := Normalize(s.P)
+		for _, sched := range testSchedules {
+			recs := Render(p, sched)
+			if d, ok, err := diffTraceCodec(recs, p.Ranks); err != nil {
+				t.Fatalf("%s sched=%d: %v", s.Name, sched, err)
+			} else if ok {
+				t.Errorf("%s sched=%d: %s", s.Name, sched, d)
+			}
+		}
+	}
+}

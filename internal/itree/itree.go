@@ -395,6 +395,18 @@ func (t *Tree) Clear() {
 	t.size = 0
 }
 
+// ReleaseFree drops the recycled-node free list, handing its nodes to
+// the GC. The free list exists only to make the steady-state
+// insert/delete cycle allocation-free; releasing it never touches live
+// tree state, so it is safe at any point. The bounded-memory trace
+// replay calls it at epoch boundaries (via store.Compact) to keep peak
+// RSS flat across many resident trees, at the price of re-allocating
+// nodes in the next epoch.
+func (t *Tree) ReleaseFree() {
+	t.free = nil
+	t.freeN = 0
+}
+
 func (t *Tree) reclaim(n *node) {
 	if n == nil {
 		return

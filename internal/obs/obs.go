@@ -144,6 +144,19 @@ const (
 	DepotHits
 	// DepotMisses counts stack captures that interned a new stack.
 	DepotMisses
+	// TraceIngestBytes counts trace bytes consumed by a streaming replay
+	// (JSON or binary source alike).
+	TraceIngestBytes
+	// TraceIngestRecords counts trace records consumed by a streaming
+	// replay.
+	TraceIngestRecords
+	// AnalyzerEvictions counts cold (owner, window) analyzers retired by
+	// the bounded-memory replay's eviction policy.
+	AnalyzerEvictions
+	// PeakRSS is the high-water mark of the live heap (HeapAlloc)
+	// sampled during a streaming replay — the resident-memory proxy the
+	// 10k-rank scale sweep gates on.
+	PeakRSS
 
 	// NumMetrics bounds the enum; it is not a metric.
 	NumMetrics
@@ -190,6 +203,12 @@ var metricInfos = [NumMetrics]metricInfo{
 	DepotBytes:           {"depot_bytes", KindGauge, "rank"},
 	DepotHits:            {"depot_hits", KindGauge, "rank"},
 	DepotMisses:          {"depot_misses", KindGauge, "rank"},
+	// Trace-ingest metrics are process-wide like the clock/depot gauges
+	// (label 0 by convention).
+	TraceIngestBytes:   {"trace_ingest_bytes", KindCounter, "rank"},
+	TraceIngestRecords: {"trace_ingest_records", KindCounter, "rank"},
+	AnalyzerEvictions:  {"analyzer_evictions", KindCounter, "rank"},
+	PeakRSS:            {"peak_rss_bytes", KindHighWater, "rank"},
 }
 
 // Name returns the metric's wire name (snake_case, stable).

@@ -1,6 +1,7 @@
 package rma
 
 import (
+	"runtime"
 	"sort"
 
 	"rmarace/internal/access"
@@ -93,6 +94,12 @@ func (s *Session) recordAdaptiveStats(rec obs.Recorder) {
 		rec.Set(obs.DepotHits, 0, int64(ds.Hits))
 		rec.Set(obs.DepotMisses, 0, int64(ds.Misses))
 	}
+	// Live-heap high-water sample, the same peak_rss_bytes proxy the
+	// streaming replay records; SetMax keeps repeated Report calls
+	// monotone.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rec.SetMax(obs.PeakRSS, 0, int64(ms.HeapAlloc))
 }
 
 // RaceReport converts a detected race into its report form: the

@@ -59,9 +59,16 @@ func (s *AVL) Clear() { s.tree.Clear() }
 // Len implements AccessStore.
 func (s *AVL) Len() int { return s.tree.Len() }
 
+// Compact implements Compacter: it drops the tree's recycled-node free
+// list (the retained capacity that dominates a post-epoch tree's
+// footprint), trading the next epoch's allocation-free refill for a
+// flat memory profile.
+func (s *AVL) Compact() { s.tree.ReleaseFree() }
+
 var (
 	_ AccessStore     = (*AVL)(nil)
 	_ BatchInserter   = (*AVL)(nil)
 	_ NeighborStabber = (*AVL)(nil)
 	_ Extender        = (*AVL)(nil)
+	_ Compacter       = (*AVL)(nil)
 )

@@ -132,6 +132,10 @@ func (s *Instrumented) Clear() { s.inner.Clear() }
 // Len implements AccessStore.
 func (s *Instrumented) Len() int { return s.inner.Len() }
 
+// Compact implements Compacter through the package helper (a no-op when
+// the backend has no retained capacity).
+func (s *Instrumented) Compact() { Compact(s.inner) }
+
 // ExtendHi implements Extender. The in-place extension counts as one
 // insert (the merge fast path's node-growth write).
 func (s *instrumentedExtender) ExtendHi(iv interval.Interval, newHi uint64) bool {

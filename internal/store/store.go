@@ -215,6 +215,23 @@ func RemoveRemote(s AccessStore, owner int) {
 	}
 }
 
+// Compacter is the optional memory-compaction capability: Compact
+// releases capacity retained purely to amortise allocation (node free
+// lists, spare buffers) without touching stored accesses, so it is
+// always verdict-preserving. Backends without retained capacity simply
+// don't implement it.
+type Compacter interface {
+	Compact()
+}
+
+// Compact releases a store's retained capacity through the capability
+// when present; otherwise it is a no-op.
+func Compact(s AccessStore) {
+	if c, ok := s.(Compacter); ok {
+		c.Compact()
+	}
+}
+
 // Items returns the stored accesses in Walk order, for inspection and
 // testing.
 func Items(s AccessStore) []access.Access {

@@ -1,0 +1,340 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+
+	"rmarace/internal/detector"
+	"rmarace/internal/engine"
+	"rmarace/internal/obs"
+	"rmarace/internal/obs/span"
+)
+
+// ReplayResult summarises a replay.
+type ReplayResult struct {
+	Events   int
+	Epochs   int
+	MaxNodes int
+	Race     *detector.Race
+	// Evictions counts cold (owner, window) analyzers the bounded-memory
+	// policy retired mid-stream (ReplayOpts.EvictCold).
+	Evictions int64
+}
+
+// ReplayOpts selects the optional observability and the memory policy
+// of a replay.
+type ReplayOpts struct {
+	// Spans, when non-nil, receives one logical-time span per replayed
+	// record — a timeline of the trace for Perfetto. Build it with
+	// span.NewLogicalTracer(header.Ranks, depth).
+	Spans *span.Tracer
+	// FlightN, when positive, keeps per-owner flight recorders of the
+	// last FlightN replayed events; a detected race carries the owner's
+	// snapshot like the live engine's does.
+	FlightN int
+	// Batch coalesces up to Batch consecutive access events per owner
+	// into one pooled event buffer fed through detector.AccessBatch —
+	// the engine's notification-batch shape, which unlocks the
+	// contribution's adjacent-merge fast path on replays too. Values
+	// below 2 keep the per-event path. Batches are flushed before any
+	// synchronisation record of their owner, so verdicts are identical
+	// to unbatched replay. Span tracing and the flight recorder are
+	// per-event observers, so either forces the per-event path.
+	Batch int
+	// EvictCold, when positive, retires the analyzer state of a cold
+	// (owner, window): an owner whose analyzer went EvictCold
+	// consecutive epochs without seeing a single access — and whose
+	// store is empty, which an epoch boundary guarantees for the
+	// tree-based analyzers — is dropped and lazily rebuilt on its next
+	// record. Eviction is verdict-preserving exactly because only empty
+	// post-epoch state is dropped; it bounds the resident analyzer set
+	// to the stream's hot owners on many-rank traces.
+	EvictCold int
+	// Compact, when set, releases retained analyzer capacity (store
+	// node free lists, scratch buffers) at every epoch boundary through
+	// the detector.Compacter capability. Steady-state replays trade the
+	// free lists' zero-allocation refill for a flat memory profile —
+	// the bounded-RSS mode of the 10k-rank sweep.
+	Compact bool
+	// Recorder receives the replay's ingest metrics: trace_ingest_bytes
+	// and trace_ingest_records counters, the analyzer_evictions counter
+	// and the peak_rss_bytes high-water mark (sampled live heap). Nil
+	// disables recording.
+	Recorder obs.Recorder
+}
+
+// Replay feeds a trace through per-owner analyzers built by
+// newAnalyzer and stops at the first race, like the on-the-fly tools.
+func Replay(r *Reader, newAnalyzer func(owner int) detector.Analyzer) (ReplayResult, error) {
+	return ReplayStream(r, newAnalyzer, ReplayOpts{})
+}
+
+// ReplayWith is Replay with observability options.
+func ReplayWith(r *Reader, newAnalyzer func(owner int) detector.Analyzer, opts ReplayOpts) (ReplayResult, error) {
+	return ReplayStream(r, newAnalyzer, opts)
+}
+
+// replayTick is the exported logical-time width of one replayed record
+// in nanoseconds: records render 1µs apart so Perfetto shows a readable
+// timeline regardless of the trace's own counters.
+const replayTick = 1000
+
+// ingestFlushEvery is how many records the replay loop batches between
+// recorder updates, and peakSampleEvery how many between live-heap
+// samples (runtime.ReadMemStats briefly stops the world, so it runs at
+// a coarser cadence).
+const (
+	ingestFlushEvery = 4096
+	peakSampleEvery  = 1 << 16
+)
+
+// ownerState is one owner's resident replay state: its analyzer, the
+// optional flight recorder, the pending pooled event batch, and the
+// cold-epoch counter of the eviction policy.
+type ownerState struct {
+	a       detector.Analyzer
+	flight  *detector.FlightLog
+	pending []detector.Event
+	// sawAccess records whether the owner saw any access since its last
+	// epoch boundary; coldEpochs counts consecutive accessless epochs.
+	sawAccess  bool
+	coldEpochs int
+}
+
+// ReplayStream feeds a record stream — JSON or binary, anything
+// implementing Source — through per-owner analyzers built by
+// newAnalyzer, stopping at the first race like the on-the-fly tools.
+// The stream is consumed with bounded memory: one reusable record
+// buffer, pooled event batches (ReplayOpts.Batch), and optionally the
+// cold-owner eviction and epoch-boundary compaction policies.
+//
+// Replayed records get their timestamps normalised per issuing rank:
+// traces written without Time/CallTime (or with stale counters) would
+// otherwise give every access the same program-order time, collapsing
+// the happens-before information span export and the MUST-RMA replay
+// rely on. A record whose Time does not advance its rank's last seen
+// value is bumped to lastTime+1, and a zero CallTime inherits Time, so
+// per-rank timestamps are always strictly monotonic after replay.
+func ReplayStream(src Source, newAnalyzer func(owner int) detector.Analyzer, opts ReplayOpts) (ReplayResult, error) {
+	batch := opts.Batch
+	if batch < 1 || opts.FlightN > 0 || opts.Spans.Enabled() {
+		// Spans and the flight recorder observe record order; batching
+		// would reorder analysis relative to them.
+		batch = 1
+	}
+	rec := obs.OrDisabled(opts.Recorder)
+	recOn := rec.Enabled()
+	owners := make(map[int]*ownerState)
+	get := func(owner int) *ownerState {
+		st, ok := owners[owner]
+		if !ok {
+			st = &ownerState{a: newAnalyzer(owner)}
+			if batch > 1 {
+				st.pending = engine.GetEventBuf()
+			}
+			if opts.FlightN > 0 {
+				st.flight = detector.NewFlightLog(opts.FlightN)
+			}
+			owners[owner] = st
+		}
+		return st
+	}
+	var res ReplayResult
+	flush := func(st *ownerState) *detector.Race {
+		if len(st.pending) == 0 {
+			return nil
+		}
+		race := detector.AccessBatch(st.a, st.pending)
+		st.pending = st.pending[:0]
+		return race
+	}
+	// finish folds one owner's high-water mark into the result and
+	// returns its event buffer to the pool.
+	finish := func(st *ownerState) {
+		if n := st.a.MaxNodes(); n > res.MaxNodes {
+			res.MaxNodes = n
+		}
+		if st.pending != nil {
+			engine.PutEventBuf(st.pending)
+			st.pending = nil
+		}
+	}
+	recordPeak := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		rec.SetMax(obs.PeakRSS, 0, int64(ms.HeapAlloc))
+	}
+
+	lastTime := make(map[int]uint64) // per issuing rank
+	epochT0 := make(map[int]int64)   // per owner, logical span start
+	epochN := make(map[int]int64)    // per owner, completed epochs
+	var step int64         // logical clock: one tick per replayed record
+	var flushedBytes int64 // ingest bytes already credited to the recorder
+	// finishIngest credits the counters' unflushed remainder and takes a
+	// final live-heap sample; it runs at EOF and on an early race stop.
+	finishIngest := func() {
+		if !recOn {
+			return
+		}
+		rec.Add(obs.TraceIngestRecords, 0, step%ingestFlushEvery)
+		rec.Add(obs.TraceIngestBytes, 0, src.BytesRead()-flushedBytes)
+		flushedBytes = src.BytesRead()
+		recordPeak()
+	}
+	stamp := func(owner int, st *ownerState, race *detector.Race) ReplayResult {
+		// The replay loop is the layer that knows which owner's analyzer
+		// held the conflict and which window was traced; stamp them like
+		// the live engine does (a sharded analyzer has already stamped
+		// its shard).
+		p := race.EnsureProv()
+		p.Owner = owner
+		if p.Window == "" {
+			p.Window = src.Head().Window
+		}
+		if race.FlightLog == nil && st.flight != nil {
+			race.FlightLog = st.flight.Snapshot()
+		}
+		res.Race = race
+		finishIngest()
+		return res
+	}
+	var r Record
+	for {
+		err := src.Read(&r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		step++
+		if recOn {
+			if step%ingestFlushEvery == 0 {
+				rec.Add(obs.TraceIngestRecords, 0, ingestFlushEvery)
+				b := src.BytesRead()
+				rec.Add(obs.TraceIngestBytes, 0, b-flushedBytes)
+				flushedBytes = b
+			}
+			if step%peakSampleEvery == 0 {
+				recordPeak()
+			}
+		}
+		switch r.Kind {
+		case "access":
+			ev, err := r.Event()
+			if err != nil {
+				return res, fmt.Errorf("trace: %s: %w", src.Pos(), err)
+			}
+			if ev.Time <= lastTime[r.Rank] {
+				ev.Time = lastTime[r.Rank] + 1
+			}
+			lastTime[r.Rank] = ev.Time
+			if ev.CallTime == 0 || ev.CallTime > ev.Time {
+				ev.CallTime = ev.Time
+			}
+			res.Events++
+			if opts.Spans.Enabled() {
+				if _, ok := epochT0[r.Owner]; !ok {
+					epochT0[r.Owner] = step * replayTick
+				}
+				opts.Spans.Record(r.Rank, span.Record{
+					Kind:  replaySpanKind(ev.Acc.Type),
+					Start: step * replayTick, Dur: replayTick * 4 / 5,
+					A: int64(ev.Acc.Lo), B: int64(ev.Acc.Hi - ev.Acc.Lo + 1),
+				})
+			}
+			st := get(r.Owner)
+			st.sawAccess = true
+			if st.flight != nil {
+				st.flight.Access(ev.Acc)
+			}
+			if batch > 1 {
+				st.pending = append(st.pending, ev)
+				if len(st.pending) >= batch {
+					if race := flush(st); race != nil {
+						return stamp(r.Owner, st, race), nil
+					}
+				}
+				continue
+			}
+			if race := st.a.Access(ev); race != nil {
+				return stamp(r.Owner, st, race), nil
+			}
+		case "release":
+			st := get(r.Owner)
+			if race := flush(st); race != nil {
+				return stamp(r.Owner, st, race), nil
+			}
+			if st.flight != nil {
+				st.flight.Mark(detector.FlightRelease, r.Rank)
+			}
+			st.a.Release(r.Rank)
+		case "epoch_end":
+			res.Epochs++
+			st := get(r.Owner)
+			if race := flush(st); race != nil {
+				return stamp(r.Owner, st, race), nil
+			}
+			if st.flight != nil {
+				st.flight.Mark(detector.FlightEpochEnd, r.Owner)
+			}
+			st.a.EpochEnd()
+			if opts.Spans.Enabled() {
+				t0, ok := epochT0[r.Owner]
+				if !ok {
+					t0 = (step - 1) * replayTick
+				}
+				epochN[r.Owner]++
+				opts.Spans.Record(r.Owner, span.Record{
+					Kind:  span.KindEpoch,
+					Start: t0, Dur: step*replayTick - t0,
+					A: epochN[r.Owner], B: int64(src.Head().Ranks),
+				})
+				delete(epochT0, r.Owner)
+			}
+			if opts.Compact {
+				detector.Compact(st.a)
+			}
+			if opts.EvictCold > 0 {
+				if st.sawAccess {
+					st.coldEpochs = 0
+				} else {
+					st.coldEpochs++
+				}
+				st.sawAccess = false
+				// Only empty post-epoch state may go: EpochEnd cleared the
+				// tree-based stores, but an analyzer retaining entries
+				// across epochs (shadow cells, clock state) stays resident.
+				if st.coldEpochs >= opts.EvictCold && st.a.Nodes() == 0 {
+					finish(st)
+					delete(owners, r.Owner)
+					res.Evictions++
+					if recOn {
+						rec.Add(obs.AnalyzerEvictions, 0, 1)
+					}
+				}
+			}
+		default:
+			return res, fmt.Errorf("trace: %s: unknown record kind %q", src.Pos(), r.Kind)
+		}
+	}
+	// Final flush in deterministic owner order, then fold the survivors.
+	ids := make([]int, 0, len(owners))
+	for o := range owners {
+		ids = append(ids, o)
+	}
+	sort.Ints(ids)
+	for _, o := range ids {
+		st := owners[o]
+		if race := flush(st); race != nil {
+			return stamp(o, st, race), nil
+		}
+	}
+	for _, o := range ids {
+		finish(owners[o])
+	}
+	finishIngest()
+	return res, nil
+}

@@ -4,17 +4,23 @@
 // replay them under every detector, which is also how the deterministic
 // detector benchmarks are fed.
 //
-// The format is JSON Lines: one Event per line, self-describing and
-// diff-friendly. A Header line (kind "header") opens the stream.
+// Two wire formats carry the same records. The original format is JSON
+// Lines: one Event per line, self-describing and diff-friendly, with a
+// Header line (kind "header") opening the stream. Package
+// internal/tracebin adds a length-prefixed varint binary format for
+// multi-million-event traces; both implement the Source interface, and
+// Replay consumes either as a bounded-memory stream.
 package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 
 	"rmarace/internal/access"
+	"rmarace/internal/depot"
 	"rmarace/internal/detector"
 	"rmarace/internal/interval"
 	"rmarace/internal/obs/span"
@@ -51,6 +57,12 @@ type Record struct {
 	CallTime uint64 `json:"call_time,omitempty"`
 	Filtered bool   `json:"filtered,omitempty"`
 	AccumOp  uint8  `json:"accum_op,omitempty"`
+	// StackID is the access's interned call-stack id in the process-wide
+	// stack depot (package depot), when the traced run captured stacks.
+	// Depot ids are process-local: a replay resolves them only against
+	// the depot of the capturing process, so cross-process replays treat
+	// the id as an opaque site label.
+	StackID uint32 `json:"stack_id,omitempty"`
 }
 
 // typeNames maps access types to their wire names.
@@ -71,7 +83,34 @@ func typeFromName(s string) (access.Type, error) {
 	return 0, fmt.Errorf("trace: unknown access type %q", s)
 }
 
-// Writer serialises events to a stream.
+// TypeName returns the wire name of an access type ("rma_write", ...),
+// or "" for an undefined type. The binary codec (internal/tracebin)
+// maps between the JSON names and its one-byte type field through this
+// pair so both formats stay mutually lossless.
+func TypeName(t access.Type) string { return typeNames[t] }
+
+// TypeFromName resolves a wire name back to its access type.
+func TypeFromName(s string) (access.Type, error) { return typeFromName(s) }
+
+// Sink is the record-writing side shared by both wire formats: the JSON
+// Writer here and the binary tracebin.Writer. Generators (Generate, the
+// fuzzer's reproducer writer, rmarace convert) target the interface so
+// they can emit either format.
+type Sink interface {
+	// Access appends one access event analysed by owner's tree.
+	Access(owner int, ev detector.Event) error
+	// EpochEnd appends an epoch boundary for the given owner.
+	EpochEnd(owner int) error
+	// Release appends a release marker: an exclusive unlock by rank
+	// retiring its accesses at owner's analyzer.
+	Release(owner, rank int) error
+	// Record appends a pre-built record verbatim.
+	Record(rec Record) error
+	// Flush flushes buffered output.
+	Flush() error
+}
+
+// Writer serialises events to a JSON Lines stream.
 type Writer struct {
 	w   *bufio.Writer
 	enc *json.Encoder
@@ -108,6 +147,7 @@ func AccessRecord(owner int, ev detector.Event) Record {
 		CallTime: ev.CallTime,
 		Filtered: ev.Filtered,
 		AccumOp:  uint8(ev.Acc.AccumOp),
+		StackID:  uint32(ev.Acc.StackID),
 	}
 }
 
@@ -134,33 +174,110 @@ func (t *Writer) Release(owner, rank int) error {
 // Flush flushes buffered output.
 func (t *Writer) Flush() error { return t.w.Flush() }
 
-// Reader deserialises a trace stream.
-type Reader struct {
-	dec    *json.Decoder
-	Header Header
+var _ Sink = (*Writer)(nil)
+
+// Source is the streaming side shared by both wire formats: a trace
+// header plus a cursor over its records. Read fills the caller's record
+// in place so a replay loop runs on one reusable buffer; Pos locates
+// the last-read record for error reports, and BytesRead feeds the
+// ingest throughput metrics.
+type Source interface {
+	// Head returns the stream's header.
+	Head() Header
+	// Read decodes the next record into rec, returning io.EOF at the
+	// end of the stream. Decode errors carry the record's position
+	// (line or byte offset) in their message.
+	Read(rec *Record) error
+	// Pos describes the position of the record Read returned last
+	// ("line 42", "record 17 (offset 1289)"), for error context.
+	Pos() string
+	// BytesRead returns how many input bytes have been consumed.
+	BytesRead() int64
 }
 
-// NewReader opens a trace stream and reads its header.
+// Reader deserialises a JSON Lines trace stream. It reads line by line,
+// so decode errors report the 1-based line (the header is line 1) and
+// byte offset of the malformed record.
+type Reader struct {
+	r      *bufio.Reader
+	Header Header
+	line   int   // line number of the last record returned
+	off    int64 // byte offset where the last record started
+	read   int64 // total bytes consumed
+}
+
+// NewReader opens a JSON trace stream and reads its header.
 func NewReader(r io.Reader) (*Reader, error) {
-	dec := json.NewDecoder(bufio.NewReader(r))
-	var h Header
-	if err := dec.Decode(&h); err != nil {
+	tr := &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+	raw, err := tr.nextLine()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: reading header: unexpected EOF")
+		}
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if h.Kind != "header" {
-		return nil, fmt.Errorf("trace: first record is %q, not a header", h.Kind)
+	if err := json.Unmarshal(raw, &tr.Header); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	return &Reader{dec: dec, Header: h}, nil
+	if tr.Header.Kind != "header" {
+		return nil, fmt.Errorf("trace: first record is %q, not a header", tr.Header.Kind)
+	}
+	return tr, nil
+}
+
+// nextLine returns the next non-empty line, tracking position.
+func (r *Reader) nextLine() ([]byte, error) {
+	for {
+		r.off = r.read
+		r.line++
+		raw, err := r.r.ReadBytes('\n')
+		r.read += int64(len(raw))
+		raw = bytes.TrimSpace(raw)
+		if len(raw) > 0 {
+			// A final line without a newline still decodes; a read error
+			// after a partial line surfaces on the next call.
+			return raw, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Head implements Source.
+func (r *Reader) Head() Header { return r.Header }
+
+// Read implements Source: it decodes the next record into rec, or
+// returns io.EOF.
+func (r *Reader) Read(rec *Record) error {
+	raw, err := r.nextLine()
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("trace: line %d (offset %d): %w", r.line, r.off, err)
+	}
+	*rec = Record{}
+	if err := json.Unmarshal(raw, rec); err != nil {
+		return fmt.Errorf("trace: line %d (offset %d): %w", r.line, r.off, err)
+	}
+	return nil
 }
 
 // Next returns the next record, or io.EOF.
 func (r *Reader) Next() (Record, error) {
 	var rec Record
-	if err := r.dec.Decode(&rec); err != nil {
-		return rec, err
-	}
-	return rec, nil
+	err := r.Read(&rec)
+	return rec, err
 }
+
+// Pos implements Source.
+func (r *Reader) Pos() string { return fmt.Sprintf("line %d (offset %d)", r.line, r.off) }
+
+// BytesRead implements Source.
+func (r *Reader) BytesRead() int64 { return r.read }
+
+var _ Source = (*Reader)(nil)
 
 // Event converts an access record back to a detector event.
 func (rec Record) Event() (detector.Event, error) {
@@ -181,6 +298,7 @@ func (rec Record) Event() (detector.Event, error) {
 			Rank:     rec.Rank,
 			Epoch:    rec.Epoch,
 			Stack:    rec.Stack,
+			StackID:  depot.ID(rec.StackID),
 			AccumOp:  access.AccumOp(rec.AccumOp),
 			Debug:    access.Debug{File: rec.File, Line: rec.Line},
 		},
@@ -188,150 +306,6 @@ func (rec Record) Event() (detector.Event, error) {
 		CallTime: rec.CallTime,
 		Filtered: rec.Filtered,
 	}, nil
-}
-
-// ReplayResult summarises a replay.
-type ReplayResult struct {
-	Events   int
-	Epochs   int
-	MaxNodes int
-	Race     *detector.Race
-}
-
-// ReplayOpts selects the optional observability of a replay.
-type ReplayOpts struct {
-	// Spans, when non-nil, receives one logical-time span per replayed
-	// record — a timeline of the trace for Perfetto. Build it with
-	// span.NewLogicalTracer(header.Ranks, depth).
-	Spans *span.Tracer
-	// FlightN, when positive, keeps per-owner flight recorders of the
-	// last FlightN replayed events; a detected race carries the owner's
-	// snapshot like the live engine's does.
-	FlightN int
-}
-
-// Replay feeds a trace through per-owner analyzers built by
-// newAnalyzer and stops at the first race, like the on-the-fly tools.
-func Replay(r *Reader, newAnalyzer func(owner int) detector.Analyzer) (ReplayResult, error) {
-	return ReplayWith(r, newAnalyzer, ReplayOpts{})
-}
-
-// replayTick is the exported logical-time width of one replayed record
-// in nanoseconds: records render 1µs apart so Perfetto shows a readable
-// timeline regardless of the trace's own counters.
-const replayTick = 1000
-
-// ReplayWith is Replay with observability options.
-//
-// Replayed records get their timestamps normalised per issuing rank:
-// traces written without Time/CallTime (or with stale counters) would
-// otherwise give every access the same program-order time, collapsing
-// the happens-before information span export and the MUST-RMA replay
-// rely on. A record whose Time does not advance its rank's last seen
-// value is bumped to lastTime+1, and a zero CallTime inherits Time, so
-// per-rank timestamps are always strictly monotonic after replay.
-func ReplayWith(r *Reader, newAnalyzer func(owner int) detector.Analyzer, opts ReplayOpts) (ReplayResult, error) {
-	analyzers := make(map[int]detector.Analyzer)
-	flight := make(map[int]*detector.FlightLog)
-	get := func(owner int) detector.Analyzer {
-		a, ok := analyzers[owner]
-		if !ok {
-			a = newAnalyzer(owner)
-			analyzers[owner] = a
-			if opts.FlightN > 0 {
-				flight[owner] = detector.NewFlightLog(opts.FlightN)
-			}
-		}
-		return a
-	}
-	lastTime := make(map[int]uint64) // per issuing rank
-	epochT0 := make(map[int]int64)   // per owner, logical span start
-	epochN := make(map[int]int64)    // per owner, completed epochs
-	var res ReplayResult
-	var step int64 // logical clock: one tick per replayed record
-	for {
-		rec, err := r.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return res, err
-		}
-		step++
-		switch rec.Kind {
-		case "access":
-			ev, err := rec.Event()
-			if err != nil {
-				return res, err
-			}
-			if ev.Time <= lastTime[rec.Rank] {
-				ev.Time = lastTime[rec.Rank] + 1
-			}
-			lastTime[rec.Rank] = ev.Time
-			if ev.CallTime == 0 || ev.CallTime > ev.Time {
-				ev.CallTime = ev.Time
-			}
-			res.Events++
-			if opts.Spans.Enabled() {
-				if _, ok := epochT0[rec.Owner]; !ok {
-					epochT0[rec.Owner] = step * replayTick
-				}
-				opts.Spans.Record(rec.Rank, span.Record{
-					Kind:  replaySpanKind(ev.Acc.Type),
-					Start: step * replayTick, Dur: replayTick * 4 / 5,
-					A: int64(ev.Acc.Lo), B: int64(ev.Acc.Hi - ev.Acc.Lo + 1),
-				})
-			}
-			a := get(rec.Owner) // ensures the owner's flight log exists
-			flight[rec.Owner].Access(ev.Acc)
-			if race := a.Access(ev); race != nil {
-				// The replay loop is the layer that knows which owner's
-				// analyzer held the conflict and which window was traced;
-				// stamp them like the live engine does (a sharded analyzer
-				// has already stamped its shard).
-				p := race.EnsureProv()
-				p.Owner = rec.Owner
-				if p.Window == "" {
-					p.Window = r.Header.Window
-				}
-				if race.FlightLog == nil {
-					race.FlightLog = flight[rec.Owner].Snapshot()
-				}
-				res.Race = race
-				return res, nil
-			}
-		case "release":
-			a := get(rec.Owner)
-			flight[rec.Owner].Mark(detector.FlightRelease, rec.Rank)
-			a.Release(rec.Rank)
-		case "epoch_end":
-			res.Epochs++
-			a := get(rec.Owner)
-			flight[rec.Owner].Mark(detector.FlightEpochEnd, rec.Owner)
-			a.EpochEnd()
-			if opts.Spans.Enabled() {
-				t0, ok := epochT0[rec.Owner]
-				if !ok {
-					t0 = (step - 1) * replayTick
-				}
-				epochN[rec.Owner]++
-				opts.Spans.Record(rec.Owner, span.Record{
-					Kind:  span.KindEpoch,
-					Start: t0, Dur: step*replayTick - t0,
-					A: epochN[rec.Owner], B: int64(r.Header.Ranks),
-				})
-				delete(epochT0, rec.Owner)
-			}
-		default:
-			return res, fmt.Errorf("trace: unknown record kind %q", rec.Kind)
-		}
-	}
-	for _, a := range analyzers {
-		if n := a.MaxNodes(); n > res.MaxNodes {
-			res.MaxNodes = n
-		}
-	}
-	return res, nil
 }
 
 // replaySpanKind maps a replayed access type to its span kind.
