@@ -16,31 +16,38 @@
 //	rmarace postmortem out.json   # render a race's flight-recorder dump
 //	rmarace demo    # run the paper's Code 1 and print the report
 //	rmarace codes   # run every example program of the paper under all tools
-//	rmarace bench   # run the perf suite and write BENCH_PR7.json
+//	rmarace bench   # run the perf suite and write BENCH_PR8.json
 //	rmarace bench -telemetry :9090 -spans spans.json
+//	rmarace serve -addr :8080   # multi-tenant analysis daemon
+//	rmarace submit -addr http://host:8080 trace.bin   # analyse via a daemon
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
+	"net/url"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"rmarace"
 	"rmarace/internal/benchkit"
 	"rmarace/internal/codes"
-	"rmarace/internal/core"
 	"rmarace/internal/detector"
 	"rmarace/internal/fuzz"
 	"rmarace/internal/obs"
 	"rmarace/internal/obs/span"
 	"rmarace/internal/obs/telemetry"
-	"rmarace/internal/rma"
+	"rmarace/internal/serve"
 	"rmarace/internal/store"
 	"rmarace/internal/trace"
 	"rmarace/internal/tracebin"
@@ -67,6 +74,10 @@ func main() {
 		codesCmd()
 	case "bench":
 		benchCmd(os.Args[2:])
+	case "serve":
+		serveCmd(os.Args[2:])
+	case "submit":
+		submitCmd(os.Args[2:])
 	case "fuzz":
 		fuzzCmd(os.Args[2:])
 	default:
@@ -85,6 +96,10 @@ func usage() {
   rmarace demo
   rmarace codes
   rmarace bench [-o FILE] [-vertices N] [-telemetry ADDR] [-spans FILE]
+  rmarace serve [-addr ADDR] [-workers N] [-max-sessions N] [-tenant-sessions N]
+                [-max-bytes N] [-max-records N] [-retain N]
+  rmarace submit [-addr URL] [-tenant NAME] [-method NAME] [-store NAME]
+                 [-shards K] [-batch N] [-evict K] [-compact] [-flight N] TRACE
   rmarace fuzz [-duration D] [-seed N] [-schedules K] [-stores LIST]
                [-shards LIST] [-batches LIST] [-out DIR] [-canary]
 
@@ -110,78 +125,12 @@ fuzz generates random MPI-RMA programs and differentially checks every
         store × shard × batch configuration against the brute-force
         oracle under permuted schedules; a divergence is minimised by
         delta debugging and written to -out as a replayable reproducer
-        (-canary adds the known-faulty legacy backend, which must fail)`)
+        (-canary adds the known-faulty legacy backend, which must fail)
+serve starts the long-lived multi-tenant analysis daemon: POST traces
+        (either format, streamed) to /v1/analyze and read verdicts,
+        reports, postmortems and Prometheus /metrics back; submit is
+        its client`)
 	os.Exit(2)
-}
-
-func newAnalyzer(method detector.Method, ranks int, storeName string, shards int, rec obs.Recorder) func(int) detector.Analyzer {
-	factory, _ := newAnalyzerShared(method, ranks, storeName, shards, rec)
-	return factory
-}
-
-// newAnalyzerShared additionally exposes the MUST-RMA shared clock
-// state (nil for other methods) so callers can publish its
-// representation stats after the run.
-func newAnalyzerShared(method detector.Method, ranks int, storeName string, shards int, rec obs.Recorder) (func(int) detector.Analyzer, *detector.MustShared) {
-	var shared *detector.MustShared
-	if method == detector.MustRMAMethod {
-		shared = detector.NewMustShared(ranks)
-	}
-	recording := rec != nil && rec.Enabled()
-	// Each analyzer owns its backend, so one is built per owner.
-	newStore := func(owner int) store.AccessStore {
-		st, err := store.New(storeName)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if recording {
-			st = store.Instrument(st, rec, owner)
-		}
-		return st
-	}
-	return func(owner int) detector.Analyzer {
-		switch method {
-		case detector.Baseline:
-			return detector.NewBaseline()
-		case detector.RMAAnalyzer:
-			if storeName != "" {
-				return detector.NewLegacyWithStore(newStore(owner))
-			}
-			return detector.NewLegacy()
-		case detector.MustRMAMethod:
-			return detector.NewMustRMA(shared, owner)
-		default:
-			opts := []core.Option{core.WithOwner(owner)}
-			if storeName != "" {
-				opts = append(opts, core.WithStoreFactory(func() store.AccessStore { return newStore(owner) }))
-			}
-			if shards > 1 {
-				opts = append(opts, core.WithShards(shards))
-			}
-			if recording {
-				opts = append(opts, core.WithRecorder(rec, owner))
-			}
-			return core.Build(opts...)
-		}
-	}, shared
-}
-
-// recordClockStats publishes the MUST-RMA clock-representation counters
-// as registry gauges so replay reports and `rmarace stats` expose them.
-func recordClockStats(reg *obs.Registry, shared *detector.MustShared) {
-	if reg == nil || shared == nil {
-		return
-	}
-	cs := shared.ClockStats()
-	reg.Set(obs.ClockPromotions, 0, int64(cs.Promotions))
-	reg.Set(obs.ClockDemotions, 0, int64(cs.Demotions))
-	reg.Set(obs.ClockEpochSnapshots, 0, int64(cs.EpochSnaps))
-	reg.Set(obs.ClockSharedSnapshots, 0, int64(cs.SharedSnaps))
-	reg.Set(obs.ClockVectorSnapshots, 0, int64(cs.VectorSnaps))
-	reg.Set(obs.ClockBytes, 0, int64(cs.BytesAdaptive))
-	reg.Set(obs.ClockBytesVector, 0, int64(cs.BytesVector))
-	reg.Set(obs.ClockEpochsHeld, 0, int64(cs.EpochsHeld))
-	reg.Set(obs.ClockFullLive, 0, int64(cs.FullClocksLive))
 }
 
 // replayObs selects the replay command's observability extras and the
@@ -217,7 +166,7 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 			// A mid-replay /report serves whatever the registry has seen
 			// so far; the counters are live, the totals fill in at the end.
 			Report: func() *obs.RunReport {
-				return replayReport(head, method, trace.ReplayResult{}, reg)
+				return serve.ReplayReport("replay", head, method, trace.ReplayResult{}, reg)
 			},
 		})
 		if err != nil {
@@ -231,7 +180,10 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 		tr = span.NewLogicalTracer(head.Ranks, 0)
 	}
 	start := time.Now()
-	factory, mustShared := newAnalyzerShared(method, head.Ranks, storeName, shards, obs.OrDisabled(reg))
+	factory, mustShared, err := serve.NewAnalyzerFactory(method, head.Ranks, storeName, shards, obs.OrDisabled(reg))
+	if err != nil {
+		return err
+	}
 	res, err := trace.ReplayStream(src, factory, trace.ReplayOpts{
 		Spans: tr, FlightN: o.flight,
 		Batch: o.batch, EvictCold: o.evict, Compact: o.compact,
@@ -241,7 +193,7 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 		return err
 	}
 	elapsed := time.Since(start)
-	recordClockStats(reg, mustShared)
+	serve.RecordClockStats(reg, mustShared)
 	fmt.Printf("%-16s %8d events  %3d epochs  %8d max nodes  %10v  (%s trace)", method, res.Events, res.Epochs, res.MaxNodes, elapsed, format)
 	if res.Evictions > 0 {
 		fmt.Printf("\n  evicted %d cold analyzers", res.Evictions)
@@ -268,7 +220,7 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 		log.Printf("wrote %s (%d spans; open in Perfetto)", o.spans, tr.Len())
 	}
 	if o.report != "" {
-		rep := replayReport(head, method, res, reg)
+		rep := serve.ReplayReport("replay", head, method, res, reg)
 		out, err := os.Create(o.report)
 		if err != nil {
 			return err
@@ -283,37 +235,6 @@ func replayOne(path string, method detector.Method, storeName string, shards int
 		log.Printf("wrote %s", o.report)
 	}
 	return nil
-}
-
-// replayReport converts a replay result plus the metrics registry into
-// the structured run report written by -report.
-func replayReport(h trace.Header, method detector.Method, res trace.ReplayResult, reg *obs.Registry) *obs.RunReport {
-	rep := &obs.RunReport{
-		Schema:   obs.ReportSchema,
-		Source:   "replay",
-		Method:   method.String(),
-		Ranks:    h.Ranks,
-		Events:   int64(res.Events),
-		Epochs:   int64(res.Epochs),
-		MaxNodes: int64(res.MaxNodes),
-	}
-	// Older traces may omit the window name; the schema rejects
-	// anonymous windows, so only emit the section when named.
-	if h.Window != "" {
-		rep.Windows = []obs.WindowReport{{
-			Name:          h.Window,
-			TotalMaxNodes: res.MaxNodes,
-			Accesses:      uint64(res.Events),
-		}}
-	}
-	if reg != nil {
-		rep.EpochLatency = obs.EpochLatencyFromRegistry(reg)
-		rep.Metrics = reg.Snapshot()
-	}
-	if res.Race != nil {
-		rep.Races = append(rep.Races, rma.RaceReport(res.Race))
-	}
-	return rep
 }
 
 // convertCmd rewrites a trace losslessly into the other format —
@@ -460,7 +381,7 @@ func postmortemCmd(args []string) {
 		return
 	}
 
-	method, err := methodByName(*methodName)
+	method, err := detector.MethodByName(*methodName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -468,9 +389,11 @@ func postmortemCmd(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var reg *obs.Registry
-	res, err := trace.ReplayStream(src, newAnalyzer(method, src.Head().Ranks, "", 1, obs.OrDisabled(reg)),
-		trace.ReplayOpts{FlightN: *flight})
+	factory, _, err := serve.NewAnalyzerFactory(method, src.Head().Ranks, "", 1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := trace.ReplayStream(src, factory, trace.ReplayOpts{FlightN: *flight})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -520,7 +443,7 @@ func replayCmd(args []string) {
 		}
 		return
 	}
-	method, err := methodByName(*methodName)
+	method, err := detector.MethodByName(*methodName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -534,12 +457,12 @@ func replayCmd(args []string) {
 // the JSON snapshot.
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("o", "BENCH_PR7.json", "output JSON path")
+	out := fs.String("o", "BENCH_PR8.json", "output JSON path")
 	vertices := fs.Int("vertices", 0, "MiniVite benchmark input size (0 = scaled default)")
 	telAddr := fs.String("telemetry", "", "serve live /metrics, /report, /healthz and /debug/pprof on this address during the suite")
 	spansPath := fs.String("spans", "", "write the instrumented run's causal spans (Chrome trace-event JSON) to this path")
-	quick := fs.Bool("quick", false, "run only the gated series (insert, notification, clock memory, stack depot, small trace-ingest sweep)")
-	check := fs.Bool("check", false, "gate the snapshot: hot paths 0 allocs/op, adaptive clock reduction ≥ 10x, depot interned, binary ingest ≥ 5x JSON, peak RSS ≤ 2x at 4x the trace; exit 1 on failure")
+	quick := fs.Bool("quick", false, "run only the gated series (insert, notification, clock memory, stack depot, small trace-ingest sweep, serve sweep)")
+	check := fs.Bool("check", false, "gate the snapshot: hot paths 0 allocs/op, adaptive clock reduction ≥ 10x, depot interned, binary ingest ≥ 5x JSON, peak RSS ≤ 2x at 4x the trace, serve sweep 0 verdict mismatches and observable quota rejection; exit 1 on failure")
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
 		usage()
@@ -645,9 +568,22 @@ func checkBench(rep benchkit.Report) []error {
 			if g := r.Metrics["growth_x"]; g > 2 {
 				errs = append(errs, fmt.Errorf("%s peak RSS grew %.2fx at 4x the trace, want <= 2x", r.Name, g))
 			}
+		case strings.HasPrefix(r.Name, "serve-agg/"):
+			found["serve"] = true
+			if r.Metrics["sessions"] <= 0 {
+				errs = append(errs, fmt.Errorf("%s completed no sessions", r.Name))
+			}
+			if mm := r.Metrics["verdict_mismatches"]; mm != 0 {
+				errs = append(errs, fmt.Errorf("%s served %.0f verdicts diverging from offline replay, want 0", r.Name, mm))
+			}
+		case r.Name == "serve-quota/rejects":
+			found["squota"] = true
+			if r.Metrics["quota_rejects"] < 1 {
+				errs = append(errs, fmt.Errorf("%s observed no quota rejection", r.Name))
+			}
 		}
 	}
-	for _, k := range []string{"hot", "clock", "depot", "ingest", "rss"} {
+	for _, k := range []string{"hot", "clock", "depot", "ingest", "rss", "serve", "squota"} {
 		if !found[k] {
 			errs = append(errs, fmt.Errorf("gated series %q missing from the suite", k))
 		}
@@ -655,18 +591,132 @@ func checkBench(rep benchkit.Report) []error {
 	return errs
 }
 
-func methodByName(name string) (detector.Method, error) {
-	switch name {
-	case "baseline":
-		return detector.Baseline, nil
-	case "rma-analyzer":
-		return detector.RMAAnalyzer, nil
-	case "must-rma":
-		return detector.MustRMAMethod, nil
-	case "our-contribution":
-		return detector.OurContribution, nil
+// serveCmd starts the long-lived analysis daemon (see internal/serve).
+// Sessions pick their analysis method per request; the daemon-level
+// flags bound concurrency and per-session ingest.
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "concurrent replay workers (0 = GOMAXPROCS)")
+	maxSessions := fs.Int("max-sessions", 0, "daemon-wide in-flight session cap (0 = 8x workers)")
+	tenantSessions := fs.Int("tenant-sessions", 0, "per-tenant in-flight session cap (0 = the daemon cap)")
+	maxBytes := fs.Int64("max-bytes", 0, "per-session ingest byte quota (0 = unlimited)")
+	maxRecords := fs.Int64("max-records", 0, "per-session trace record quota (0 = unlimited)")
+	retain := fs.Int("retain", 0, "completed sessions to retain for the API (0 = default)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 0 {
+		usage()
 	}
-	return 0, fmt.Errorf("unknown method %q", name)
+	_, srv, err := serve.Start(*addr, serve.Config{
+		Workers:           *workers,
+		MaxSessions:       *maxSessions,
+		TenantSessions:    *tenantSessions,
+		MaxSessionBytes:   *maxBytes,
+		MaxSessionRecords: *maxRecords,
+		Retain:            *retain,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("analysis daemon at %s (POST /v1/analyze; /v1/sessions, /metrics, /report, /healthz)", srv.URL())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// submitCmd streams one trace file to a running daemon and prints the
+// verdict — the client half of detection as a service.
+func submitCmd(args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	tenant := fs.String("tenant", "", "tenant name (X-Tenant header)")
+	methodName := fs.String("method", "", "analysis method (default: the daemon's)")
+	storeName := fs.String("store", "", "storage backend for the tree-based methods")
+	shards := fs.Int("shards", 0, "address-space shard count")
+	batch := fs.Int("batch", 0, "event-batch size per owner")
+	evict := fs.Int("evict", 0, "cold-epoch threshold for analyzer eviction")
+	compact := fs.Bool("compact", false, "release retained analyzer capacity at epoch boundaries")
+	flight := fs.Int("flight", 0, "flight-recorder depth per window owner")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	q := url.Values{}
+	setIf := func(k, v string) {
+		if v != "" {
+			q.Set(k, v)
+		}
+	}
+	setIf("method", *methodName)
+	setIf("store", *storeName)
+	if *shards > 0 {
+		q.Set("shards", strconv.Itoa(*shards))
+	}
+	if *batch > 0 {
+		q.Set("batch", strconv.Itoa(*batch))
+	}
+	if *evict > 0 {
+		q.Set("evict", strconv.Itoa(*evict))
+	}
+	if *compact {
+		q.Set("compact", "true")
+	}
+	if *flight > 0 {
+		q.Set("flight", strconv.Itoa(*flight))
+	}
+	target := strings.TrimSuffix(*addr, "/") + "/v1/analyze"
+	if len(q) > 0 {
+		target += "?" + q.Encode()
+	}
+	req, err := http.NewRequest("POST", target, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *tenant != "" {
+		req.Header.Set("X-Tenant", *tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("daemon answered %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var v struct {
+		Session  string `json:"session"`
+		Method   string `json:"method"`
+		Format   string `json:"format"`
+		Events   int    `json:"events"`
+		Epochs   int    `json:"epochs"`
+		MaxNodes int    `json:"max_nodes"`
+		Race     *struct {
+			Message string `json:"message"`
+		} `json:"race"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		log.Fatalf("unparseable verdict: %v\n%s", err, body)
+	}
+	fmt.Printf("%-16s %8d events  %3d epochs  %8d max nodes  (%s trace, session %s)\n",
+		v.Method, v.Events, v.Epochs, v.MaxNodes, v.Format, v.Session)
+	if v.Race != nil {
+		fmt.Printf("  RACE: %s\n", v.Race.Message)
+		os.Exit(1)
+	}
 }
 
 // demoCmd runs the paper's Code 1 under the contribution and the

@@ -84,16 +84,17 @@ func Suite(opts Options) Report {
 	out = append(out, clockMemResults(256)...)
 	out = append(out, depotResults()...)
 	out = append(out, traceIngestResults(opts.Quick)...)
+	out = append(out, serveSweepResults(opts.Quick)...)
 	if opts.Quick {
 		return Report{
-			Suite:   "rmarace perf suite (quick: insert hot path, sharded pipeline, clock memory, stack depot, trace ingest)",
+			Suite:   "rmarace perf suite (quick: insert hot path, sharded pipeline, clock memory, stack depot, trace ingest, serve sweep)",
 			Results: out,
 		}
 	}
 	out = append(out, figure10Results()...)
 	out = append(out, table4Results(opts.Vertices)...)
 	return Report{
-		Suite:   "rmarace perf suite (insert hot path, sharded pipeline, clock memory, stack depot, trace ingest, Figure 10, Table 4)",
+		Suite:   "rmarace perf suite (insert hot path, sharded pipeline, clock memory, stack depot, trace ingest, serve sweep, Figure 10, Table 4)",
 		Results: out,
 		Runs:    runReports(opts),
 	}

@@ -260,3 +260,19 @@ func (m Method) String() string {
 func Methods() []Method {
 	return []Method{Baseline, RMAAnalyzer, MustRMAMethod, OurContribution}
 }
+
+// MethodByName resolves the CLI/API spelling of a method ("baseline",
+// "rma-analyzer", "must-rma", "our-contribution").
+func MethodByName(name string) (Method, error) {
+	switch name {
+	case "baseline":
+		return Baseline, nil
+	case "rma-analyzer":
+		return RMAAnalyzer, nil
+	case "must-rma":
+		return MustRMAMethod, nil
+	case "our-contribution":
+		return OurContribution, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", name)
+}

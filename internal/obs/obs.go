@@ -157,6 +157,27 @@ const (
 	// sampled during a streaming replay — the resident-memory proxy the
 	// 10k-rank scale sweep gates on.
 	PeakRSS
+	// ServeSessions counts analysis sessions admitted by the daemon,
+	// labelled by interned tenant id.
+	ServeSessions
+	// ServeActiveSessions is a gauge of currently running sessions per
+	// tenant (moved by ±1 at session start/finish).
+	ServeActiveSessions
+	// ServeQuotaRejects counts sessions turned away with 429 by
+	// admission control (daemon-wide cap or per-tenant concurrency
+	// quota), per tenant.
+	ServeQuotaRejects
+	// ServeLimitAborts counts sessions aborted mid-stream with 413 for
+	// exceeding their per-session ingest byte or record quota, per
+	// tenant.
+	ServeLimitAborts
+	// ServeRaces counts sessions that ended in a race verdict, per
+	// tenant.
+	ServeRaces
+	// ServeQueueWaitNanos accumulates time admitted sessions spent
+	// waiting for a worker-pool slot, per tenant — the daemon's
+	// backpressure signal, the serve-side analogue of EngineBlockNanos.
+	ServeQueueWaitNanos
 
 	// NumMetrics bounds the enum; it is not a metric.
 	NumMetrics
@@ -209,6 +230,16 @@ var metricInfos = [NumMetrics]metricInfo{
 	TraceIngestRecords: {"trace_ingest_records", KindCounter, "rank"},
 	AnalyzerEvictions:  {"analyzer_evictions", KindCounter, "rank"},
 	PeakRSS:            {"peak_rss_bytes", KindHighWater, "rank"},
+	// The serve_* metrics are recorded by the analysis daemon
+	// (internal/serve) on its daemon-wide registry; their label is an
+	// interned tenant id (arrival order, 0-based), reported by the
+	// daemon's /v1/tenants endpoint.
+	ServeSessions:       {"serve_sessions_total", KindCounter, "tenant"},
+	ServeActiveSessions: {"serve_active_sessions", KindGauge, "tenant"},
+	ServeQuotaRejects:   {"serve_quota_rejects", KindCounter, "tenant"},
+	ServeLimitAborts:    {"serve_limit_aborts", KindCounter, "tenant"},
+	ServeRaces:          {"serve_races", KindCounter, "tenant"},
+	ServeQueueWaitNanos: {"serve_queue_wait_nanos", KindCounter, "tenant"},
 }
 
 // Name returns the metric's wire name (snake_case, stable).

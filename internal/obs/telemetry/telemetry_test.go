@@ -2,10 +2,13 @@ package telemetry
 
 import (
 	"bytes"
+	"errors"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"rmarace/internal/obs"
 )
@@ -146,5 +149,114 @@ func TestCloseStopsServing(t *testing.T) {
 	}
 	if nilSrv.Addr() != "" || nilSrv.URL() != "" {
 		t.Fatal("nil server has an address")
+	}
+}
+
+// TestNilReportAnswers503: a Report callback that returns nil (the
+// session already closed) must answer 503, not panic the handler.
+func TestNilReportAnswers503(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Sources{
+		Report: func() *obs.RunReport { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body, _ := get(t, srv.URL()+"/report")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/report with nil snapshot = %d %q, want 503", code, body)
+	}
+	// The server survived the request: the next endpoint still answers.
+	if code, _, _ := get(t, srv.URL()+"/healthz"); code != http.StatusOK {
+		t.Fatalf("server died after nil report: healthz = %d", code)
+	}
+}
+
+// failingListener fails its first Accept with a permanent error, which
+// makes http.Server.Serve return immediately — the background failure
+// the server promises to surface on Close.
+type failingListener struct {
+	addr   net.Addr
+	closed chan struct{}
+}
+
+var errAcceptBoom = errors.New("synthetic accept failure")
+
+func (l *failingListener) Accept() (net.Conn, error) { return nil, errAcceptBoom }
+func (l *failingListener) Close() error {
+	select {
+	case <-l.closed:
+	default:
+		close(l.closed)
+	}
+	return nil
+}
+func (l *failingListener) Addr() net.Addr { return l.addr }
+
+// blockingListener accepts nothing and blocks until closed — a stand-in
+// for any custom (non-TCP) listener type.
+type blockingListener struct {
+	addr   net.Addr
+	closed chan struct{}
+}
+
+func (l *blockingListener) Accept() (net.Conn, error) {
+	<-l.closed
+	return nil, net.ErrClosed
+}
+func (l *blockingListener) Close() error {
+	select {
+	case <-l.closed:
+	default:
+		close(l.closed)
+	}
+	return nil
+}
+func (l *blockingListener) Addr() net.Addr { return l.addr }
+
+type strAddr string
+
+func (a strAddr) Network() string { return "custom" }
+func (a strAddr) String() string  { return string(a) }
+
+// TestServeErrorSurfacesOnClose: a listener that dies in the background
+// must not be swallowed — Close returns the stored serve error.
+func TestServeErrorSurfacesOnClose(t *testing.T) {
+	ln := &failingListener{addr: strAddr("failing:0"), closed: make(chan struct{})}
+	srv := NewServer(ln, http.NewServeMux())
+	// Wait for the background goroutine to hit the Accept failure (a
+	// Shutdown racing ahead of the first Accept would make Serve return
+	// ErrServerClosed instead, which is exactly the non-failure case).
+	select {
+	case <-srv.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("background serve goroutine never exited on the accept failure")
+	}
+	if err := srv.Close(); err == nil || !errors.Is(err, errAcceptBoom) {
+		t.Fatalf("Close after background serve failure = %v, want wrapped %v", err, errAcceptBoom)
+	}
+}
+
+// TestURLOnCustomListener: URL must not assume *net.TCPAddr — a custom
+// listener falls back to string-splitting its Addr, and an address that
+// does not split still yields a usable prefix.
+func TestURLOnCustomListener(t *testing.T) {
+	cases := []struct {
+		addr string
+		want string
+	}{
+		{"example.test:8080", "http://example.test:8080"},
+		{"[::]:9090", "http://127.0.0.1:9090"},
+		{"pipe", "http://pipe"},
+	}
+	for _, c := range cases {
+		ln := &blockingListener{addr: strAddr(c.addr), closed: make(chan struct{})}
+		srv := NewServer(ln, http.NewServeMux())
+		if got := srv.URL(); got != c.want {
+			t.Errorf("URL() on custom listener %q = %q, want %q", c.addr, got, c.want)
+		}
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close on custom listener %q: %v", c.addr, err)
+		}
 	}
 }

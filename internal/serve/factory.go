@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"fmt"
+
+	"rmarace/internal/core"
+	"rmarace/internal/detector"
+	"rmarace/internal/obs"
+	"rmarace/internal/rma"
+	"rmarace/internal/store"
+	"rmarace/internal/trace"
+)
+
+// NewAnalyzerFactory builds the per-owner analyzer constructor every
+// replay surface shares — `rmarace replay`, `rmarace postmortem` and
+// the daemon's sessions all analyse through it, so a served verdict is
+// produced by exactly the code path an offline replay uses. It returns
+// the MUST-RMA shared clock state (nil for the other methods) so
+// callers can publish its representation stats after the run.
+func NewAnalyzerFactory(method detector.Method, ranks int, storeName string, shards int, rec obs.Recorder) (func(int) detector.Analyzer, *detector.MustShared, error) {
+	// Validate the backend name once, up front: the per-owner
+	// constructor below runs deep inside a replay loop where an
+	// "unknown store" error has nowhere civilised to go.
+	if _, err := store.New(storeName); err != nil {
+		return nil, nil, err
+	}
+	if shards < 1 {
+		return nil, nil, fmt.Errorf("serve: shard count %d out of range", shards)
+	}
+	var shared *detector.MustShared
+	if method == detector.MustRMAMethod {
+		shared = detector.NewMustShared(ranks)
+	}
+	recording := rec != nil && rec.Enabled()
+	// Each analyzer owns its backend, so one is built per owner. The
+	// name was validated above, so the rebuild cannot fail.
+	newStore := func(owner int) store.AccessStore {
+		st, _ := store.New(storeName)
+		if recording {
+			st = store.Instrument(st, rec, owner)
+		}
+		return st
+	}
+	factory := func(owner int) detector.Analyzer {
+		switch method {
+		case detector.Baseline:
+			return detector.NewBaseline()
+		case detector.RMAAnalyzer:
+			if storeName != "" {
+				return detector.NewLegacyWithStore(newStore(owner))
+			}
+			return detector.NewLegacy()
+		case detector.MustRMAMethod:
+			return detector.NewMustRMA(shared, owner)
+		default:
+			opts := []core.Option{core.WithOwner(owner)}
+			if storeName != "" {
+				opts = append(opts, core.WithStoreFactory(func() store.AccessStore { return newStore(owner) }))
+			}
+			if shards > 1 {
+				opts = append(opts, core.WithShards(shards))
+			}
+			if recording {
+				opts = append(opts, core.WithRecorder(rec, owner))
+			}
+			return core.Build(opts...)
+		}
+	}
+	return factory, shared, nil
+}
+
+// RecordClockStats publishes the MUST-RMA clock-representation
+// counters as registry gauges so replay reports, session reports and
+// `rmarace stats` expose them. A nil registry or shared state is a
+// no-op.
+func RecordClockStats(reg *obs.Registry, shared *detector.MustShared) {
+	if reg == nil || shared == nil {
+		return
+	}
+	cs := shared.ClockStats()
+	reg.Set(obs.ClockPromotions, 0, int64(cs.Promotions))
+	reg.Set(obs.ClockDemotions, 0, int64(cs.Demotions))
+	reg.Set(obs.ClockEpochSnapshots, 0, int64(cs.EpochSnaps))
+	reg.Set(obs.ClockSharedSnapshots, 0, int64(cs.SharedSnaps))
+	reg.Set(obs.ClockVectorSnapshots, 0, int64(cs.VectorSnaps))
+	reg.Set(obs.ClockBytes, 0, int64(cs.BytesAdaptive))
+	reg.Set(obs.ClockBytesVector, 0, int64(cs.BytesVector))
+	reg.Set(obs.ClockEpochsHeld, 0, int64(cs.EpochsHeld))
+	reg.Set(obs.ClockFullLive, 0, int64(cs.FullClocksLive))
+}
+
+// ReplayReport converts a replay result plus the metrics registry into
+// the structured rmarace/run-report/v1 document — the shared builder
+// behind `rmarace replay -report`, the telemetry /report callback and
+// the daemon's per-session reports. source says what produced it
+// ("replay", "serve").
+func ReplayReport(source string, h trace.Header, method detector.Method, res trace.ReplayResult, reg *obs.Registry) *obs.RunReport {
+	rep := &obs.RunReport{
+		Schema:   obs.ReportSchema,
+		Source:   source,
+		Method:   method.String(),
+		Ranks:    h.Ranks,
+		Events:   int64(res.Events),
+		Epochs:   int64(res.Epochs),
+		MaxNodes: int64(res.MaxNodes),
+	}
+	// Older traces may omit the window name; the schema rejects
+	// anonymous windows, so only emit the section when named.
+	if h.Window != "" {
+		rep.Windows = []obs.WindowReport{{
+			Name:          h.Window,
+			TotalMaxNodes: res.MaxNodes,
+			Accesses:      uint64(res.Events),
+		}}
+	}
+	if reg != nil {
+		rep.EpochLatency = obs.EpochLatencyFromRegistry(reg)
+		rep.Metrics = reg.Snapshot()
+	}
+	if res.Race != nil {
+		rep.Races = append(rep.Races, rma.RaceReport(res.Race))
+	}
+	return rep
+}

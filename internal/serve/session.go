@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"rmarace/internal/detector"
+	"rmarace/internal/obs"
+	"rmarace/internal/rma"
+	"rmarace/internal/trace"
+)
+
+// Session is one tenant's analysis of one trace stream. The ingest
+// handler mutates it while streaming; the session API reads it, so
+// every cross-field access goes through the mutex.
+type Session struct {
+	ID      string
+	Tenant  string
+	Opts    SessionOpts
+	Started time.Time
+
+	mu      sync.Mutex
+	state   string // "running", "done", "failed"
+	format  string // "json" or "bin", once sniffed
+	errMsg  string
+	elapsed time.Duration
+	head    trace.Header
+	res     trace.ReplayResult
+	report  *obs.RunReport
+}
+
+// Verdict is the session summary the API serves: the analysis outcome
+// in one JSON document. Race, when set, is the same report section
+// `rmarace replay -report` writes (its Message is the paper-exact
+// Fig. 9 line), so a served verdict is directly comparable to an
+// offline replay of the same trace.
+type Verdict struct {
+	Session   string          `json:"session"`
+	Tenant    string          `json:"tenant"`
+	State     string          `json:"state"`
+	Format    string          `json:"format,omitempty"`
+	Method    string          `json:"method"`
+	Ranks     int             `json:"ranks,omitempty"`
+	Events    int             `json:"events"`
+	Epochs    int             `json:"epochs"`
+	MaxNodes  int             `json:"max_nodes"`
+	Evictions int64           `json:"evictions,omitempty"`
+	ElapsedNs int64           `json:"elapsed_ns,omitempty"`
+	Race      *obs.RaceReport `json:"race,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+func (s *Session) setFormat(format string) {
+	s.mu.Lock()
+	s.format = format
+	s.mu.Unlock()
+}
+
+// finish records a completed replay.
+func (s *Session) finish(head trace.Header, res trace.ReplayResult, rep *obs.RunReport) {
+	s.mu.Lock()
+	s.state = "done"
+	s.head = head
+	s.res = res
+	s.report = rep
+	s.elapsed = time.Since(s.Started)
+	s.mu.Unlock()
+}
+
+// fail records an aborted session.
+func (s *Session) fail(err error) {
+	s.mu.Lock()
+	s.state = "failed"
+	s.errMsg = err.Error()
+	s.elapsed = time.Since(s.Started)
+	s.mu.Unlock()
+}
+
+// Verdict snapshots the session as its API document.
+func (s *Session) Verdict() *Verdict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := &Verdict{
+		Session:   s.ID,
+		Tenant:    s.Tenant,
+		State:     s.state,
+		Format:    s.format,
+		Method:    s.Opts.Method.String(),
+		Ranks:     s.head.Ranks,
+		Events:    s.res.Events,
+		Epochs:    s.res.Epochs,
+		MaxNodes:  s.res.MaxNodes,
+		Evictions: s.res.Evictions,
+		ElapsedNs: s.elapsed.Nanoseconds(),
+		Error:     s.errMsg,
+	}
+	if s.state == "" {
+		v.State = "running"
+	}
+	if s.res.Race != nil {
+		rr := rma.RaceReport(s.res.Race)
+		// The verdict is a summary; the flight recording stays on the
+		// postmortem endpoint.
+		rr.Flight = nil
+		v.Race = &rr
+	}
+	return v
+}
+
+// Report returns the session's rmarace/run-report/v1 document, nil
+// while streaming or after a failure.
+func (s *Session) Report() *obs.RunReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report
+}
+
+// Race returns the detected race, nil if the session was clean.
+func (s *Session) Race() *detector.Race {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.res.Race
+}
+
+// sortVerdicts orders a session listing newest first (ids are
+// monotonic, so reverse-lexicographic over the fixed-width id works).
+func sortVerdicts(list []*Verdict) {
+	sort.Slice(list, func(i, j int) bool { return list[i].Session > list[j].Session })
+}
+
+// Quota sentinels: mapped to 413 by the ingest handler and counted in
+// serve_limit_aborts.
+var (
+	errByteQuota   = errors.New("session byte quota exceeded")
+	errRecordQuota = errors.New("session record quota exceeded")
+)
+
+// limitedBody enforces the per-session ingest byte quota on the raw
+// request body, underneath the format sniffer, so both codecs are
+// covered by one meter.
+type limitedBody struct {
+	r         io.Reader
+	remaining int64
+	unlimited bool
+}
+
+func (l *limitedBody) Read(p []byte) (int, error) {
+	if l.unlimited {
+		return l.r.Read(p)
+	}
+	if l.remaining <= 0 {
+		return 0, errByteQuota
+	}
+	if int64(len(p)) > l.remaining {
+		p = p[:l.remaining]
+	}
+	n, err := l.r.Read(p)
+	l.remaining -= int64(n)
+	return n, err
+}
+
+// limitSource enforces the per-session record quota on any trace
+// source.
+type limitSource struct {
+	trace.Source
+	max int64
+	n   int64
+}
+
+func (s *limitSource) Read(rec *trace.Record) error {
+	if s.max > 0 && s.n >= s.max {
+		return fmt.Errorf("serve: %w (limit %d)", errRecordQuota, s.max)
+	}
+	err := s.Source.Read(rec)
+	if err == nil {
+		s.n++
+	}
+	return err
+}
