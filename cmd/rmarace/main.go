@@ -24,7 +24,7 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +45,7 @@ import (
 	"rmarace/internal/detector"
 	"rmarace/internal/fuzz"
 	"rmarace/internal/obs"
+	"rmarace/internal/obs/olog"
 	"rmarace/internal/obs/span"
 	"rmarace/internal/obs/telemetry"
 	"rmarace/internal/serve"
@@ -78,6 +79,8 @@ func main() {
 		serveCmd(os.Args[2:])
 	case "submit":
 		submitCmd(os.Args[2:])
+	case "watch":
+		watchCmd(os.Args[2:])
 	case "fuzz":
 		fuzzCmd(os.Args[2:])
 	default:
@@ -97,9 +100,11 @@ func usage() {
   rmarace codes
   rmarace bench [-o FILE] [-vertices N] [-telemetry ADDR] [-spans FILE]
   rmarace serve [-addr ADDR] [-workers N] [-max-sessions N] [-tenant-sessions N]
-                [-max-bytes N] [-max-records N] [-retain N]
+                [-max-bytes N] [-max-records N] [-retain N] [-log-level LEVEL]
   rmarace submit [-addr URL] [-tenant NAME] [-method NAME] [-store NAME]
-                 [-shards K] [-batch N] [-evict K] [-compact] [-flight N] TRACE
+                 [-shards K] [-batch N] [-evict K] [-compact] [-flight N]
+                 [-spans] [-retry N] TRACE
+  rmarace watch [-addr URL] SESSION
   rmarace fuzz [-duration D] [-seed N] [-schedules K] [-stores LIST]
                [-shards LIST] [-batches LIST] [-out DIR] [-canary]
 
@@ -129,7 +134,13 @@ fuzz generates random MPI-RMA programs and differentially checks every
 serve starts the long-lived multi-tenant analysis daemon: POST traces
         (either format, streamed) to /v1/analyze and read verdicts,
         reports, postmortems and Prometheus /metrics back; submit is
-        its client`)
+        its client (-retry retries 429 rejects per their Retry-After,
+        -spans captures a Perfetto timeline on the session)
+serve -log-level turns on structured JSON logging to stderr; every
+        line carries the tenant and session id, so one grep follows a
+        session end to end
+watch streams a served session's live progress (SSE from
+        /v1/sessions/{id}/events) and exits with its verdict`)
 	os.Exit(2)
 }
 
@@ -603,18 +614,23 @@ func serveCmd(args []string) {
 	maxBytes := fs.Int64("max-bytes", 0, "per-session ingest byte quota (0 = unlimited)")
 	maxRecords := fs.Int64("max-records", 0, "per-session trace record quota (0 = unlimited)")
 	retain := fs.Int("retain", 0, "completed sessions to retain for the API (0 = default)")
+	logLevel := fs.String("log-level", "", "structured JSON logs to stderr at this level (debug|info|warn|error; default off)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
 		usage()
 	}
-	_, srv, err := serve.Start(*addr, serve.Config{
+	cfg := serve.Config{
 		Workers:           *workers,
 		MaxSessions:       *maxSessions,
 		TenantSessions:    *tenantSessions,
 		MaxSessionBytes:   *maxBytes,
 		MaxSessionRecords: *maxRecords,
 		Retain:            *retain,
-	})
+	}
+	if *logLevel != "" {
+		cfg.Logger = olog.New(os.Stderr, olog.ParseLevel(*logLevel))
+	}
+	_, srv, err := serve.Start(*addr, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -641,15 +657,12 @@ func submitCmd(args []string) {
 	evict := fs.Int("evict", 0, "cold-epoch threshold for analyzer eviction")
 	compact := fs.Bool("compact", false, "release retained analyzer capacity at epoch boundaries")
 	flight := fs.Int("flight", 0, "flight-recorder depth per window owner")
+	spans := fs.Bool("spans", false, "capture a span timeline (read it back from /v1/sessions/{id}/spans)")
+	retry := fs.Int("retry", 0, "attempts to retry a 429 admission reject, honoring its Retry-After hint")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
-	f, err := os.Open(fs.Arg(0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
 
 	q := url.Values{}
 	setIf := func(k, v string) {
@@ -674,45 +687,49 @@ func submitCmd(args []string) {
 	if *flight > 0 {
 		q.Set("flight", strconv.Itoa(*flight))
 	}
-	target := strings.TrimSuffix(*addr, "/") + "/v1/analyze"
-	if len(q) > 0 {
-		target += "?" + q.Encode()
+	if *spans {
+		q.Set("spans", "1")
 	}
-	req, err := http.NewRequest("POST", target, f)
+	status, v, err := serve.Submit(context.Background(), *addr,
+		func() (io.ReadCloser, error) { return os.Open(fs.Arg(0)) },
+		serve.SubmitOpts{Tenant: *tenant, Query: q, Retries: *retry})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *tenant != "" {
-		req.Header.Set("X-Tenant", *tenant)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("daemon answered %s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	var v struct {
-		Session  string `json:"session"`
-		Method   string `json:"method"`
-		Format   string `json:"format"`
-		Events   int    `json:"events"`
-		Epochs   int    `json:"epochs"`
-		MaxNodes int    `json:"max_nodes"`
-		Race     *struct {
-			Message string `json:"message"`
-		} `json:"race"`
-	}
-	if err := json.Unmarshal(body, &v); err != nil {
-		log.Fatalf("unparseable verdict: %v\n%s", err, body)
+	if status != http.StatusOK {
+		log.Fatalf("daemon answered %d: %s", status, v.Error)
 	}
 	fmt.Printf("%-16s %8d events  %3d epochs  %8d max nodes  (%s trace, session %s)\n",
 		v.Method, v.Events, v.Epochs, v.MaxNodes, v.Format, v.Session)
+	if v.Race != nil {
+		fmt.Printf("  RACE: %s\n", v.Race.Message)
+		os.Exit(1)
+	}
+}
+
+// watchCmd attaches to a running (or retained) session's live event
+// stream and follows it to the verdict: the terminal half of
+// observability-as-a-service. Find session ids with GET /v1/sessions
+// or a verdict's X-Session header.
+func watchCmd(args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	v, err := serve.Watch(context.Background(), *addr, fs.Arg(0), nil, func(s obs.ProgressSnapshot) {
+		fmt.Printf("%-9s %10d bytes  %8d records  %8d events  %4d epochs  %d races  %.1fms\n",
+			s.Stage, s.Bytes, s.Records, s.Events, s.Epochs, s.Races, float64(s.ElapsedNs)/1e6)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s  %-16s %8d events  %3d epochs  (session %s)\n",
+		v.State, v.Tenant, v.Method, v.Events, v.Epochs, v.Session)
+	if v.Error != "" {
+		log.Fatalf("session failed: %s", v.Error)
+	}
 	if v.Race != nil {
 		fmt.Printf("  RACE: %s\n", v.Race.Message)
 		os.Exit(1)

@@ -16,13 +16,16 @@
 package engine
 
 import (
+	"context"
 	"errors"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rmarace/internal/detector"
 	"rmarace/internal/obs"
+	"rmarace/internal/obs/olog"
 	"rmarace/internal/obs/span"
 )
 
@@ -88,6 +91,10 @@ type Config struct {
 	// last FlightN analysed accesses and synchronisations; a detected
 	// race carries the owner's snapshot (Race.FlightLog).
 	FlightN int
+	// Log receives the engine's rare structured events (the first
+	// notification-channel overflow of each rank); nil logs nowhere.
+	// Only off-hot-path sites log, and only when the level is enabled.
+	Log *slog.Logger
 }
 
 // Engine is the analysis state machine of one window across all ranks.
@@ -134,6 +141,10 @@ type Engine struct {
 	spans  *span.Tracer
 	spanOn bool
 	flight []*detector.FlightLog
+	// log/logOn: structured logging for rare events (never nil / cached
+	// Enabled, same discipline as rec/recOn).
+	log   *slog.Logger
+	logOn bool
 
 	startMu sync.Mutex
 	started []bool
@@ -169,6 +180,8 @@ func New(cfg Config) *Engine {
 	}
 	e.recOn = e.rec.Enabled()
 	e.spanOn = e.spans.Enabled()
+	e.log = olog.Or(cfg.Log)
+	e.logOn = e.log.Enabled(context.Background(), slog.LevelWarn)
 	for r := 0; r < cfg.Ranks; r++ {
 		if cfg.FlightN > 0 {
 			e.flight[r] = detector.NewFlightLog(cfg.FlightN)
@@ -362,7 +375,12 @@ func (e *Engine) send(rank int, b Batch) error {
 		return nil
 	default:
 	}
-	atomic.AddInt64(&e.overflows[rank], 1)
+	if atomic.AddInt64(&e.overflows[rank], 1) == 1 && e.logOn {
+		// First overflow of this rank only: backpressure is worth one
+		// line, not one per blocked send.
+		e.log.Warn("notification channel full, sender blocking",
+			"window", e.cfg.Window, "rank", rank, "cap", cap(e.notifCh[rank]))
+	}
 	if e.recOn {
 		e.rec.Add(obs.EngineOverflows, rank, 1)
 		e.rec.SetMax(obs.EngineQueueDepth, rank, int64(cap(e.notifCh[rank])))

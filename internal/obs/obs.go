@@ -178,6 +178,18 @@ const (
 	// waiting for a worker-pool slot, per tenant — the daemon's
 	// backpressure signal, the serve-side analogue of EngineBlockNanos.
 	ServeQueueWaitNanos
+	// ServeStageQueueNanos is the distribution of per-session
+	// queue-wait times (admission to worker dequeue), per tenant.
+	ServeStageQueueNanos
+	// ServeStageIngestNanos is the distribution of per-session ingest
+	// times (first record to source EOF or early race stop), per tenant.
+	ServeStageIngestNanos
+	// ServeStageDrainNanos is the distribution of per-session analysis
+	// drain times (EOF to final verdict), per tenant.
+	ServeStageDrainNanos
+	// ServeStageReportNanos is the distribution of per-session report
+	// build times (verdict to retained run report), per tenant.
+	ServeStageReportNanos
 
 	// NumMetrics bounds the enum; it is not a metric.
 	NumMetrics
@@ -240,6 +252,14 @@ var metricInfos = [NumMetrics]metricInfo{
 	ServeLimitAborts:    {"serve_limit_aborts", KindCounter, "tenant"},
 	ServeRaces:          {"serve_races", KindCounter, "tenant"},
 	ServeQueueWaitNanos: {"serve_queue_wait_nanos", KindCounter, "tenant"},
+	// The per-stage wall-time histograms decompose a session's latency:
+	// queue-wait, ingest, analysis drain, report build (PR 9). Recorded
+	// on the daemon registry per tenant and on each session's private
+	// registry at label 0.
+	ServeStageQueueNanos:  {"serve_stage_queue_nanos", KindHistogram, "tenant"},
+	ServeStageIngestNanos: {"serve_stage_ingest_nanos", KindHistogram, "tenant"},
+	ServeStageDrainNanos:  {"serve_stage_drain_nanos", KindHistogram, "tenant"},
+	ServeStageReportNanos: {"serve_stage_report_nanos", KindHistogram, "tenant"},
 }
 
 // Name returns the metric's wire name (snake_case, stable).

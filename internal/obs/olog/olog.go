@@ -1,0 +1,148 @@
+// Package olog is the structured-logging half of the observability
+// layer: a thin skin over log/slog that gives every log line of the
+// analysis daemon one correlation identity. Request handlers stamp the
+// tenant and session id into the context.Context once
+// (WithSession/WithAttrs); every layer below — admission control, the
+// worker pool, the streaming replay, the telemetry server — logs
+// through the same *slog.Logger, and the context handler appends the
+// stamped attributes to each record. One `grep '"session":"s-000042"'`
+// over the daemon's JSON log therefore yields the session's whole
+// story: admission, queue wait, ingest, eviction and compaction
+// events, the verdict.
+//
+// The discipline mirrors the metrics registry (package internal/obs):
+// logging is off by default — Discard's handler reports every level
+// disabled, so call sites pay one predictable branch — and hot paths
+// must log at LevelDebug or rarer, never per record.
+package olog
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// ctxKey carries the correlation attributes through a context.
+type ctxKey struct{}
+
+// WithAttrs returns a context carrying attrs in addition to any the
+// context already holds. A logger built by New appends them to every
+// record logged through the *Context methods with that context.
+func WithAttrs(ctx context.Context, attrs ...slog.Attr) context.Context {
+	if len(attrs) == 0 {
+		return ctx
+	}
+	prev, _ := ctx.Value(ctxKey{}).([]slog.Attr)
+	// Copy-on-write: contexts fork (one request, many goroutines), so
+	// the stored slice is never appended to in place.
+	merged := make([]slog.Attr, 0, len(prev)+len(attrs))
+	merged = append(merged, prev...)
+	merged = append(merged, attrs...)
+	return context.WithValue(ctx, ctxKey{}, merged)
+}
+
+// WithSession stamps the daemon's correlation identity — tenant and
+// session id — into the context. Empty values are omitted so admission
+// rejects (which happen before a session id exists) still carry the
+// tenant.
+func WithSession(ctx context.Context, tenant, session string) context.Context {
+	attrs := make([]slog.Attr, 0, 2)
+	if tenant != "" {
+		attrs = append(attrs, slog.String("tenant", tenant))
+	}
+	if session != "" {
+		attrs = append(attrs, slog.String("session", session))
+	}
+	return WithAttrs(ctx, attrs...)
+}
+
+// Attrs returns the correlation attributes stamped into ctx, nil if
+// none.
+func Attrs(ctx context.Context) []slog.Attr {
+	attrs, _ := ctx.Value(ctxKey{}).([]slog.Attr)
+	return attrs
+}
+
+// Bind materialises the context's correlation attributes onto the
+// logger itself, for layers that log without a context (the streaming
+// replay loop, background goroutines). The returned logger emits the
+// same attributed records the *Context methods would.
+func Bind(ctx context.Context, l *slog.Logger) *slog.Logger {
+	l = Or(l)
+	attrs := Attrs(ctx)
+	if len(attrs) == 0 {
+		return l
+	}
+	args := make([]any, len(attrs))
+	for i, a := range attrs {
+		args[i] = a
+	}
+	return l.With(args...)
+}
+
+// handler decorates any slog.Handler with the context attributes.
+type handler struct {
+	slog.Handler
+}
+
+func (h handler) Handle(ctx context.Context, r slog.Record) error {
+	if attrs := Attrs(ctx); len(attrs) > 0 {
+		r.AddAttrs(attrs...)
+	}
+	return h.Handler.Handle(ctx, r)
+}
+
+func (h handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return handler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h handler) WithGroup(name string) slog.Handler {
+	return handler{h.Handler.WithGroup(name)}
+}
+
+// New builds a JSON logger writing to w at the given level, with the
+// context-attribute decoration. This is the daemon's log format: one
+// JSON object per line, keys time/level/msg plus the record's and the
+// context's attributes.
+func New(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(handler{slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})})
+}
+
+// discardHandler drops everything and reports every level disabled, so
+// call sites guarded by Enabled pay one branch and no allocation.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// discard is the shared disabled logger.
+var discard = slog.New(discardHandler{})
+
+// Discard returns the disabled logger: every level reports disabled
+// and nothing is ever written.
+func Discard() *slog.Logger { return discard }
+
+// Or returns l, or the disabled logger when l is nil, so config
+// structs can leave their logger unset.
+func Or(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return discard
+	}
+	return l
+}
+
+// ParseLevel maps the CLI's -log-level values onto slog levels.
+// Unknown names fall back to info.
+func ParseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	}
+	return slog.LevelInfo
+}

@@ -1,0 +1,111 @@
+package olog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"testing"
+)
+
+// decodeLines parses a JSON-lines log buffer.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for dec.More() {
+		var m map[string]any
+		if err := dec.Decode(&m); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestContextAttrsPropagate: attributes stamped into a context via
+// WithSession ride on every record logged with that context.
+func TestContextAttrsPropagate(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, slog.LevelInfo)
+	ctx := WithSession(context.Background(), "acme", "s-000042")
+	log.InfoContext(ctx, "session admitted", "method", "our-contribution")
+	log.WarnContext(ctx, "quota abort")
+	log.Info("no context attrs")
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for i, want := range []bool{true, true, false} {
+		_, hasTenant := lines[i]["tenant"]
+		_, hasSession := lines[i]["session"]
+		if hasTenant != want || hasSession != want {
+			t.Errorf("line %d: tenant=%v session=%v, want both %v", i, hasTenant, hasSession, want)
+		}
+	}
+	if lines[0]["tenant"] != "acme" || lines[0]["session"] != "s-000042" {
+		t.Errorf("line 0 attrs = %v", lines[0])
+	}
+	if lines[0]["msg"] != "session admitted" || lines[0]["method"] != "our-contribution" {
+		t.Errorf("line 0 payload = %v", lines[0])
+	}
+}
+
+// TestWithSessionOmitsEmpty: an admission reject has no session id yet;
+// the context must carry the tenant alone. Later layers add the id.
+func TestWithSessionOmitsEmpty(t *testing.T) {
+	ctx := WithSession(context.Background(), "acme", "")
+	if got := Attrs(ctx); len(got) != 1 || got[0].Key != "tenant" {
+		t.Fatalf("attrs = %v, want tenant only", got)
+	}
+	ctx = WithSession(ctx, "", "s-000001")
+	if got := Attrs(ctx); len(got) != 2 || got[1].Key != "session" {
+		t.Fatalf("attrs after id = %v", got)
+	}
+}
+
+// TestBind: a logger bound to a context emits the context's attributes
+// even when later log calls carry a bare context — the replay loop's
+// usage.
+func TestBind(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, slog.LevelDebug)
+	ctx := WithSession(context.Background(), "acme", "s-000007")
+	bound := Bind(ctx, log)
+	bound.Debug("analyzer evicted", "owner", 3)
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 || lines[0]["session"] != "s-000007" || lines[0]["tenant"] != "acme" {
+		t.Fatalf("bound line = %v", lines)
+	}
+}
+
+// TestDiscard: the disabled logger reports every level off, so guarded
+// hot paths pay one branch; Or maps nil onto it.
+func TestDiscard(t *testing.T) {
+	if Discard().Enabled(context.Background(), slog.LevelError) {
+		t.Error("discard logger claims ERROR is enabled")
+	}
+	if Or(nil) != Discard() {
+		t.Error("Or(nil) is not the shared discard logger")
+	}
+	var buf bytes.Buffer
+	l := New(&buf, slog.LevelInfo)
+	if Or(l) != l {
+		t.Error("Or(l) must pass a real logger through")
+	}
+	Discard().Error("dropped")
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "error": slog.LevelError,
+		"bogus": slog.LevelInfo, "": slog.LevelInfo,
+	} {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 )
 
 // promKind maps a report kind string to the Prometheus metric type.
@@ -16,6 +18,28 @@ func promKind(kind string) string {
 		return "histogram"
 	}
 	return "gauge"
+}
+
+// labelEscaper escapes a label VALUE per the Prometheus text
+// exposition spec (version 0.0.4): backslash, double-quote and
+// line-feed must be backslash-escaped inside the quoted value. Label
+// values can be arbitrary request-supplied strings — a tenant name
+// arrives straight off the X-Tenant header — so an unescaped `"` or
+// newline would corrupt every scrape of the series.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// helpEscaper escapes HELP text: backslash and line-feed only (quotes
+// are legal there).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// promLabel renders a series point's label value: the resolved name
+// (escaped) when the snapshot carries one, the numeric label
+// otherwise.
+func promLabel(pt SeriesPoint) string {
+	if pt.LabelName != "" {
+		return labelEscaper.Replace(pt.LabelName)
+	}
+	return strconv.Itoa(pt.Label)
 }
 
 // bucketLe returns the inclusive Prometheus upper bound of the
@@ -42,7 +66,7 @@ func WriteProm(w io.Writer, snaps []MetricSnapshot) error {
 			dim = "label"
 		}
 		if _, err := fmt.Fprintf(w, "# HELP %s rmarace metric %s (per %s)\n# TYPE %s %s\n",
-			name, ms.Name, dim, name, promKind(ms.Kind)); err != nil {
+			name, helpEscaper.Replace(ms.Name), helpEscaper.Replace(dim), name, promKind(ms.Kind)); err != nil {
 			return err
 		}
 		for _, pt := range ms.Series {
@@ -52,7 +76,7 @@ func WriteProm(w io.Writer, snaps []MetricSnapshot) error {
 				}
 				continue
 			}
-			if _, err := fmt.Fprintf(w, "%s{%s=\"%d\"} %d\n", name, dim, pt.Label, pt.Value); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", name, dim, promLabel(pt), pt.Value); err != nil {
 				return err
 			}
 		}
@@ -65,23 +89,24 @@ func WriteProm(w io.Writer, snaps []MetricSnapshot) error {
 // order), then _sum and _count. The per-label max, which Prometheus
 // histograms cannot express, rides along as a companion gauge.
 func writePromHist(w io.Writer, name, dim string, pt SeriesPoint) error {
+	label := promLabel(pt)
 	var cum int64
 	for _, b := range pt.Buckets {
 		cum += b.Count
-		if _, err := fmt.Fprintf(w, "%s_bucket{%s=\"%d\",le=\"%d\"} %d\n",
-			name, dim, pt.Label, bucketLe(b.Low), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s=\"%s\",le=\"%d\"} %d\n",
+			name, dim, label, bucketLe(b.Low), cum); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{%s=\"%d\",le=\"+Inf\"} %d\n", name, dim, pt.Label, pt.Value); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s=\"%s\",le=\"+Inf\"} %d\n", name, dim, label, pt.Value); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum{%s=\"%d\"} %d\n%s_count{%s=\"%d\"} %d\n",
-		name, dim, pt.Label, pt.Sum, name, dim, pt.Label, pt.Value); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum{%s=\"%s\"} %d\n%s_count{%s=\"%s\"} %d\n",
+		name, dim, label, pt.Sum, name, dim, label, pt.Value); err != nil {
 		return err
 	}
 	if pt.Max != 0 {
-		if _, err := fmt.Fprintf(w, "%s_max{%s=\"%d\"} %d\n", name, dim, pt.Label, pt.Max); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_max{%s=\"%s\"} %d\n", name, dim, label, pt.Max); err != nil {
 			return err
 		}
 	}

@@ -75,3 +75,52 @@ func TestWritePromFromReport(t *testing.T) {
 		t.Fatalf("counter missing:\n%s", live.String())
 	}
 }
+
+// TestWritePromEscapesLabels: label VALUES are request-supplied (the
+// daemon renders tenant names), so quote, backslash and newline must
+// be escaped per the exposition spec — in plain series and in every
+// histogram line.
+func TestWritePromEscapesLabels(t *testing.T) {
+	hostile := "a\"b\\c\nd"
+	snaps := []MetricSnapshot{
+		{
+			Name: "serve_sessions_total", Kind: KindCounter.String(), LabelDim: "tenant",
+			Series: []SeriesPoint{{Label: 0, LabelName: hostile, Value: 2}},
+		},
+		{
+			Name: "serve_stage_ingest_nanos", Kind: KindHistogram.String(), LabelDim: "tenant",
+			Series: []SeriesPoint{{
+				Label: 0, LabelName: hostile, Value: 1, Sum: 5, Max: 5,
+				Buckets: []BucketCount{{Low: 4, Count: 1}},
+			}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	escaped := `tenant="a\"b\\c\nd"`
+	for _, want := range []string{
+		`rmarace_serve_sessions_total{` + escaped + `} 2`,
+		`rmarace_serve_stage_ingest_nanos_bucket{` + escaped + `,le="7"} 1`,
+		`rmarace_serve_stage_ingest_nanos_sum{` + escaped + `} 5`,
+		`rmarace_serve_stage_ingest_nanos_count{` + escaped + `} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, hostile) {
+		t.Error("exposition contains the raw unescaped label value")
+	}
+	// A series without a resolved name still renders its integer label.
+	var plain bytes.Buffer
+	_ = WriteProm(&plain, []MetricSnapshot{{
+		Name: "serve_sessions_total", Kind: KindCounter.String(), LabelDim: "tenant",
+		Series: []SeriesPoint{{Label: 3, Value: 1}},
+	}})
+	if !strings.Contains(plain.String(), `rmarace_serve_sessions_total{tenant="3"} 1`) {
+		t.Errorf("integer label lost: %s", plain.String())
+	}
+}

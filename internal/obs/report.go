@@ -73,11 +73,16 @@ type MetricSnapshot struct {
 // Value is the sample count and Sum/Max/Buckets describe the
 // distribution.
 type SeriesPoint struct {
-	Label   int           `json:"label"`
-	Value   int64         `json:"value"`
-	Sum     int64         `json:"sum,omitempty"`
-	Max     int64         `json:"max,omitempty"`
-	Buckets []BucketCount `json:"buckets,omitempty"`
+	Label int `json:"label"`
+	// LabelName, when set, is the resolved human name behind the
+	// integer label (e.g. the tenant name behind a serve_* metric's
+	// interned tenant id). The Prometheus renderer prefers it over the
+	// numeric label, escaping it per the exposition spec.
+	LabelName string        `json:"label_name,omitempty"`
+	Value     int64         `json:"value"`
+	Sum       int64         `json:"sum,omitempty"`
+	Max       int64         `json:"max,omitempty"`
+	Buckets   []BucketCount `json:"buckets,omitempty"`
 }
 
 // BucketCount is one non-empty power-of-two histogram bucket.

@@ -23,6 +23,7 @@ package telemetry
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -38,9 +39,13 @@ import (
 // when non-nil, is called per /report request and should return a
 // consistent snapshot of the run so far (returning nil makes the
 // handler answer 503, for a run that has already shut down).
+// Snapshot, when non-nil, overrides Registry.Snapshot as the /metrics
+// source — the analysis daemon uses it to resolve interned tenant ids
+// into named (escaped) label values before rendering.
 type Sources struct {
 	Registry *obs.Registry
 	Report   func() *obs.RunReport
+	Snapshot func() []obs.MetricSnapshot
 }
 
 // Register mounts the telemetry endpoints — /metrics, /report,
@@ -50,10 +55,13 @@ type Sources struct {
 func Register(mux *http.ServeMux, src Sources) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if src.Registry == nil {
-			return // no registry attached: an empty exposition is valid
+		switch {
+		case src.Snapshot != nil:
+			_ = obs.WriteProm(w, src.Snapshot())
+		case src.Registry != nil:
+			_ = obs.WriteProm(w, src.Registry.Snapshot())
 		}
-		_ = obs.WriteProm(w, src.Registry.Snapshot())
+		// neither attached: an empty exposition is valid
 	})
 	mux.HandleFunc("/report", func(w http.ResponseWriter, _ *http.Request) {
 		if src.Report == nil {
@@ -72,7 +80,20 @@ func Register(mux *http.ServeMux, src Sources) {
 		_ = rep.WriteJSON(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		// First token stays "ok" for naive liveness probes; the rest
+		// identifies the build so "which binary answered" is one curl.
+		b := Build()
+		line := "ok " + b.Module + " " + b.Version
+		if b.Revision != "" {
+			line += " " + b.Revision
+		}
+		fmt.Fprintln(w, line)
+	})
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(Build())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"io"
 	"net"
@@ -45,8 +46,12 @@ func TestServeEndpoints(t *testing.T) {
 	defer srv.Close()
 
 	code, body, _ := get(t, srv.URL()+"/healthz")
-	if code != http.StatusOK || body != "ok\n" {
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok ") {
 		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	// The liveness line identifies the build: "ok <module> <version>".
+	if !strings.Contains(body, "rmarace") {
+		t.Fatalf("/healthz carries no build identity: %q", body)
 	}
 
 	code, body, hdr := get(t, srv.URL()+"/metrics")
@@ -258,5 +263,41 @@ func TestURLOnCustomListener(t *testing.T) {
 		if err := srv.Close(); err != nil {
 			t.Errorf("Close on custom listener %q: %v", c.addr, err)
 		}
+	}
+}
+
+// TestVersionEndpoint: /v1/version serves the binary's build identity
+// as JSON — module path, version and toolchain from ReadBuildInfo.
+func TestVersionEndpoint(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Sources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv.URL()+"/v1/version")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/version status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/v1/version content-type %q", ct)
+	}
+	var v struct {
+		Module  string `json:"module"`
+		Version string `json:"version"`
+		Go      string `json:"go"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("/v1/version is not JSON: %v\n%s", err, body)
+	}
+	if v.Module != "rmarace" {
+		t.Errorf("module = %q, want rmarace", v.Module)
+	}
+	if v.Version == "" || v.Go == "" {
+		t.Errorf("missing build fields: %+v", v)
+	}
+	// The cached identity is what /healthz prints too.
+	if b := Build(); b.Module != v.Module || b.Version != v.Version {
+		t.Errorf("Build() = %+v disagrees with endpoint %+v", b, v)
 	}
 }

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: the /v1/version document and
+// the /healthz suffix. Everything comes from runtime/debug.ReadBuildInfo,
+// so it is accurate for any `go build`/`go install` of the module with
+// no linker-flag ceremony.
+type BuildInfo struct {
+	// Module is the main module path ("rmarace").
+	Module string `json:"module"`
+	// Version is the main module version: a tagged semver when built
+	// from a module cache, "(devel)" from a checkout.
+	Version string `json:"version"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+	// Revision/Time/Modified are the VCS stamp when the build embedded
+	// one (builds from a git checkout do; `go test` binaries don't).
+	Revision string `json:"revision,omitempty"`
+	Time     string `json:"time,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+}
+
+// Build returns the binary's build identity, computed once.
+var Build = sync.OnceValue(func() BuildInfo {
+	b := BuildInfo{Module: "rmarace", Version: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Go = info.GoVersion
+	if info.Main.Path != "" {
+		b.Module = info.Main.Path
+	}
+	if info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if len(s.Value) > 12 {
+				b.Revision = s.Value[:12]
+			} else {
+				b.Revision = s.Value
+			}
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+})

@@ -65,7 +65,7 @@ func TestSessionTelemetryLiveScrape(t *testing.T) {
 			}
 			midMetrics = body
 			_, midReport = scrape(t, srv.URL()+"/report")
-			if code, body := scrape(t, srv.URL()+"/healthz"); code != http.StatusOK || body != "ok\n" {
+			if code, body := scrape(t, srv.URL()+"/healthz"); code != http.StatusOK || !strings.HasPrefix(body, "ok ") {
 				t.Errorf("/healthz = %d %q", code, body)
 			}
 		}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"rmarace/internal/obs"
+)
+
+// SubmitOpts parameterises one client submission to a daemon.
+type SubmitOpts struct {
+	// Tenant is sent as the X-Tenant header ("" stays anonymous).
+	Tenant string
+	// Query carries the analysis parameters (?method=, ?spans=1, ...).
+	Query url.Values
+	// Retries is how many extra attempts a 429 admission reject earns,
+	// each delayed by the response's Retry-After hint. 0 fails fast.
+	Retries int
+	// Client overrides http.DefaultClient.
+	Client *http.Client
+}
+
+// Submit streams one trace body to a daemon's analyze endpoint and
+// decodes the response. open re-opens the body per attempt — a retried
+// upload must restart from byte zero, so the caller supplies the
+// rewind. Returns the final HTTP status and the decoded document
+// (error responses decode too: their message lands in Verdict.Error);
+// the error return covers transport and decoding failures only.
+func Submit(ctx context.Context, baseURL string, open func() (io.ReadCloser, error), o SubmitOpts) (int, *Verdict, error) {
+	client := o.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	target := strings.TrimSuffix(baseURL, "/") + "/v1/analyze"
+	if len(o.Query) > 0 {
+		target += "?" + o.Query.Encode()
+	}
+	for attempt := 0; ; attempt++ {
+		body, err := open()
+		if err != nil {
+			return 0, nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, body)
+		if err != nil {
+			body.Close()
+			return 0, nil, err
+		}
+		if o.Tenant != "" {
+			req.Header.Set("X-Tenant", o.Tenant)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return resp.StatusCode, nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < o.Retries {
+			select {
+			case <-time.After(retryAfterHint(resp.Header.Get("Retry-After"))):
+				continue
+			case <-ctx.Done():
+				return resp.StatusCode, nil, ctx.Err()
+			}
+		}
+		var v Verdict
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return resp.StatusCode, nil, fmt.Errorf("serve: unparseable daemon response (%s): %w", resp.Status, err)
+		}
+		return resp.StatusCode, &v, nil
+	}
+}
+
+// retryAfterHint parses a Retry-After header's delay-seconds form,
+// falling back to one second (the spec's HTTP-date form isn't worth
+// parsing for a backoff hint).
+func retryAfterHint(h string) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return time.Second
+}
+
+// Watch subscribes to a session's live event stream and blocks until
+// its terminal verdict arrives (replayed immediately for a session
+// that already finished). onProgress, when non-nil, is invoked for
+// every progress event on the stream.
+func Watch(ctx context.Context, baseURL, session string, client *http.Client, onProgress func(obs.ProgressSnapshot)) (*Verdict, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	u := strings.TrimSuffix(baseURL, "/") + "/v1/sessions/" + url.PathEscape(session) + "/events"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("serve: watch %s: %s", session, e.Error)
+		}
+		return nil, fmt.Errorf("serve: watch %s: daemon answered %s", session, resp.Status)
+	}
+
+	// Minimal SSE consumer: `event:` names the type, `data:` lines
+	// accumulate the payload, a blank line dispatches.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	event := ""
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(line[len("data:"):])...)
+		case line == "":
+			switch event {
+			case "progress":
+				if onProgress != nil {
+					var snap obs.ProgressSnapshot
+					if json.Unmarshal(data, &snap) == nil {
+						onProgress(snap)
+					}
+				}
+			case "verdict":
+				var v Verdict
+				if err := json.Unmarshal(data, &v); err != nil {
+					return nil, fmt.Errorf("serve: unparseable verdict event: %w", err)
+				}
+				return &v, nil
+			}
+			event, data = "", nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("serve: event stream of session %s ended without a verdict", session)
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleEvents is the live progress stream: one Server-Sent Events
+// response per watcher, fed by polling the session's lock-free progress
+// probe (no hub, no per-watcher state in the session). The protocol is
+// two event types:
+//
+//	event: progress   data: obs.ProgressSnapshot JSON — emitted on
+//	                  subscribe and whenever the probe publishes
+//	                  (stage transitions always publish, so every
+//	                  stream sees queued/ingesting/draining go by)
+//	event: verdict    data: the session Verdict JSON — terminal; the
+//	                  stream ends after it. A watcher subscribing to
+//	                  an already-finished session gets its terminal
+//	                  progress and verdict replayed immediately.
+//
+// Any number of watchers can stream one session concurrently: each
+// polls the probe independently and the probe is write-once-read-many
+// atomics.
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s := d.session(w, r)
+	if s == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "event stream requires a flushing response writer")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	snap := s.prog.Snapshot()
+	if !emit("progress", snap) {
+		return
+	}
+	last := snap.Seq
+
+	t := time.NewTicker(d.cfg.EventPoll)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			// Terminal: the final counters and stage (if not already
+			// streamed), then the verdict.
+			if snap := s.prog.Snapshot(); snap.Seq != last {
+				if !emit("progress", snap) {
+					return
+				}
+			}
+			emit("verdict", s.Verdict())
+			return
+		case <-t.C:
+			if snap := s.prog.Snapshot(); snap.Seq != last {
+				last = snap.Seq
+				if !emit("progress", snap) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// handleSpans serves a span-capturing session's timeline as Chrome
+// trace-event JSON (chrome://tracing, Perfetto). 404 unless the session
+// was submitted with ?spans=1.
+func (d *Daemon) handleSpans(w http.ResponseWriter, r *http.Request) {
+	s := d.session(w, r)
+	if s == nil {
+		return
+	}
+	tr := s.Spans()
+	if tr == nil {
+		httpError(w, http.StatusNotFound, "session captured no spans (submit with ?spans=1)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = tr.WriteChromeTrace(w)
+}

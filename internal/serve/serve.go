@@ -25,15 +25,27 @@
 //	GET  /v1/sessions/{id}           one session's verdict
 //	GET  /v1/sessions/{id}/report    rmarace/run-report/v1 session report
 //	GET  /v1/sessions/{id}/postmortem  flight-recorder race rendering
+//	GET  /v1/sessions/{id}/events    live progress stream (SSE)
+//	GET  /v1/sessions/{id}/spans     Chrome-trace span timeline (?spans=1)
 //	GET  /v1/tenants                 tenant name -> metric label ids
-//	/metrics /healthz /report /debug/pprof  (package telemetry handlers)
+//	/metrics /healthz /report /v1/version /debug/pprof  (package telemetry)
+//
+// Observability is session-scoped throughout: Config.Logger receives
+// one JSON log line per lifecycle event (admission reject, queue wait,
+// session start, quota abort, verdict), every line stamped with the
+// tenant and session id via package olog; the events endpoint streams
+// the same session's live progress; the serve_stage_*_nanos histograms
+// cut the same wall time by pipeline stage. One session id correlates
+// all of them.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -43,6 +55,8 @@ import (
 
 	"rmarace/internal/detector"
 	"rmarace/internal/obs"
+	"rmarace/internal/obs/olog"
+	"rmarace/internal/obs/span"
 	"rmarace/internal/obs/telemetry"
 	"rmarace/internal/trace"
 	"rmarace/internal/tracebin"
@@ -59,6 +73,12 @@ type SessionOpts struct {
 	Evict   int
 	Compact bool
 	Flight  int
+	// Spans opts the session into per-rank span capture (?spans=1);
+	// the timeline is served as Chrome-trace JSON on the session's
+	// /spans endpoint. SpanDepth bounds each rank's span ring
+	// (?spandepth=N, default 4096).
+	Spans     bool
+	SpanDepth int
 }
 
 // Config parameterises the daemon.
@@ -88,6 +108,16 @@ type Config struct {
 	// Registry is the daemon-wide metrics registry behind /metrics;
 	// created when nil.
 	Registry *obs.Registry
+	// Logger receives the daemon's structured log events (JSON lines;
+	// build with olog.New). Nil discards everything — the default, so
+	// an unconfigured daemon pays one branch per would-be line.
+	Logger *slog.Logger
+	// RetryAfter is the backoff hint a 429 admission reject carries in
+	// its Retry-After header (rounded up to whole seconds). Default 1s.
+	RetryAfter time.Duration
+	// EventPoll is the progress-probe polling cadence of the SSE event
+	// stream. Default 100ms; tests lower it.
+	EventPoll time.Duration
 }
 
 // withDefaults fills the zero fields.
@@ -116,6 +146,12 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.EventPoll <= 0 {
+		c.EventPoll = 100 * time.Millisecond
+	}
 	return c
 }
 
@@ -125,6 +161,7 @@ func (c Config) withDefaults() Config {
 type Daemon struct {
 	cfg   Config
 	reg   *obs.Registry
+	log   *slog.Logger
 	slots chan struct{} // worker-pool semaphore
 	mux   *http.ServeMux
 
@@ -150,6 +187,7 @@ func NewDaemon(cfg Config) *Daemon {
 	d := &Daemon{
 		cfg:      cfg,
 		reg:      cfg.Registry,
+		log:      olog.Or(cfg.Logger),
 		slots:    make(chan struct{}, cfg.Workers),
 		tenants:  make(map[string]*tenantState),
 		sessions: make(map[string]*Session),
@@ -160,14 +198,40 @@ func NewDaemon(cfg Config) *Daemon {
 	d.mux.HandleFunc("GET /v1/sessions/{id}", d.handleSession)
 	d.mux.HandleFunc("GET /v1/sessions/{id}/report", d.handleReport)
 	d.mux.HandleFunc("GET /v1/sessions/{id}/postmortem", d.handlePostmortem)
+	d.mux.HandleFunc("GET /v1/sessions/{id}/events", d.handleEvents)
+	d.mux.HandleFunc("GET /v1/sessions/{id}/spans", d.handleSpans)
 	d.mux.HandleFunc("GET /v1/tenants", d.handleTenants)
 	telemetry.Register(d.mux, telemetry.Sources{
 		Registry: d.reg,
+		Snapshot: d.metricsSnapshot,
 		Report: func() *obs.RunReport {
-			return &obs.RunReport{Schema: obs.ReportSchema, Source: "serve", Metrics: d.reg.Snapshot()}
+			return &obs.RunReport{Schema: obs.ReportSchema, Source: "serve", Metrics: d.metricsSnapshot()}
 		},
 	})
 	return d
+}
+
+// metricsSnapshot is the daemon's /metrics (and /report) source: the
+// registry snapshot with every tenant-dimension series annotated with
+// the tenant's name, so the exposition reads tenant="acme" rather than
+// an interned id. Names are request-supplied (X-Tenant), so the
+// Prometheus renderer escapes them.
+func (d *Daemon) metricsSnapshot() []obs.MetricSnapshot {
+	snaps := d.reg.Snapshot()
+	d.mu.Lock()
+	names := append([]string(nil), d.names...)
+	d.mu.Unlock()
+	for i := range snaps {
+		if snaps[i].LabelDim != "tenant" {
+			continue
+		}
+		for j := range snaps[i].Series {
+			if id := snaps[i].Series[j].Label; id >= 0 && id < len(names) {
+				snaps[i].Series[j].LabelName = names[id]
+			}
+		}
+	}
+	return snaps
 }
 
 // Registry returns the daemon-wide metrics registry (the /metrics
@@ -238,6 +302,7 @@ func (d *Daemon) parseOpts(r *http.Request) (SessionOpts, error) {
 		{"batch", &o.Batch, 0},
 		{"evict", &o.Evict, 0},
 		{"flight", &o.Flight, 0},
+		{"spandepth", &o.SpanDepth, 1},
 	} {
 		v := q.Get(p.key)
 		if v == "" {
@@ -249,12 +314,22 @@ func (d *Daemon) parseOpts(r *http.Request) (SessionOpts, error) {
 		}
 		*p.dst = n
 	}
-	if v := q.Get("compact"); v != "" {
+	for _, p := range []struct {
+		key string
+		dst *bool
+	}{
+		{"compact", &o.Compact},
+		{"spans", &o.Spans},
+	} {
+		v := q.Get(p.key)
+		if v == "" {
+			continue
+		}
 		b, err := strconv.ParseBool(v)
 		if err != nil {
-			return o, fmt.Errorf("serve: bad compact parameter %q", v)
+			return o, fmt.Errorf("serve: bad %s parameter %q", p.key, v)
 		}
-		o.Compact = b
+		*p.dst = b
 	}
 	return o, nil
 }
@@ -310,10 +385,21 @@ func (d *Daemon) retire(s *Session) {
 	}
 }
 
+// retryAfterSeconds renders the 429 backoff hint: whole seconds,
+// rounded up, floored at 1 (Retry-After's grammar has no fractions).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // handleAnalyze is the ingest path: admission, worker-pool slot, then
 // one streaming replay over the request body.
 func (d *Daemon) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	tenant := tenantOf(r)
+	ctx := olog.WithSession(r.Context(), tenant, "")
 	opts, err := d.parseOpts(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -321,35 +407,49 @@ func (d *Daemon) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	ts, reason, ok := d.admit(tenant)
 	if !ok {
-		w.Header().Set("Retry-After", "1")
+		d.log.WarnContext(ctx, "admission rejected", "status", http.StatusTooManyRequests, "reason", reason)
+		w.Header().Set("Retry-After", retryAfterSeconds(d.cfg.RetryAfter))
 		httpError(w, http.StatusTooManyRequests, reason)
 		return
 	}
 	defer d.release(ts)
+
+	// Register before queueing for a worker slot, so a queued session
+	// is already discoverable (GET /v1/sessions) and watchable (its
+	// events stream shows stage "queued" while it waits).
+	s := newSession(tenant, opts)
+	d.register(s)
+	ctx = olog.WithSession(ctx, "", s.ID)
+	d.log.InfoContext(ctx, "session admitted", "method", opts.Method.String())
 
 	// The pool semaphore is the backpressure stage: admitted sessions
 	// queue here while Workers replays are already running.
 	waitStart := time.Now()
 	d.slots <- struct{}{}
 	defer func() { <-d.slots }()
-	if wait := time.Since(waitStart); wait > 0 {
+	wait := time.Since(waitStart)
+	if wait > 0 {
 		d.reg.Add(obs.ServeQueueWaitNanos, ts.id, wait.Nanoseconds())
 	}
 
-	s := &Session{Tenant: tenant, Opts: opts, Started: time.Now()}
-	d.register(s)
-	status, verdict := d.runSession(s, ts, r.Body)
+	status, verdict := d.runSession(ctx, s, ts, r.Body, wait)
 	d.retire(s)
+	d.log.InfoContext(ctx, "session finished",
+		"state", verdict.State, "status", status, "events", verdict.Events,
+		"epochs", verdict.Epochs, "race", verdict.Race != nil,
+		"elapsed_ns", verdict.ElapsedNs)
 	w.Header().Set("X-Session", s.ID)
 	writeJSON(w, status, verdict)
 }
 
 // runSession streams one trace body through the shared replay loop and
 // returns the HTTP status plus the verdict document. The session is
-// updated in place.
-func (d *Daemon) runSession(s *Session, ts *tenantState, body io.Reader) (int, *Verdict) {
+// updated in place. queueWait is how long the session sat on the
+// worker-pool semaphore (the queue stage of the latency accounting).
+func (d *Daemon) runSession(ctx context.Context, s *Session, ts *tenantState, body io.Reader, queueWait time.Duration) (int, *Verdict) {
 	fail := func(status int, err error) (int, *Verdict) {
 		s.fail(err)
+		d.log.WarnContext(ctx, "session failed", "status", status, "error", err.Error())
 		return status, s.Verdict()
 	}
 	lim := &limitedBody{r: body, remaining: d.cfg.MaxSessionBytes, unlimited: d.cfg.MaxSessionBytes <= 0}
@@ -365,6 +465,30 @@ func (d *Daemon) runSession(s *Session, ts *tenantState, body io.Reader) (int, *
 	head := src.Head()
 
 	sreg := obs.NewRegistry()
+	// Stage accounting: the queue stage is measured by the handler; the
+	// ingest and drain stages come from the progress probe's stage-entry
+	// timestamps after the replay; report build is timed below. Session
+	// registry and daemon registry both see the histograms, so they show
+	// up in the per-session report and aggregate on /metrics.
+	stage := func(m obs.Metric, ns int64) {
+		if ns <= 0 {
+			return
+		}
+		sreg.Observe(m, ts.id, ns)
+		d.reg.Observe(m, ts.id, ns)
+	}
+	stage(obs.ServeStageQueueNanos, queueWait.Nanoseconds())
+
+	var spans *span.Tracer
+	if s.Opts.Spans {
+		depth := s.Opts.SpanDepth
+		if depth <= 0 {
+			depth = 4096
+		}
+		spans = span.NewLogicalTracer(head.Ranks, depth)
+		s.setSpans(spans)
+	}
+
 	factory, shared, err := NewAnalyzerFactory(s.Opts.Method, head.Ranks, s.Opts.Store, s.Opts.Shards, sreg)
 	if err != nil {
 		return fail(http.StatusBadRequest, err)
@@ -375,11 +499,23 @@ func (d *Daemon) runSession(s *Session, ts *tenantState, body io.Reader) (int, *
 		trace.ReplayOpts{
 			Batch: s.Opts.Batch, EvictCold: s.Opts.Evict, Compact: s.Opts.Compact,
 			FlightN: s.Opts.Flight,
+			Spans:   spans,
 			// Ingest metrics tee into the session's registry (the /report
 			// source) and the daemon-wide registry (the /metrics source),
 			// so a scrape sees aggregate traffic live.
 			Recorder: teeRecorder{sreg, d.reg},
+			Progress: s.prog,
+			// The replay loop logs without a context; bind the session's
+			// correlation attributes onto the logger itself.
+			Log: olog.Bind(ctx, d.log),
 		})
+	drainedAt := time.Now()
+	if ingest := s.prog.StageEntryNanos(obs.StageDraining) - s.prog.StageEntryNanos(obs.StageIngesting); ingest > 0 {
+		stage(obs.ServeStageIngestNanos, ingest)
+	}
+	if enter := s.prog.StageEntryNanos(obs.StageDraining); enter > 0 {
+		stage(obs.ServeStageDrainNanos, drainedAt.Sub(s.Started).Nanoseconds()-enter)
+	}
 	if err != nil {
 		if errors.Is(err, errByteQuota) || errors.Is(err, errRecordQuota) {
 			d.reg.Add(obs.ServeLimitAborts, ts.id, 1)
@@ -391,7 +527,11 @@ func (d *Daemon) runSession(s *Session, ts *tenantState, body io.Reader) (int, *
 	if res.Race != nil {
 		d.reg.Add(obs.ServeRaces, ts.id, 1)
 	}
-	s.finish(head, res, ReplayReport("serve", head, s.Opts.Method, res, sreg))
+	rep := ReplayReport("serve", head, s.Opts.Method, res, sreg)
+	// The report can't time its own construction, so the report stage
+	// lands in the daemon registry only.
+	d.reg.Observe(obs.ServeStageReportNanos, ts.id, int64(time.Since(drainedAt)))
+	s.finish(head, res, rep)
 	return http.StatusOK, s.Verdict()
 }
 

@@ -265,14 +265,15 @@ func TestTenantQuotaRejects(t *testing.T) {
 	pw.Close()
 	<-done
 
-	// The rejection is scrapeable, labelled with the hog's tenant id.
+	// The rejection is scrapeable, labelled with the hog's tenant name
+	// (the daemon's snapshot resolves interned ids to names).
 	resp, err := srv.Client().Get(srv.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	prom, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(string(prom), `rmarace_serve_quota_rejects{tenant="0"} 1`) {
+	if !strings.Contains(string(prom), `rmarace_serve_quota_rejects{tenant="hog"} 1`) {
 		t.Errorf("/metrics missing quota rejection:\n%s", prom)
 	}
 	// And /v1/tenants resolves the label back to the name.

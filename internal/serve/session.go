@@ -10,6 +10,7 @@ import (
 
 	"rmarace/internal/detector"
 	"rmarace/internal/obs"
+	"rmarace/internal/obs/span"
 	"rmarace/internal/rma"
 	"rmarace/internal/trace"
 )
@@ -23,6 +24,14 @@ type Session struct {
 	Opts    SessionOpts
 	Started time.Time
 
+	// prog is the session's live-progress probe: the replay loop
+	// publishes through it, the SSE event stream reads it. Always
+	// present — the probe is a few atomics, not worth an opt-in.
+	prog *obs.Progress
+	// done closes when the session reaches a terminal state, waking
+	// event-stream watchers without polling to the end.
+	done chan struct{}
+
 	mu      sync.Mutex
 	state   string // "running", "done", "failed"
 	format  string // "json" or "bin", once sniffed
@@ -31,6 +40,18 @@ type Session struct {
 	head    trace.Header
 	res     trace.ReplayResult
 	report  *obs.RunReport
+	spans   *span.Tracer // per-session span capture (?spans=1), else nil
+}
+
+// newSession builds a running session with a live progress probe.
+func newSession(tenant string, opts SessionOpts) *Session {
+	return &Session{
+		Tenant:  tenant,
+		Opts:    opts,
+		Started: time.Now(),
+		prog:    obs.NewProgress(),
+		done:    make(chan struct{}),
+	}
 }
 
 // Verdict is the session summary the API serves: the analysis outcome
@@ -60,7 +81,7 @@ func (s *Session) setFormat(format string) {
 	s.mu.Unlock()
 }
 
-// finish records a completed replay.
+// finish records a completed replay and wakes event-stream watchers.
 func (s *Session) finish(head trace.Header, res trace.ReplayResult, rep *obs.RunReport) {
 	s.mu.Lock()
 	s.state = "done"
@@ -69,16 +90,50 @@ func (s *Session) finish(head trace.Header, res trace.ReplayResult, rep *obs.Run
 	s.report = rep
 	s.elapsed = time.Since(s.Started)
 	s.mu.Unlock()
+	// The replay already published the final counters at EOF; only the
+	// terminal stage transition is the session's to make.
+	s.prog.SetStage(obs.StageDone)
+	s.closeDone()
 }
 
-// fail records an aborted session.
+// fail records an aborted session and wakes event-stream watchers.
 func (s *Session) fail(err error) {
 	s.mu.Lock()
 	s.state = "failed"
 	s.errMsg = err.Error()
 	s.elapsed = time.Since(s.Started)
 	s.mu.Unlock()
+	s.prog.SetStage(obs.StageFailed)
+	s.closeDone()
 }
+
+func (s *Session) closeDone() {
+	if s.done == nil {
+		return
+	}
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+}
+
+// setSpans attaches the session's span tracer (span capture opted in).
+func (s *Session) setSpans(tr *span.Tracer) {
+	s.mu.Lock()
+	s.spans = tr
+	s.mu.Unlock()
+}
+
+// Spans returns the session's span tracer, nil unless captured.
+func (s *Session) Spans() *span.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spans
+}
+
+// Progress returns the session's live-progress probe.
+func (s *Session) Progress() *obs.Progress { return s.prog }
 
 // Verdict snapshots the session as its API document.
 func (s *Session) Verdict() *Verdict {

@@ -1,14 +1,17 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sort"
 
 	"rmarace/internal/detector"
 	"rmarace/internal/engine"
 	"rmarace/internal/obs"
+	"rmarace/internal/obs/olog"
 	"rmarace/internal/obs/span"
 )
 
@@ -63,6 +66,19 @@ type ReplayOpts struct {
 	// and the peak_rss_bytes high-water mark (sampled live heap). Nil
 	// disables recording.
 	Recorder obs.Recorder
+	// Progress, when non-nil, is the lock-free probe the replay
+	// publishes live progress through: bytes/records consumed, events
+	// analysed, epochs completed, races and evictions so far, plus the
+	// Ingesting -> Draining stage transition at source EOF (or an early
+	// race stop). The daemon's SSE event stream reads it; sampling is
+	// a handful of atomic stores every progressEvery records, so an
+	// unwatched replay pays one nil check per record.
+	Progress *obs.Progress
+	// Log, when non-nil, receives the replay's structured log events:
+	// eviction and compaction at Debug, the stage transition and final
+	// summary at Debug. Callers wanting session correlation bind their
+	// context attributes first (olog.Bind); nil discards.
+	Log *slog.Logger
 }
 
 // Replay feeds a trace through per-owner analyzers built by
@@ -89,6 +105,13 @@ const (
 	ingestFlushEvery = 4096
 	peakSampleEvery  = 1 << 16
 )
+
+// progressEvery is how many records the replay loop lets pass between
+// progress-probe publications. Finer than the recorder cadence so a
+// watcher of a slow chunked upload sees the counters move, still
+// coarse enough that the publication (a few atomic stores) vanishes in
+// the decode cost.
+const progressEvery = 256
 
 // ownerState is one owner's resident replay state: its analyzer, the
 // optional flight recorder, the pending pooled event batch, and the
@@ -126,6 +149,12 @@ func ReplayStream(src Source, newAnalyzer func(owner int) detector.Analyzer, opt
 	}
 	rec := obs.OrDisabled(opts.Recorder)
 	recOn := rec.Enabled()
+	prog := opts.Progress
+	log := olog.Or(opts.Log)
+	// The debug-enabled check is hoisted: the loop below must pay one
+	// cached bool per rare event, not a handler call per record.
+	logOn := log.Enabled(context.Background(), slog.LevelDebug)
+	prog.SetStage(obs.StageIngesting)
 	owners := make(map[int]*ownerState)
 	get := func(owner int) *ownerState {
 		st, ok := owners[owner]
@@ -175,6 +204,10 @@ func ReplayStream(src Source, newAnalyzer func(owner int) detector.Analyzer, opt
 	// finishIngest credits the counters' unflushed remainder and takes a
 	// final live-heap sample; it runs at EOF and on an early race stop.
 	finishIngest := func() {
+		if prog != nil {
+			prog.Update(src.BytesRead(), step, int64(res.Events), int64(res.Epochs))
+			prog.SetStage(obs.StageDraining)
+		}
 		if !recOn {
 			return
 		}
@@ -184,6 +217,10 @@ func ReplayStream(src Source, newAnalyzer func(owner int) detector.Analyzer, opt
 		recordPeak()
 	}
 	stamp := func(owner int, st *ownerState, race *detector.Race) ReplayResult {
+		prog.AddRace()
+		if logOn {
+			log.Debug("race detected", "owner", owner, "records", step, "events", res.Events)
+		}
 		// The replay loop is the layer that knows which owner's analyzer
 		// held the conflict and which window was traced; stamp them like
 		// the live engine does (a sharded analyzer has already stamped
@@ -204,12 +241,23 @@ func ReplayStream(src Source, newAnalyzer func(owner int) detector.Analyzer, opt
 	for {
 		err := src.Read(&r)
 		if err == io.EOF {
+			// The source is exhausted: everything from here on is the
+			// analysis drain (pending batches, final flushes). Mark the
+			// stage transition now so stage accounting attributes the
+			// flush time to draining, not ingest.
+			if prog != nil {
+				prog.Update(src.BytesRead(), step, int64(res.Events), int64(res.Epochs))
+				prog.SetStage(obs.StageDraining)
+			}
 			break
 		}
 		if err != nil {
 			return res, err
 		}
 		step++
+		if prog != nil && step%progressEvery == 0 {
+			prog.Update(src.BytesRead(), step, int64(res.Events), int64(res.Epochs))
+		}
 		if recOn {
 			if step%ingestFlushEvery == 0 {
 				rec.Add(obs.TraceIngestRecords, 0, ingestFlushEvery)
@@ -296,6 +344,9 @@ func ReplayStream(src Source, newAnalyzer func(owner int) detector.Analyzer, opt
 			}
 			if opts.Compact {
 				detector.Compact(st.a)
+				if logOn {
+					log.Debug("analyzer compacted", "owner", r.Owner, "epoch", res.Epochs)
+				}
 			}
 			if opts.EvictCold > 0 {
 				if st.sawAccess {
@@ -311,8 +362,12 @@ func ReplayStream(src Source, newAnalyzer func(owner int) detector.Analyzer, opt
 					finish(st)
 					delete(owners, r.Owner)
 					res.Evictions++
+					prog.AddEviction()
 					if recOn {
 						rec.Add(obs.AnalyzerEvictions, 0, 1)
+					}
+					if logOn {
+						log.Debug("analyzer evicted", "owner", r.Owner, "cold_epochs", st.coldEpochs, "evictions", res.Evictions)
 					}
 				}
 			}
@@ -336,5 +391,8 @@ func ReplayStream(src Source, newAnalyzer func(owner int) detector.Analyzer, opt
 		finish(owners[o])
 	}
 	finishIngest()
+	if logOn {
+		log.Debug("replay drained", "records", step, "events", res.Events, "epochs", res.Epochs, "evictions", res.Evictions)
+	}
 	return res, nil
 }
