@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rmarace/internal/conformance"
+)
+
+// conformanceCmd scores every detector configuration over the labeled
+// conformance corpus, optionally writes the JSON baseline and
+// optionally gates against a committed one. The CI conformance-gate
+// job runs `rmarace conformance -baseline CONFORMANCE.json` and fails
+// the build on a non-zero exit.
+func conformanceCmd(args []string) {
+	fs := flag.NewFlagSet("conformance", flag.ExitOnError)
+	out := fs.String("out", "", "write the run's JSON report (schema "+conformance.Schema+") to FILE")
+	baseline := fs.String("baseline", "", "diff against the committed baseline FILE; exit 1 on F1 regression")
+	quiet := fs.Bool("quiet", false, "suppress the score table")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		log.Fatalf("conformance: unexpected arguments %v", fs.Args())
+	}
+
+	cases := conformance.Corpus()
+	outs, err := conformance.Run(cases, conformance.Configs())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := conformance.BuildReport(cases, outs)
+	if !*quiet {
+		conformance.WriteTable(os.Stdout, rep)
+		for _, o := range outs {
+			for _, m := range o.Mismatches {
+				fmt.Printf("mismatch %s: %s\n", o.Config.Name, m)
+			}
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *baseline != "" {
+		base, err := conformance.LoadReport(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if regs := conformance.Gate(base, rep); len(regs) != 0 {
+			fmt.Println("conformance regressions against", *baseline)
+			for _, r := range regs {
+				fmt.Println("  " + r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("conformance gate clean against %s (%d configs, %d cases)\n",
+			*baseline, len(rep.Configs), rep.Cases)
+	}
+}

@@ -83,6 +83,8 @@ func main() {
 		watchCmd(os.Args[2:])
 	case "fuzz":
 		fuzzCmd(os.Args[2:])
+	case "conformance":
+		conformanceCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -107,6 +109,7 @@ func usage() {
   rmarace watch [-addr URL] SESSION
   rmarace fuzz [-duration D] [-seed N] [-schedules K] [-stores LIST]
                [-shards LIST] [-batches LIST] [-out DIR] [-canary]
+  rmarace conformance [-out FILE] [-baseline FILE] [-quiet]
 
 methods: baseline, rma-analyzer, must-rma, our-contribution
 stores (tree-based methods): avl (default), legacy, shadow, strided
@@ -131,6 +134,11 @@ fuzz generates random MPI-RMA programs and differentially checks every
         oracle under permuted schedules; a divergence is minimised by
         delta debugging and written to -out as a replayable reproducer
         (-canary adds the known-faulty legacy backend, which must fail)
+conformance scores every detector configuration over the labeled
+        scenario corpus (internal/conformance) with per-category
+        precision/recall/F1; -out writes the JSON baseline, -baseline
+        diffs against a committed CONFORMANCE.json and exits 1 on any
+        per-category F1 regression
 serve starts the long-lived multi-tenant analysis daemon: POST traces
         (either format, streamed) to /v1/analyze and read verdicts,
         reports, postmortems and Prometheus /metrics back; submit is

@@ -1,0 +1,90 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rmarace/internal/fuzz"
+	"rmarace/internal/serve"
+	"rmarace/internal/trace"
+)
+
+// caseTrace serialises one corpus case as a JSON Lines trace body, the
+// wire format a daemon client would upload.
+func caseTrace(t *testing.T, c Case) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	p := c.Program
+	tw, err := trace.NewWriter(&buf, trace.Header{Ranks: p.Ranks * p.Windows, Window: "conformance"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range fuzz.Render(p, 0) {
+		if err := tw.Record(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// locationLine parses the line out of an AccessReport's "file:line".
+func locationLine(t *testing.T, loc string) int {
+	t.Helper()
+	i := strings.LastIndexByte(loc, ':')
+	if i < 0 {
+		t.Fatalf("location %q has no line", loc)
+	}
+	n, err := strconv.Atoi(loc[i+1:])
+	if err != nil {
+		t.Fatalf("location %q: %v", loc, err)
+	}
+	return n
+}
+
+// TestServeConformanceSmoke pushes one racy and one safe corpus case
+// through the analysis daemon end to end — HTTP upload, session,
+// verdict document — and checks the served verdict matches the label
+// and names the labeled call-site pair. This keeps the serve path on
+// the same conformance footing as offline replay.
+func TestServeConformanceSmoke(t *testing.T) {
+	d := serve.NewDaemon(serve.Config{})
+	srv := httptest.NewServer(d)
+	defer srv.Close()
+
+	cases := Corpus()
+	for _, name := range []string{"request-wait-target-race", "request-wait-reuse-safe"} {
+		c := findCase(t, cases, name)
+		body := caseTrace(t, c)
+		status, v, err := serve.Submit(context.Background(), srv.URL,
+			func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(body)), nil },
+			serve.SubmitOpts{Query: url.Values{"method": {"our-contribution"}}})
+		if err != nil {
+			t.Fatalf("%s: submit: %v", name, err)
+		}
+		if status != 200 {
+			t.Fatalf("%s: HTTP %d (%+v)", name, status, v)
+		}
+		if v.Error != "" {
+			t.Fatalf("%s: served error: %s", name, v.Error)
+		}
+		if got := v.Race != nil; got != c.Racy {
+			t.Errorf("%s: served race=%v, label says %v", name, got, c.Racy)
+			continue
+		}
+		if c.Racy {
+			a, b := locationLine(t, v.Race.Prev.Location), locationLine(t, v.Race.Cur.Location)
+			if !c.HasPair(a, b) {
+				t.Errorf("%s: served race blames lines %d/%d, labeled %v", name, a, b, c.Pairs)
+			}
+		}
+	}
+}

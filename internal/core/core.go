@@ -26,6 +26,7 @@ package core
 import (
 	"rmarace/internal/access"
 	"rmarace/internal/detector"
+	"rmarace/internal/interval"
 	"rmarace/internal/obs"
 	"rmarace/internal/store"
 	"rmarace/internal/strided"
@@ -468,6 +469,52 @@ func (z *Analyzer) Release(int) {
 	}
 }
 
+// CompleteRequest implements detector.RequestCompleter: the local
+// completion (MPI_Wait/MPI_Waitall) of a request-based one-sided
+// operation issued by rank with origin buffer iv. Completion orders
+// the request's origin-side accesses before everything after the wait
+// on the issuing rank, so rank's stored one-sided fragments are
+// trimmed to the part outside iv (store.RemoveRankSpan). Exactness
+// after Table 1 combination holds for the same reason Release is
+// exact, specialised to the origin-buffer region: the only accesses a
+// completed origin fragment can have combined with are the issuing
+// rank's own (origin buffers are private memory), and a same-rank
+// local witness absorbed under an RMA fragment can never race with a
+// later same-rank access anyway (local-before-RMA is exempt by §5.2
+// and local-local pairs never race). In strided mode, affected
+// compressed sections are re-materialised into the store first so the
+// span trim sees every element.
+func (z *Analyzer) CompleteRequest(rank int, iv interval.Interval) {
+	if z.stridedOn {
+		kept := z.sections[:0]
+		for i := range z.sections {
+			sec := z.sections[i]
+			from, to := sec.Overlap(iv)
+			if to <= from || sec.Acc.Rank != rank || !sec.Acc.Type.IsRMA() {
+				kept = append(kept, sec)
+				continue
+			}
+			for k := uint64(0); k < sec.Elements(); k++ {
+				z.insert(sec.Representative(k), false)
+			}
+		}
+		z.sections = kept
+		for key, rs := range z.open {
+			if rs.sec == nil || key.rank != rank || !key.tp.IsRMA() {
+				continue
+			}
+			if from, to := rs.sec.Overlap(iv); to > from {
+				for k := uint64(0); k < rs.sec.Elements(); k++ {
+					z.insert(rs.sec.Representative(k), false)
+				}
+				rs.sec = nil
+			}
+		}
+	}
+	store.RemoveRankSpan(z.lazyStore(), rank, iv)
+	z.frontierOK = false
+}
+
 // Nodes implements detector.Analyzer (the Table 4 metric). In strided
 // mode each regular section counts as one node.
 func (z *Analyzer) Nodes() int { return z.lazyStore().Len() + z.sectionCount() }
@@ -511,7 +558,8 @@ func (z *Analyzer) Accesses() uint64 { return z.accesses }
 func (z *Analyzer) Items() []access.Access { return store.Items(z.lazyStore()) }
 
 var (
-	_ detector.Analyzer      = (*Analyzer)(nil)
-	_ detector.BatchAnalyzer = (*Analyzer)(nil)
-	_ detector.Compacter     = (*Analyzer)(nil)
+	_ detector.Analyzer         = (*Analyzer)(nil)
+	_ detector.BatchAnalyzer    = (*Analyzer)(nil)
+	_ detector.Compacter        = (*Analyzer)(nil)
+	_ detector.RequestCompleter = (*Analyzer)(nil)
 )

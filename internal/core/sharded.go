@@ -6,6 +6,7 @@ import (
 
 	"rmarace/internal/access"
 	"rmarace/internal/detector"
+	"rmarace/internal/interval"
 	"rmarace/internal/shard"
 )
 
@@ -164,6 +165,15 @@ func (s *Sharded) Release(rank int) {
 	}
 }
 
+// CompleteRequest implements detector.RequestCompleter: the completed
+// origin-buffer span is split at granule boundaries and each shard
+// trims its own piece, exactly like access routing.
+func (s *Sharded) CompleteRequest(rank int, iv interval.Interval) {
+	s.m.Split(iv.Lo, iv.Hi, func(sh int, lo, hi uint64) {
+		s.subs[sh].CompleteRequest(rank, interval.New(lo, hi))
+	})
+}
+
 // Nodes implements detector.Analyzer: the current stored-entry count
 // summed over shards.
 func (s *Sharded) Nodes() int {
@@ -243,8 +253,9 @@ func (s *Sharded) Items() []access.Access {
 }
 
 var (
-	_ detector.Analyzer      = (*Sharded)(nil)
-	_ detector.BatchAnalyzer = (*Sharded)(nil)
-	_ detector.Sharder       = (*Sharded)(nil)
-	_ detector.Compacter     = (*Sharded)(nil)
+	_ detector.Analyzer         = (*Sharded)(nil)
+	_ detector.BatchAnalyzer    = (*Sharded)(nil)
+	_ detector.Sharder          = (*Sharded)(nil)
+	_ detector.Compacter        = (*Sharded)(nil)
+	_ detector.RequestCompleter = (*Sharded)(nil)
 )

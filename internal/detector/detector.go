@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"rmarace/internal/access"
+	"rmarace/internal/interval"
 	"rmarace/internal/vc"
 )
 
@@ -207,6 +208,31 @@ type Compacter interface {
 func Compact(a Analyzer) {
 	if c, ok := a.(Compacter); ok {
 		c.Compact()
+	}
+}
+
+// RequestCompleter is the optional request-completion capability of an
+// analyzer: CompleteRequest observes the local completion (MPI_Wait /
+// MPI_Waitall) of a request-based one-sided operation issued by rank
+// whose origin buffer is iv. Completion orders the request's
+// origin-side accesses before everything after the wait on the issuing
+// rank, so their stored one-sided fragments inside iv are retired at
+// this analyzer. Local completion says nothing about the target side:
+// target-window accesses stay live until the epoch's closing
+// synchronisation, which is why a completed Rput still races with a
+// concurrent access at the target. Analyzers without the capability
+// keep the accesses stored — sound (extra pairs are at worst false
+// positives on buffer reuse), just less precise.
+type RequestCompleter interface {
+	CompleteRequest(rank int, iv interval.Interval)
+}
+
+// CompleteRequest invokes a's RequestCompleter capability when
+// present; analyzers without one keep the request's accesses stored (a
+// no-op, like AccessBatch's fallback is the scalar path).
+func CompleteRequest(a Analyzer, rank int, iv interval.Interval) {
+	if c, ok := a.(RequestCompleter); ok {
+		c.CompleteRequest(rank, iv)
 	}
 }
 

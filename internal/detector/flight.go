@@ -27,6 +27,9 @@ const (
 	// FlightSync marks a non-release synchronisation marker draining the
 	// notification channel.
 	FlightSync
+	// FlightComplete marks a request's local completion (MPI_Wait /
+	// MPI_Waitall) retiring Origin's completed origin-buffer accesses.
+	FlightComplete
 )
 
 // String returns the entry kind's wire name.
@@ -42,6 +45,8 @@ func (k FlightKind) String() string {
 		return "release"
 	case FlightSync:
 		return "sync"
+	case FlightComplete:
+		return "complete"
 	}
 	return "unknown"
 }

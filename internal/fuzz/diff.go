@@ -6,6 +6,7 @@ import (
 
 	"rmarace/internal/core"
 	"rmarace/internal/detector"
+	"rmarace/internal/interval"
 	"rmarace/internal/oracle"
 	"rmarace/internal/store"
 	"rmarace/internal/trace"
@@ -126,6 +127,11 @@ func RunSubject(recs []trace.Record, cfg Config) (*detector.Race, error) {
 				return race, nil
 			}
 			get(rec.Owner).Release(rec.Rank)
+		case "complete":
+			if race := flush(rec.Owner); race != nil {
+				return race, nil
+			}
+			detector.CompleteRequest(get(rec.Owner), rec.Rank, interval.New(rec.Lo, rec.Hi))
 		default:
 			return nil, fmt.Errorf("fuzz: unknown record kind %q", rec.Kind)
 		}
@@ -229,7 +235,8 @@ func Diff(p Program, schedSeeds []int64, cfgs []Config) (Result, error) {
 		}
 		// The binary trace codec: JSON→binary→JSON must be lossless and
 		// the streaming binary replay verdict-identical to JSON replay.
-		if d, ok, err := diffTraceCodec(recs, p.Ranks); err != nil {
+		// The header advertises one stream per (rank, window) pair.
+		if d, ok, err := diffTraceCodec(recs, p.Ranks*p.Windows); err != nil {
 			return res, err
 		} else if ok {
 			d.SchedSeed = seed
@@ -269,6 +276,10 @@ func runMustRep(recs []trace.Record, shared *detector.MustShared) (*detector.Rac
 			get(rec.Owner).EpochEnd()
 		case "release":
 			get(rec.Owner).Release(rec.Rank)
+		case "complete":
+			// MUST-RMA has no request-completion notion; keeping the
+			// accesses is sound (completion only ever removes pairs), and
+			// both clock representations see the identical no-op.
 		default:
 			return nil, fmt.Errorf("fuzz: unknown record kind %q", rec.Kind)
 		}

@@ -71,29 +71,30 @@ func TestGenProducesNormalizedPrograms(t *testing.T) {
 }
 
 // TestScheduleOrderPreservesRankStreams: every permuted schedule keeps
-// each rank's ops in program order — the property that makes the oracle
-// verdict schedule-invariant.
+// each (rank, thread) stream's ops in program order and schedules every
+// op exactly once, in its effective epoch (a thread-1 op runs under its
+// thread's last resynchronisation epoch) — the properties that make the
+// oracle verdict schedule-invariant for thread-free programs.
 func TestScheduleOrderPreservesRankStreams(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 50; i++ {
 		p := Gen(rng)
 		for _, seed := range testSchedules {
+			eff := p.effEpochs()
 			last := make(map[int]int)
 			n := 0
 			for e, idxs := range scheduleOrder(p, seed) {
-				span := p.epochOps()[e]
 				for _, idx := range idxs {
-					if idx < span[0] || idx >= span[1] {
-						t.Fatalf("schedule %d leaked op %d out of epoch %d", seed, idx, e)
+					if eff[idx] != e {
+						t.Fatalf("schedule %d leaked op %d (effective epoch %d) into epoch %d", seed, idx, eff[idx], e)
 					}
-					r := p.Ops[idx].Origin
-					if prev, ok := last[r]; ok && idx < prev {
-						t.Fatalf("schedule %d reordered rank %d: op %d after %d", seed, r, idx, prev)
+					stream := p.Ops[idx].Origin*2 + p.Ops[idx].Thread
+					if prev, ok := last[stream]; ok && idx < prev {
+						t.Fatalf("schedule %d reordered stream %d: op %d after %d", seed, stream, idx, prev)
 					}
-					last[r] = idx
+					last[stream] = idx
 					n++
 				}
-				last = make(map[int]int) // ranks restart per epoch chunk
 			}
 			if n != len(p.Ops) {
 				t.Fatalf("schedule %d scheduled %d of %d ops", seed, n, len(p.Ops))

@@ -113,15 +113,29 @@ func RunLive(p Program, schedSeed int64, cfg rma.Config) (*detector.Race, error)
 }
 
 // LiveVariant returns the program RunLive actually executes: SyncLock
-// converted to SyncLockAll, normalized. Oracle comparisons against a
-// live run must use this variant's rendering.
+// converted to SyncLockAll, trace-level-only constructs mapped back to
+// the classic subset the live runtime implements (requests to their
+// blocking forms, everything on window 0 and thread 0, strided ops
+// contiguous), normalized. Oracle comparisons against a live run must
+// use this variant's rendering.
 func LiveVariant(p Program) Program {
 	p = Normalize(p)
 	if p.Sync == SyncLock {
 		p.Sync = SyncLockAll
-		p = Normalize(p)
 	}
-	return p
+	p.Windows = 1
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		switch op.Kind {
+		case OpRput:
+			op.Kind = OpPut
+		case OpRget:
+			op.Kind = OpGet
+		}
+		op.Win, op.Thread = 0, 0
+		op.Count, op.Stride = 1, 0
+	}
+	return Normalize(p)
 }
 
 // execOp performs one program operation on the live runtime.
@@ -144,6 +158,11 @@ func execOp(w *rma.Win, locals *rma.Buffer, op Op) error {
 			return err
 		}
 		return buf.Store(off, make([]byte, op.Len*Slot), dbg)
+	case OpWaitAll, OpSignal, OpWaitSig:
+		// Trace-level synchronisation markers: LiveVariant keeps them in
+		// the listing (they consume a schedule step) but they touch no
+		// memory and the live runtime has nothing to do for them.
+		return nil
 	}
 	return fmt.Errorf("fuzz: unknown op kind %d", op.Kind)
 }

@@ -26,6 +26,14 @@ func Minimize(p Program, fails func(Program) bool) Program {
 			}
 		}
 	}
+	if p.Windows > 1 {
+		trial := p
+		trial.Windows = 1
+		trial = Normalize(trial) // re-folds every op onto window 0
+		if fails(trial) {
+			p = trial
+		}
+	}
 	for p.Epochs > 1 {
 		trial := p
 		trial.Epochs--

@@ -2,20 +2,24 @@
 // production detector configuration against the brute-force oracle of
 // package oracle.
 //
-// It generates random MPI-RMA programs (ranks, one window,
-// Put/Get/Accumulate/local load-store under LockAll, Fence, PSCW or
-// per-target Lock synchronisation, with byte ranges biased toward
-// boundary-adjacency to stress the fragmentation and merge paths),
-// renders each program deterministically into the per-owner event
-// streams the real instrumentation layer would produce, replays the
-// same program under permuted schedules, and fails on any verdict-set
-// divergence between a production configuration and the oracle — with
-// automatic delta-debug minimisation and an on-disk reproducer.
+// It generates random MPI-RMA programs (ranks, one or two windows,
+// Put/Get/Accumulate/Rput/Rget/local load-store under LockAll, Fence,
+// PSCW or per-target Lock synchronisation, with byte ranges biased
+// toward boundary-adjacency to stress the fragmentation and merge
+// paths), renders each program deterministically into the per-owner
+// event streams the real instrumentation layer would produce, replays
+// the same program under permuted schedules, and fails on any
+// verdict-set divergence between a production configuration and the
+// oracle — with automatic delta-debug minimisation and an on-disk
+// reproducer.
 //
 // Program grammar constraints (documented in DESIGN §9):
 //
-//   - one window: detector state is strictly per-window, so multi-window
-//     programs decompose into independent single-window instances;
+//   - up to two windows: detector state is strictly per-window, so a
+//     window-w op's target-side events go to the synthetic stream
+//     owner w*Ranks + target. Origin-side (private buffer) events
+//     always go to the origin's base stream, so buffer reuse across
+//     windows meets in one analyzer;
 //   - all offsets and lengths are in 8-byte slots, so the shadow
 //     backend's granule conflation is lossless;
 //   - one-sided operations never target their own rank and always use a
@@ -25,7 +29,17 @@
 //     under an own-window RMA_Read hides the write from later
 //     cross-rank readers by design (the fragment keeps the
 //     higher-priority type), and real halo-exchange-style programs do
-//     not produce that shape.
+//     not produce that shape;
+//   - request-based operations (Rput/Rget) exist only under SyncLockAll
+//     (MPI requires a passive-target epoch); an OpWaitAll locally
+//     completes every outstanding request of its rank, retiring the
+//     completed origin-buffer spans ("complete" trace records). Local
+//     completion never synchronises the target side;
+//   - each rank may run a second rank-internal thread (Op.Thread = 1),
+//     modelling hybrid MPI+threads codes: a thread-1 op executes under
+//     the epoch of the thread's last OpWaitSig resynchronisation point
+//     (epoch 0 before any), so un-resynchronised work races across
+//     epoch boundaries exactly like a hoisted task body would.
 package fuzz
 
 import (
@@ -49,6 +63,10 @@ const (
 	MaxOps = 96
 	// maxLen is the largest access length in slots.
 	maxLen = 3
+	// maxCount is the largest strided block count of one RMA op.
+	maxCount = 3
+	// maxWindows is the largest window count of one program.
+	maxWindows = 2
 )
 
 // Rendered (and live-irrelevant) base addresses; the differential
@@ -106,6 +124,22 @@ const (
 	OpAccum
 	OpLoad
 	OpStore
+	// OpRput and OpRget are the request-based forms of Put and Get
+	// (MPI_Rput/MPI_Rget): identical access shape, but the op stays
+	// outstanding until the rank's next OpWaitAll locally completes it.
+	OpRput
+	OpRget
+	// OpWaitAll is MPI_Waitall over every outstanding request of the
+	// issuing rank: each completed request retires its origin-buffer
+	// span at the rank's own analyzer (local completion only — the
+	// target side is NOT synchronised).
+	OpWaitAll
+	// OpSignal and OpWaitSig are rank-internal thread synchronisation:
+	// the main thread (0) signals, the worker thread (1) waits. A
+	// waiting thread resynchronises to the epoch the OpWaitSig appears
+	// in; thread-1 ops before any OpWaitSig run under epoch 0.
+	OpSignal
+	OpWaitSig
 	numOpKinds
 )
 
@@ -122,12 +156,32 @@ func (k OpKind) String() string {
 		return "load"
 	case OpStore:
 		return "store"
+	case OpRput:
+		return "rput"
+	case OpRget:
+		return "rget"
+	case OpWaitAll:
+		return "waitall"
+	case OpSignal:
+		return "signal"
+	case OpWaitSig:
+		return "waitsig"
 	}
 	return fmt.Sprintf("OpKind(%d)", uint8(k))
 }
 
 // IsRMA reports whether the op is a one-sided operation.
-func (k OpKind) IsRMA() bool { return k == OpPut || k == OpGet || k == OpAccum }
+func (k OpKind) IsRMA() bool {
+	return k == OpPut || k == OpGet || k == OpAccum || k == OpRput || k == OpRget
+}
+
+// IsRequest reports whether the op is a request-based one-sided
+// operation (completed by a later OpWaitAll).
+func (k OpKind) IsRequest() bool { return k == OpRput || k == OpRget }
+
+// isMarker reports whether the op is a pure synchronisation marker
+// with no memory access of its own.
+func (k OpKind) isMarker() bool { return k == OpWaitAll || k == OpSignal || k == OpWaitSig }
 
 // Op is one operation of a generated program.
 type Op struct {
@@ -152,16 +206,34 @@ type Op struct {
 	Shared bool
 	// AOp is the reduction operation of an OpAccum.
 	AOp access.AccumOp
+	// Win is the window the op addresses (0..Windows-1): the target
+	// window of an RMA op, or the own window of an on-window local op.
+	// Origin-side private buffers are window-independent.
+	Win int
+	// Thread is the rank-internal thread issuing the op: 0 is the main
+	// MPI thread, 1 the worker thread. A thread-1 op executes under the
+	// epoch of its thread's last OpWaitSig (epoch 0 before any).
+	Thread int
+	// Count is the number of strided target blocks of an RMA op
+	// (derived-datatype shape): blocks of Len slots at WOff, WOff+Stride,
+	// ... The origin buffer stays one contiguous Len*Count-slot span.
+	Count int
+	// Stride is the slot distance between consecutive target blocks
+	// (>= Len so blocks never self-overlap; 0 when Count == 1).
+	Stride int
 	// Line is the op's synthetic source line, assigned by Normalize so
 	// every op has a distinct identity in race verdicts.
 	Line int
 }
 
-// Program is one generated MPI-RMA program over a single window.
+// Program is one generated MPI-RMA program.
 type Program struct {
 	Ranks  int
 	Epochs int
 	Sync   SyncKind
+	// Windows is the window count (1 or 2). Window w's per-rank streams
+	// are the synthetic owners w*Ranks .. w*Ranks+Ranks-1.
+	Windows int
 	// Ops run split into Epochs contiguous chunks, each rank issuing
 	// its chunk ops in listed order.
 	Ops []Op
@@ -188,12 +260,28 @@ func Normalize(p Program) Program {
 	if p.Sync == SyncLock {
 		p.Epochs = 1
 	}
+	if p.Windows < 1 {
+		p.Windows = 1
+	}
+	if p.Windows > 2 {
+		p.Windows = 2
+	}
 	if len(p.Ops) > MaxOps {
 		p.Ops = p.Ops[:MaxOps]
 	}
 	ops := make([]Op, len(p.Ops))
 	for i, op := range p.Ops {
 		op.Kind %= numOpKinds
+		// Requests need a passive-target epoch to stay outstanding in;
+		// outside SyncLockAll they demote to their blocking forms.
+		if p.Sync != SyncLockAll {
+			switch op.Kind {
+			case OpRput:
+				op.Kind = OpPut
+			case OpRget:
+				op.Kind = OpGet
+			}
+		}
 		op.Origin = mod(op.Origin, p.Ranks)
 		if op.Len < 1 {
 			op.Len = 1
@@ -201,17 +289,59 @@ func Normalize(p Program) Program {
 		if op.Len > maxLen {
 			op.Len = maxLen
 		}
-		op.WOff = mod(op.WOff, WinSlots-op.Len+1)
-		op.LSlot = mod(op.LSlot, LocalSlots-op.Len+1)
-		if op.Kind.IsRMA() {
+		switch {
+		case op.Kind.isMarker():
+			// Markers access no memory; zero every shape field so the
+			// encoding round-trips canonically.
+			op.Target, op.WOff, op.LSlot, op.Len = 0, 0, 0, 1
+			op.OnWin, op.Shared = false, false
+			op.Count, op.Stride, op.Win = 1, 0, 0
+			switch op.Kind {
+			case OpWaitAll, OpSignal:
+				op.Thread = 0
+			case OpWaitSig:
+				op.Thread = 1
+			}
+		case op.Kind.IsRMA():
 			op.Target = mod(op.Target, p.Ranks)
 			if op.Target == op.Origin {
 				op.Target = (op.Target + 1) % p.Ranks
 			}
 			op.OnWin = false
-		} else {
+			op.Thread = mod(op.Thread, 2)
+			op.Win = mod(op.Win, p.Windows)
+			if op.Count < 1 {
+				op.Count = 1
+			}
+			if op.Count > maxCount {
+				op.Count = maxCount
+			}
+			for op.Len*op.Count > LocalSlots {
+				op.Count--
+			}
+			if op.Count == 1 {
+				op.Stride = 0
+			} else {
+				// Keep the stride in [Len, Len+2]: never self-overlapping,
+				// and sometimes exactly adjacent (Stride == Len) to drive
+				// the merge path across blocks.
+				op.Stride = op.Len + mod(op.Stride-op.Len, 3)
+			}
+			extent := (op.Count-1)*op.Stride + op.Len
+			op.WOff = mod(op.WOff, WinSlots-extent+1)
+			op.LSlot = mod(op.LSlot, LocalSlots-op.Len*op.Count+1)
+		default: // local load/store
 			op.Target = 0
 			op.Shared = false
+			op.Thread = mod(op.Thread, 2)
+			op.Count, op.Stride = 1, 0
+			if op.OnWin {
+				op.Win = mod(op.Win, p.Windows)
+			} else {
+				op.Win = 0
+			}
+			op.WOff = mod(op.WOff, WinSlots-op.Len+1)
+			op.LSlot = mod(op.LSlot, LocalSlots-op.Len+1)
 		}
 		if op.Kind == OpAccum {
 			if op.AOp == access.AccumNone || op.AOp > access.AccumBand {
@@ -249,16 +379,55 @@ func (p Program) epochOps() [][2]int {
 	return out
 }
 
+// effEpochs returns the effective epoch of every op: the epoch whose
+// records the op's events are emitted under. Thread-0 ops execute in
+// their listing chunk. A thread-1 op executes under the epoch of its
+// thread's most recent OpWaitSig resynchronisation (epoch 0 before
+// any): a worker thread that was not re-synchronised still runs code
+// hoisted from an earlier epoch, the hybrid-concurrency race shape.
+func (p Program) effEpochs() []int {
+	eff := make([]int, len(p.Ops))
+	chunk := make([]int, len(p.Ops))
+	for e, span := range p.epochOps() {
+		for i := span[0]; i < span[1]; i++ {
+			chunk[i] = e
+		}
+	}
+	resync := make([]int, p.Ranks)
+	for i, op := range p.Ops {
+		if op.Thread == 0 || op.Kind == OpWaitSig {
+			if op.Kind == OpWaitSig {
+				resync[op.Origin] = chunk[i]
+			}
+			eff[i] = chunk[i]
+			continue
+		}
+		eff[i] = resync[op.Origin]
+	}
+	return eff
+}
+
 // String renders the program as a readable listing for reproducer
 // reports.
 func (p Program) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "ranks=%d sync=%s epochs=%d ops=%d\n", p.Ranks, p.Sync, p.Epochs, len(p.Ops))
+	fmt.Fprintf(&b, "ranks=%d sync=%s epochs=%d windows=%d ops=%d\n",
+		p.Ranks, p.Sync, p.Epochs, p.Windows, len(p.Ops))
 	for e, span := range p.epochOps() {
 		fmt.Fprintf(&b, "epoch %d:\n", e)
 		for i := span[0]; i < span[1]; i++ {
 			op := p.Ops[i]
+			thr := ""
+			if op.Thread != 0 {
+				thr = fmt.Sprintf(" t%d", op.Thread)
+			}
+			win := ""
+			if p.Windows > 1 {
+				win = fmt.Sprintf("w%d ", op.Win)
+			}
 			switch {
+			case op.Kind.isMarker():
+				fmt.Fprintf(&b, "  r%d%s %s  ; line %d\n", op.Origin, thr, op.Kind, op.Line)
 			case op.Kind.IsRMA():
 				mode := ""
 				if p.Sync == SyncLock {
@@ -271,15 +440,19 @@ func (p Program) String() string {
 				if op.Kind == OpAccum {
 					aop = " " + op.AOp.String()
 				}
-				fmt.Fprintf(&b, "  r%d %s r%d win[%d..%d) local[%d..%d)%s%s  ; line %d\n",
-					op.Origin, op.Kind, op.Target, op.WOff, op.WOff+op.Len,
-					op.LSlot, op.LSlot+op.Len, aop, mode, op.Line)
+				stride := ""
+				if op.Count > 1 {
+					stride = fmt.Sprintf(" x%d stride %d", op.Count, op.Stride)
+				}
+				fmt.Fprintf(&b, "  r%d%s %s r%d %swin[%d..%d)%s local[%d..%d)%s%s  ; line %d\n",
+					op.Origin, thr, op.Kind, op.Target, win, op.WOff, op.WOff+op.Len,
+					stride, op.LSlot, op.LSlot+op.Len*op.Count, aop, mode, op.Line)
 			case op.OnWin:
-				fmt.Fprintf(&b, "  r%d %s win[%d..%d)  ; line %d\n",
-					op.Origin, op.Kind, op.WOff, op.WOff+op.Len, op.Line)
+				fmt.Fprintf(&b, "  r%d%s %s %swin[%d..%d)  ; line %d\n",
+					op.Origin, thr, op.Kind, win, op.WOff, op.WOff+op.Len, op.Line)
 			default:
-				fmt.Fprintf(&b, "  r%d %s local[%d..%d)  ; line %d\n",
-					op.Origin, op.Kind, op.LSlot, op.LSlot+op.Len, op.Line)
+				fmt.Fprintf(&b, "  r%d%s %s local[%d..%d)  ; line %d\n",
+					op.Origin, thr, op.Kind, op.LSlot, op.LSlot+op.Len, op.Line)
 			}
 		}
 	}
@@ -298,7 +471,16 @@ func (p Program) String() string {
 // Programs that are all-shared (no releases) or all-exclusive (every
 // access retired immediately after its op, so cross-rank pairs never
 // form) are invariant.
+// Thread-1 ops make any program schedule-dependent: a schedule is free
+// to reorder a rank's two threads against each other, and same-rank
+// order is exactly what the §5.2 local-before-RMA exemption (and the
+// outstanding-request set an OpWaitAll completes) depends on.
 func (p Program) ScheduleInvariant() bool {
+	for _, op := range p.Ops {
+		if op.Thread != 0 {
+			return false
+		}
+	}
 	if p.Sync != SyncLock {
 		return true
 	}
@@ -315,8 +497,10 @@ func (p Program) ScheduleInvariant() bool {
 	return !(shared && excl)
 }
 
-// opBytes is the encoded width of one op.
-const opBytes = 6
+// opBytes is the encoded width of one op: kind, origin, target index,
+// window offset, pack1 (LSlot | OnWin | Len | Shared | Win), accum op,
+// pack2 (Thread | Count | Stride).
+const opBytes = 7
 
 // Decode interprets raw bytes — typically from the native fuzzing
 // engine — as a program. Total: every byte string decodes to a valid
@@ -333,7 +517,7 @@ func Decode(data []byte) Program {
 	p.Ranks = 2 + int(get(0))%3
 	p.Sync = SyncKind(get(1)) % numSyncKinds
 	p.Epochs = 1 + int(get(2))%3
-	// get(3) is reserved.
+	p.Windows = 1 + int(get(3))%maxWindows
 	for off := 4; off+opBytes <= len(data) && len(p.Ops) < MaxOps; off += opBytes {
 		kind := OpKind(data[off]) % numOpKinds
 		op := Op{
@@ -356,9 +540,14 @@ func Decode(data []byte) Program {
 		op.OnWin = pack&0x8 != 0
 		op.Len = 1 + int(pack>>4)&0x3
 		op.Shared = pack&0x40 != 0
+		op.Win = int(pack >> 7)
 		if kind == OpAccum {
 			op.AOp = access.AccumOp(1 + int(data[off+5])%5)
 		}
+		pack2 := data[off+6]
+		op.Thread = int(pack2 & 0x1)
+		op.Count = 1 + int(pack2>>1)&0x3
+		op.Stride = int(pack2>>3) & 0x7
 		p.Ops = append(p.Ops, op)
 	}
 	return Normalize(p)
@@ -372,12 +561,13 @@ func Encode(p Program) []byte {
 	out[0] = byte(p.Ranks - 2)
 	out[1] = byte(p.Sync)
 	out[2] = byte(p.Epochs - 1)
+	out[3] = byte(p.Windows - 1)
 	for _, op := range p.Ops {
 		ti := op.Target
 		if op.Kind.IsRMA() && ti > op.Origin {
 			ti--
 		}
-		pack := byte(op.LSlot) | byte(op.Len-1)<<4
+		pack := byte(op.LSlot) | byte(op.Len-1)<<4 | byte(op.Win)<<7
 		if op.OnWin {
 			pack |= 0x8
 		}
@@ -388,7 +578,8 @@ func Encode(p Program) []byte {
 		if op.Kind == OpAccum {
 			aop = byte(op.AOp) - 1
 		}
-		out = append(out, byte(op.Kind), byte(op.Origin), byte(ti), byte(op.WOff), pack, aop)
+		pack2 := byte(op.Thread) | byte(op.Count-1)<<1 | byte(op.Stride)<<3
+		out = append(out, byte(op.Kind), byte(op.Origin), byte(ti), byte(op.WOff), pack, aop, pack2)
 	}
 	return out
 }
@@ -397,7 +588,10 @@ func Encode(p Program) []byte {
 // boundary-adjacency: half the RMA ops start exactly where a previous
 // op's range ended (or end where it started), the pattern that drives
 // the fragmentation and merge paths hardest; a quarter overlap a
-// previous range outright.
+// previous range outright. A fraction of programs additionally use a
+// second window, rank-internal threads with signal/wait, request-based
+// Rput/Rget with waitall completion, or strided (derived-datatype)
+// target blocks.
 func Gen(rng *rand.Rand) Program {
 	p := Program{
 		Ranks:  2 + rng.Intn(3),
@@ -453,6 +647,53 @@ func Gen(rng *rand.Rand) Program {
 		}
 		lastStart, lastEnd = op.WOff, op.WOff+op.Len
 		p.Ops = append(p.Ops, op)
+	}
+	if rng.Float64() < 0.2 {
+		p.Windows = 2
+		for i := range p.Ops {
+			p.Ops[i].Win = rng.Intn(2)
+		}
+	}
+	if p.Sync == SyncLockAll && rng.Float64() < 0.25 {
+		for i := range p.Ops {
+			if rng.Float64() < 0.5 {
+				switch p.Ops[i].Kind {
+				case OpPut:
+					p.Ops[i].Kind = OpRput
+				case OpGet:
+					p.Ops[i].Kind = OpRget
+				}
+			}
+		}
+		for n := 1 + rng.Intn(2); n > 0; n-- {
+			at := rng.Intn(len(p.Ops) + 1)
+			w := Op{Kind: OpWaitAll, Origin: rng.Intn(p.Ranks)}
+			p.Ops = append(p.Ops[:at], append([]Op{w}, p.Ops[at:]...)...)
+		}
+	}
+	if rng.Float64() < 0.2 {
+		for i := range p.Ops {
+			if rng.Float64() < 0.3 {
+				p.Ops[i].Thread = 1
+			}
+		}
+		for n := rng.Intn(3); n > 0; n-- {
+			at := rng.Intn(len(p.Ops) + 1)
+			k := OpSignal
+			if rng.Float64() < 0.5 {
+				k = OpWaitSig
+			}
+			w := Op{Kind: k, Origin: rng.Intn(p.Ranks)}
+			p.Ops = append(p.Ops[:at], append([]Op{w}, p.Ops[at:]...)...)
+		}
+	}
+	if rng.Float64() < 0.25 {
+		for i := range p.Ops {
+			if p.Ops[i].Kind.IsRMA() && rng.Float64() < 0.4 {
+				p.Ops[i].Count = 2 + rng.Intn(2)
+				p.Ops[i].Stride = p.Ops[i].Len + rng.Intn(3)
+			}
+		}
 	}
 	return Normalize(p)
 }

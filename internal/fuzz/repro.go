@@ -47,7 +47,7 @@ func WriteRepro(dir string, res Result) (string, error) {
 		return "", err
 	}
 	defer f.Close()
-	tw, err := trace.NewWriter(f, trace.Header{Ranks: res.Program.Ranks, Window: "fuzzwin"})
+	tw, err := trace.NewWriter(f, trace.Header{Ranks: res.Program.Ranks * res.Program.Windows, Window: "fuzzwin"})
 	if err != nil {
 		return "", err
 	}

@@ -23,6 +23,16 @@ func accum(origin, target, woff, lslot, n int, aop access.AccumOp) Op {
 	return op
 }
 
+func winOp(op Op, win int) Op {
+	op.Win = win
+	return op
+}
+
+func strided(op Op, count, stride int) Op {
+	op.Count, op.Stride = count, stride
+	return op
+}
+
 func local(k OpKind, origin, slot, n int, onWin bool) Op {
 	op := Op{Kind: k, Origin: origin, Len: n}
 	if onWin {
@@ -194,6 +204,60 @@ func Seeds() []Seed {
 				rmaOp(OpGet, 1, 2, 0, 2, 2),
 			}},
 			Raced: false,
+		},
+		{
+			// Request-based put whose waitall locally completes the origin
+			// buffer before it is overwritten: the §5.2 shape extended to
+			// MPI_Rput — safe only because the completion retires the span.
+			Name: "rput-waitall-reuse-safe",
+			P: Program{Ranks: 2, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				rmaOp(OpRput, 0, 1, 0, 0, 2),
+				{Kind: OpWaitAll, Origin: 0},
+				local(OpStore, 0, 0, 2, false),
+			}},
+			Raced: false,
+		},
+		{
+			// The same origin-buffer reuse without the waitall: the rput is
+			// still outstanding, so the store races with its origin read.
+			Name: "rput-no-wait-reuse-race",
+			P: Program{Ranks: 2, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				rmaOp(OpRput, 0, 1, 0, 0, 2),
+				local(OpStore, 0, 0, 2, false),
+			}},
+			Raced: true,
+		},
+		{
+			// MPI_Wait is local completion only: the target window is NOT
+			// synchronised, so a concurrent put from another rank races even
+			// though the request was waited on.
+			Name: "rput-waitall-target-race",
+			P: Program{Ranks: 3, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				rmaOp(OpRput, 0, 2, 0, 0, 2),
+				{Kind: OpWaitAll, Origin: 0},
+				rmaOp(OpPut, 1, 2, 1, 0, 2),
+			}},
+			Raced: true,
+		},
+		{
+			// Same offsets, different windows: detector state is strictly
+			// per-window, so the overlap is no conflict.
+			Name: "two-window-disjoint-safe",
+			P: Program{Ranks: 2, Epochs: 1, Sync: SyncLockAll, Windows: 2, Ops: []Op{
+				winOp(rmaOp(OpPut, 0, 1, 0, 0, 2), 0),
+				winOp(rmaOp(OpPut, 0, 1, 0, 2, 2), 1),
+			}},
+			Raced: false,
+		},
+		{
+			// Strided (derived-datatype) put whose second block collides
+			// with a contiguous put from another rank.
+			Name: "strided-block-race",
+			P: Program{Ranks: 3, Epochs: 1, Sync: SyncLockAll, Ops: []Op{
+				strided(rmaOp(OpPut, 0, 2, 0, 0, 1), 2, 3),
+				rmaOp(OpPut, 1, 2, 3, 0, 1),
+			}},
+			Raced: true,
 		},
 	}
 	for i := range seeds {

@@ -1,0 +1,81 @@
+package micro
+
+import (
+	"strings"
+	"testing"
+
+	"rmarace/internal/detector"
+)
+
+// TestEvaluateEmptySuite: no cases, no counts, no error — the
+// degenerate input every aggregation bug loves.
+func TestEvaluateEmptySuite(t *testing.T) {
+	conf, results, err := Evaluate(detector.OurContribution, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Total() != 0 {
+		t.Errorf("empty suite scored %+v", conf)
+	}
+	if len(results) != 0 {
+		t.Errorf("empty suite produced %d results", len(results))
+	}
+	if conf.Precision() != 1 || conf.Recall() != 1 || conf.F1() != 1 {
+		t.Errorf("empty suite ratios P=%v R=%v F1=%v, want all 1",
+			conf.Precision(), conf.Recall(), conf.F1())
+	}
+}
+
+// TestEvaluateErrorPropagation: a case whose program cannot be built
+// must abort the evaluation with the case's name and method in the
+// error, and must not be silently scored.
+func TestEvaluateErrorPropagation(t *testing.T) {
+	cases := []Case{
+		{Name: "ok_control", D1: dLoad, D2: dStore, Overlap: true, PureLocal: true},
+		{Name: "bogus_descriptor", D1: Descriptor(99), D2: dLoad, Overlap: true},
+	}
+	conf, results, err := Evaluate(detector.OurContribution, cases)
+	if err == nil {
+		t.Fatal("want an error for descriptor 99")
+	}
+	if !strings.Contains(err.Error(), "unknown descriptor") ||
+		!strings.Contains(err.Error(), "bogus_descriptor") {
+		t.Errorf("error %q does not name the failure and case", err)
+	}
+	// The control case before the failure was evaluated; the bad one
+	// contributed nothing.
+	if got := conf.Total(); got != 1 {
+		t.Errorf("confusion total %d after early abort, want 1", got)
+	}
+	if len(results) != 1 || results[0].Name != "ok_control" {
+		t.Errorf("partial results %+v, want just ok_control", results)
+	}
+}
+
+// TestConfusionRatios pins precision/recall/F1 across the
+// zero-denominator corners.
+func TestConfusionRatios(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		c       Confusion
+		p, r, f float64
+	}{
+		{"zero matrix", Confusion{}, 1, 1, 1},
+		{"all TP", Confusion{TP: 5}, 1, 1, 1},
+		{"all TN", Confusion{TN: 7}, 1, 1, 1},
+		{"FP only", Confusion{FP: 3}, 0, 1, 0},
+		{"FN only", Confusion{FN: 2}, 1, 0, 0},
+		{"both wrong", Confusion{FP: 1, FN: 1}, 0, 0, 0},
+		{"mixed", Confusion{TP: 3, FP: 1, FN: 1, TN: 5}, 0.75, 0.75, 0.75},
+	} {
+		if got := tc.c.Precision(); got != tc.p {
+			t.Errorf("%s: precision %v, want %v", tc.name, got, tc.p)
+		}
+		if got := tc.c.Recall(); got != tc.r {
+			t.Errorf("%s: recall %v, want %v", tc.name, got, tc.r)
+		}
+		if got := tc.c.F1(); got != tc.f {
+			t.Errorf("%s: F1 %v, want %v", tc.name, got, tc.f)
+		}
+	}
+}

@@ -17,6 +17,36 @@ type Confusion struct {
 // Total returns the number of evaluated cases.
 func (c Confusion) Total() int { return c.FP + c.FN + c.TP + c.TN }
 
+// Precision returns TP/(TP+FP). With no positive verdicts at all the
+// ratio is undefined; it reports 1.0 then (no reported race was wrong),
+// so an all-safe category scores perfectly instead of poisoning an F1
+// aggregate with NaN.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), 1.0 when the ground truth has no racy
+// cases (nothing to miss).
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, 0 when both are
+// 0 (every verdict wrong in both directions).
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
 // Result records one case's outcome under one method.
 type Result struct {
 	Name     string

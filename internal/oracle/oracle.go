@@ -27,6 +27,7 @@ import (
 
 	"rmarace/internal/access"
 	"rmarace/internal/detector"
+	"rmarace/internal/interval"
 	"rmarace/internal/trace"
 )
 
@@ -93,6 +94,38 @@ func (o *Oracle) Release(owner, rank int) {
 	o.stored[owner] = kept
 }
 
+// Complete retires the locally completed span of rank's one-sided
+// accesses at owner's analyzer — the effect of an MPI_Wait/MPI_Waitall
+// on a request-based operation whose origin buffer is iv. Completion
+// orders the request's origin-side accesses before everything after
+// the wait on the issuing rank, so their stored one-sided fragments
+// are trimmed to the part outside iv (a fragment extending past the
+// completed buffer keeps its uncompleted remainder). Only rank's own
+// one-sided accesses retire; local accesses and other ranks' accesses
+// are untouched, and the target side of the request is not
+// synchronised at all.
+func (o *Oracle) Complete(owner, rank int, iv interval.Interval) {
+	kept := o.stored[owner][:0]
+	for _, s := range o.stored[owner] {
+		if s.Rank != rank || !s.Type.IsRMA() || !s.Interval.Intersects(iv) {
+			kept = append(kept, s)
+			continue
+		}
+		left, okL, right, okR := s.Interval.Subtract(iv)
+		if okL {
+			ls := s
+			ls.Interval = left
+			kept = append(kept, ls)
+		}
+		if okR {
+			rs := s
+			rs.Interval = right
+			kept = append(kept, rs)
+		}
+	}
+	o.stored[owner] = kept
+}
+
 // Events returns the number of accesses processed.
 func (o *Oracle) Events() int { return o.events }
 
@@ -149,6 +182,8 @@ func (o *Oracle) Feed(rec trace.Record) error {
 		o.EpochEnd(rec.Owner)
 	case "release":
 		o.Release(rec.Owner, rec.Rank)
+	case "complete":
+		o.Complete(rec.Owner, rec.Rank, interval.New(rec.Lo, rec.Hi))
 	default:
 		return fmt.Errorf("oracle: unknown record kind %q", rec.Kind)
 	}

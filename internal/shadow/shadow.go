@@ -290,6 +290,36 @@ func (m *Memory) RemoveRemote(owner int) {
 	m.removeIf(func(e *Entry) bool { return e.Rank != owner && e.IsRMA })
 }
 
+// RemoveRankRange retires every stored one-sided entry issued by rank
+// whose granule intersects [lo, hi] — the effect of a request's local
+// completion (MPI_Wait over an Rput/Rget whose origin buffer is the
+// range). Granule resolution matches the rest of the shadow model:
+// entries are conflated per granule, so a partially-covered granule
+// retires whole, exactly as the tool's shadow words would.
+func (m *Memory) RemoveRankRange(rank int, lo, hi uint64) {
+	doomed := func(e *Entry) bool { return e.Rank == rank && e.IsRMA }
+	for base := lo &^ (m.granule - 1); base <= hi; base += m.granule {
+		if c := m.cells[base]; c != nil {
+			if c.lastWrite != nil && doomed(c.lastWrite) {
+				c.lastWrite = nil
+			}
+			kept := c.reads[:0]
+			for i := range c.reads {
+				if !doomed(&c.reads[i]) {
+					kept = append(kept, c.reads[i])
+				}
+			}
+			c.reads = kept
+			if c.lastWrite == nil && len(c.reads) == 0 {
+				delete(m.cells, base)
+			}
+		}
+		if base > base+m.granule {
+			break // address-space wrap guard
+		}
+	}
+}
+
 func (m *Memory) removeIf(doomed func(*Entry) bool) {
 	for base, c := range m.cells {
 		if c.lastWrite != nil && doomed(c.lastWrite) {

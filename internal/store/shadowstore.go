@@ -85,6 +85,14 @@ func (s *Shadow) RemoveRank(rank int) { s.mem.RemoveRank(rank) }
 // exclusive-unlock ordering: every remote one-sided entry retires).
 func (s *Shadow) RemoveRemote(owner int) { s.mem.RemoveRemote(owner) }
 
+// RemoveRankSpan implements SpanRemover via the shadow memory's
+// granule-resolution range retirement (request-based local completion).
+// Delete reports false here, so without this capability the generic
+// trim would keep completed entries alive.
+func (s *Shadow) RemoveRankSpan(rank int, iv interval.Interval) {
+	s.mem.RemoveRankRange(rank, iv.Lo, iv.Hi)
+}
+
 // Clear implements AccessStore.
 func (s *Shadow) Clear() { s.mem.Clear() }
 
@@ -95,4 +103,5 @@ var (
 	_ AccessStore   = (*Shadow)(nil)
 	_ RankRemover   = (*Shadow)(nil)
 	_ RemoteRemover = (*Shadow)(nil)
+	_ SpanRemover   = (*Shadow)(nil)
 )

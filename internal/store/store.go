@@ -215,6 +215,55 @@ func RemoveRemote(s AccessStore, owner int) {
 	}
 }
 
+// SpanRemover is the optional retirement capability backing
+// Analyzer.CompleteRequest (request-based local completion): trim
+// rank's stored one-sided accesses to the part outside iv. The
+// fallback stabs and delete/reinserts.
+type SpanRemover interface {
+	RemoveRankSpan(rank int, iv interval.Interval)
+}
+
+// RemoveRankSpan retires the parts of rank's stored one-sided accesses
+// that lie inside iv — the storage effect of a request's local
+// completion (MPI_Wait/MPI_Waitall over an Rput/Rget whose origin
+// buffer is iv): the completed buffer's accesses become ordered before
+// everything after the wait on the issuing rank. A fragment extending
+// past iv keeps its uncompleted remainder, so the retirement matches
+// the reference semantics exactly on every backend with exact Delete;
+// the legacy BST (Delete always false) keeps its accesses, which is
+// sound — at worst extra pairs on buffer reuse. Local accesses and
+// other ranks' accesses never retire here, and the request's
+// target-side accesses live at a different analyzer entirely.
+func RemoveRankSpan(s AccessStore, rank int, iv interval.Interval) {
+	if sr, ok := s.(SpanRemover); ok {
+		sr.RemoveRankSpan(rank, iv)
+		return
+	}
+	var doomed []access.Access
+	s.Stab(iv, func(a access.Access) bool {
+		if a.Rank == rank && a.Type.IsRMA() {
+			doomed = append(doomed, a)
+		}
+		return true
+	})
+	for _, d := range doomed {
+		if !s.Delete(d.Interval) {
+			continue
+		}
+		left, okL, right, okR := d.Interval.Subtract(iv)
+		if okL {
+			ls := d
+			ls.Interval = left
+			s.Insert(ls)
+		}
+		if okR {
+			rs := d
+			rs.Interval = right
+			s.Insert(rs)
+		}
+	}
+}
+
 // Compacter is the optional memory-compaction capability: Compact
 // releases capacity retained purely to amortise allocation (node free
 // lists, spare buffers) without touching stored accesses, so it is

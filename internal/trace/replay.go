@@ -10,6 +10,7 @@ import (
 
 	"rmarace/internal/detector"
 	"rmarace/internal/engine"
+	"rmarace/internal/interval"
 	"rmarace/internal/obs"
 	"rmarace/internal/obs/olog"
 	"rmarace/internal/obs/span"
@@ -319,6 +320,15 @@ func ReplayStream(src Source, newAnalyzer func(owner int) detector.Analyzer, opt
 				st.flight.Mark(detector.FlightRelease, r.Rank)
 			}
 			st.a.Release(r.Rank)
+		case "complete":
+			st := get(r.Owner)
+			if race := flush(st); race != nil {
+				return stamp(r.Owner, st, race), nil
+			}
+			if st.flight != nil {
+				st.flight.Mark(detector.FlightComplete, r.Rank)
+			}
+			detector.CompleteRequest(st.a, r.Rank, interval.New(r.Lo, r.Hi))
 		case "epoch_end":
 			res.Epochs++
 			st := get(r.Owner)

@@ -19,6 +19,8 @@
 //	epochEnd := owner uvarint
 //	release  := owner uvarint | rank uvarint
 //	fileDef  := id uvarint | len(name) uvarint | name bytes
+//	complete := owner uvarint | rank uvarint
+//	            | lo uvarint | hi-lo uvarint
 //
 // File names are interned in a string table: the first access citing a
 // file is preceded by a fileDef record assigning it the next id (ids
@@ -60,6 +62,7 @@ const (
 	kindEpochEnd = 1
 	kindRelease  = 2
 	kindFileDef  = 3
+	kindComplete = 4
 )
 
 // maxPayload caps one record's payload so a corrupt length prefix
@@ -196,6 +199,17 @@ func (t *Writer) Record(rec trace.Record) error {
 		p := append(t.scratch[:0], kindRelease)
 		p = binary.AppendUvarint(p, uint64(rec.Owner))
 		p = binary.AppendUvarint(p, uint64(rec.Rank))
+		t.scratch = p[:0]
+		return t.writeRecord(p)
+	case "complete":
+		if rec.Hi < rec.Lo {
+			return fmt.Errorf("tracebin: inverted interval [%d, %d]", rec.Lo, rec.Hi)
+		}
+		p := append(t.scratch[:0], kindComplete)
+		p = binary.AppendUvarint(p, uint64(rec.Owner))
+		p = binary.AppendUvarint(p, uint64(rec.Rank))
+		p = binary.AppendUvarint(p, rec.Lo)
+		p = binary.AppendUvarint(p, rec.Hi-rec.Lo)
 		t.scratch = p[:0]
 		return t.writeRecord(p)
 	}
@@ -488,6 +502,28 @@ func (t *Reader) decode(kind byte, p []byte, rec *trace.Record) error {
 			return err
 		}
 		rec.Owner, rec.Rank = int(owner), int(rank)
+	case kindComplete:
+		rec.Kind = "complete"
+		owner, err := d.uvarint("owner")
+		if err != nil {
+			return err
+		}
+		rank, err := d.uvarint("rank")
+		if err != nil {
+			return err
+		}
+		rec.Owner, rec.Rank = int(owner), int(rank)
+		if rec.Lo, err = d.uvarint("lo"); err != nil {
+			return err
+		}
+		span, err := d.uvarint("interval span")
+		if err != nil {
+			return err
+		}
+		rec.Hi = rec.Lo + span
+		if rec.Hi < rec.Lo {
+			return fmt.Errorf("interval span %d overflows from lo %d", span, rec.Lo)
+		}
 	default:
 		return fmt.Errorf("unknown record kind %d", kind)
 	}
